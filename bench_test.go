@@ -1,0 +1,184 @@
+// Benchmarks that regenerate each table/figure of the paper's evaluation
+// (section 4). They run a scaled frame (40 simulated seconds, 10^6
+// objects) so `go test -bench=.` completes in minutes; cmd/elbench runs
+// the full 500 s / 10^7-object frame and EXPERIMENTS.md records the
+// resulting numbers against the paper's.
+//
+// Reported metrics use the figures' units: blocks (disk space), writes/s
+// (log bandwidth), bytes (memory), oid distance (flush locality).
+package ellog
+
+import (
+	"testing"
+)
+
+// benchOptions is the scaled frame shared by the figure benchmarks.
+func benchOptions(mixes ...float64) ExperimentOptions {
+	if len(mixes) == 0 {
+		mixes = []float64{0.05, 0.40}
+	}
+	return ExperimentOptions{
+		Seed:       1,
+		Runtime:    40 * Second,
+		NumObjects: 1_000_000,
+		Mixes:      mixes,
+	}
+}
+
+// BenchmarkFig4DiskSpace regenerates Figure 4: minimum log disk space
+// versus transaction mix for FW and EL (recirculation off).
+func BenchmarkFig4DiskSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := Fig456(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p5, p40 := points[0], points[1]
+		b.ReportMetric(float64(p5.FWBlocks), "fw-blocks@5%")
+		b.ReportMetric(float64(p5.ELBlocks), "el-blocks@5%")
+		b.ReportMetric(float64(p5.FWBlocks)/float64(p5.ELBlocks), "space-ratio@5%")
+		b.ReportMetric(float64(p40.FWBlocks)/float64(p40.ELBlocks), "space-ratio@40%")
+	}
+}
+
+// BenchmarkFig5Bandwidth regenerates Figure 5: log disk bandwidth versus
+// transaction mix at the Figure-4 minimum sizes.
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := Fig456(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p5, p40 := points[0], points[1]
+		b.ReportMetric(p5.FWBW, "fw-writes/s@5%")
+		b.ReportMetric(p5.ELBW, "el-writes/s@5%")
+		b.ReportMetric(100*(p5.ELBW/p5.FWBW-1), "bw-increase-%@5%")
+		b.ReportMetric(100*(p40.ELBW/p40.FWBW-1), "bw-increase-%@40%")
+	}
+}
+
+// BenchmarkFig6Memory regenerates Figure 6: peak LOT+LTT memory versus
+// transaction mix at the Figure-4 minimum sizes.
+func BenchmarkFig6Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := Fig456(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p5, p40 := points[0], points[1]
+		b.ReportMetric(p5.FWMemPeak, "fw-bytes@5%")
+		b.ReportMetric(p5.ELMemPeak, "el-bytes@5%")
+		b.ReportMetric(p40.ELMemPeak, "el-bytes@40%")
+	}
+}
+
+// BenchmarkFig7BandwidthVsSpace regenerates Figure 7: EL bandwidth as the
+// recirculating last generation shrinks from the no-recirculation minimum
+// to its recirculating minimum.
+func BenchmarkFig7BandwidthVsSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Fig7(benchOptions(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		b.ReportMetric(float64(r.Gen0), "gen0-blocks")
+		b.ReportMetric(float64(r.NoRecircG1), "gen1-max-blocks")
+		b.ReportMetric(float64(r.MinRecircG1), "gen1-min-blocks")
+		b.ReportMetric(first.TotalBW, "writes/s@max-space")
+		b.ReportMetric(last.TotalBW, "writes/s@min-space")
+	}
+}
+
+// BenchmarkScarceFlushBandwidth regenerates the section-4 text experiment:
+// flush transfers at 45 ms (222/s capacity vs 210 updates/s), recirculation
+// keeping unflushed updates alive, and the locality gain under backlog.
+func BenchmarkScarceFlushBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Scarce(benchOptions(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.TotalBlocks), "el-blocks")
+		b.ReportMetric(r.TotalBW, "writes/s")
+		b.ReportMetric(r.AvgDist, "flush-oid-dist")
+		b.ReportMetric(r.BaselineDist, "flush-oid-dist-25ms")
+	}
+}
+
+// BenchmarkHeadlineRatios regenerates the paper's summary numbers at the
+// 5% mix (space /3.6 and /4.4; bandwidth +11% and +12%).
+func BenchmarkHeadlineRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := Headline(benchOptions(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.SpaceFactorNR, "space-factor-norecirc")
+		b.ReportMetric(h.SpaceFactorR, "space-factor-recirc")
+		b.ReportMetric(h.BWIncreaseNR, "bw-increase-%-norecirc")
+		b.ReportMetric(h.BWIncreaseR, "bw-increase-%-recirc")
+	}
+}
+
+// BenchmarkSimulatorThroughputEL measures raw simulator speed: simulated
+// seconds per wall second for the paper's EL configuration.
+func BenchmarkSimulatorThroughputEL(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := PaperDefaults(0.05)
+		cfg.LM = Params{Mode: ModeEphemeral, GenSizes: []int{18, 16}}
+		cfg.Workload.Runtime = 20 * Second
+		cfg.Workload.NumObjects = 1_000_000
+		cfg.Flush.NumObjects = 1_000_000
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughputFW is the FW counterpart.
+func BenchmarkSimulatorThroughputFW(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := PaperDefaults(0.05)
+		cfg.LM = Params{Mode: ModeFirewall, GenSizes: []int{123}}
+		cfg.Workload.Runtime = 20 * Second
+		cfg.Workload.NumObjects = 1_000_000
+		cfg.Flush.NumObjects = 1_000_000
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSinglePassRecovery measures recovery work on a crashed EL log
+// at the paper's minimum sizes, reporting the modeled recovery time (the
+// paper argues "recovery in less than a second may be feasible").
+func BenchmarkSinglePassRecovery(b *testing.B) {
+	cfg := PaperDefaults(0.05)
+	cfg.LM = Params{Mode: ModeEphemeral, GenSizes: []int{18, 16}, Recirculate: true}
+	cfg.Workload.Runtime = 60 * Second
+	cfg.Workload.NumObjects = 1_000_000
+	cfg.Flush.NumObjects = 1_000_000
+	live, err := BuildLive(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live.Setup.Eng.Run(45 * Second) // crash mid-run
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recovered, res, err := Recover(live.Setup.Dev, live.Setup.DB, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := VerifyRecovery(recovered, live.Gen.Oracle()); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.BlocksRead), "blocks-read")
+			b.ReportMetric(res.EstimatedTime.Seconds()*1000, "modeled-recovery-ms")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Command elbench regenerates every table and figure of the paper's
+// evaluation (section 4) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	elbench                      run everything at full paper fidelity
+//	elbench -exp fig4            one experiment (fig4 = fig5 = fig6 data)
+//	elbench -runtime 60 -objects 1000000   scaled-down quick pass
+//	elbench -csv results.csv     also dump the Figure 4-6 data as CSV
+//
+// Full fidelity (500 simulated seconds, 10^7 objects, five mixes) takes a
+// few minutes of wall time; the searches alone run hundreds of complete
+// simulations, mirroring the paper's method of "continu[ing] to run
+// simulations and reduce the disk space until we observed transactions
+// being killed".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ellog/internal/experiments"
+	"ellog/internal/sim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|ext")
+		runtime = flag.Float64("runtime", 500, "simulated seconds per run")
+		objects = flag.Uint64("objects", 10_000_000, "database object count")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		mixes   = flag.String("mixes", "", "comma-separated long-transaction fractions (default 0.05,0.1,0.2,0.3,0.4)")
+		csvPath = flag.String("csv", "", "write Figure 4-6 data as CSV to this path")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:       *seed,
+		Runtime:    sim.Time(*runtime * float64(sim.Second)),
+		NumObjects: *objects,
+	}
+	if *mixes != "" {
+		for _, part := range strings.Split(*mixes, ",") {
+			var f float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &f); err != nil {
+				fatal(fmt.Errorf("bad -mixes %q: %w", *mixes, err))
+			}
+			opt.Mixes = append(opt.Mixes, f)
+		}
+	}
+
+	runFig456 := func() {
+		start := time.Now()
+		points, err := experiments.Fig456(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatFig456(points))
+		fmt.Printf("(figures 4-6 regenerated in %v)\n\n", time.Since(start).Round(time.Second))
+		if *csvPath != "" {
+			if err := writeCSV(*csvPath, points); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+	}
+
+	switch *exp {
+	case "fig4", "fig5", "fig6":
+		runFig456()
+	case "fig7":
+		r, err := experiments.Fig7(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatFig7(r))
+	case "scarce":
+		r, err := experiments.Scarce(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatScarce(r))
+	case "headline":
+		h, err := experiments.Headline(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatHeadline(h))
+	case "hints":
+		r, err := experiments.Hints(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatHints(r))
+	case "chain":
+		r, err := experiments.Chain(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatChain(r))
+	case "hybrid":
+		r, err := experiments.HybridCompare(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatHybridCompare(r))
+	case "adaptive":
+		r, err := experiments.Adaptive(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatAdaptive(r))
+	case "arrivals":
+		pts, err := experiments.ArrivalSensitivity(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatArrivals(pts))
+	case "steal":
+		r, err := experiments.Steal(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatSteal(r))
+	case "scale":
+		pts, err := experiments.Scale(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatScale(pts))
+	case "ext":
+		rh, err := experiments.Hints(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatHints(rh))
+		fmt.Println()
+		rc, err := experiments.Chain(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatChain(rc))
+		fmt.Println()
+		rb, err := experiments.HybridCompare(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatHybridCompare(rb))
+		fmt.Println()
+		ra, err := experiments.Adaptive(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatAdaptive(ra))
+		fmt.Println()
+		rv, err := experiments.ArrivalSensitivity(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatArrivals(rv))
+		fmt.Println()
+		rs, err := experiments.Steal(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatSteal(rs))
+		fmt.Println()
+		rsc, err := experiments.Scale(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatScale(rsc))
+	case "all":
+		runFig456()
+		r7, err := experiments.Fig7(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatFig7(r7))
+		fmt.Println()
+		sc, err := experiments.Scarce(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatScarce(sc))
+		fmt.Println()
+		h, err := experiments.Headline(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatHeadline(h))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func writeCSV(path string, points []experiments.MixPoint) error {
+	var b strings.Builder
+	b.WriteString("frac_long,fw_blocks,el_gen0,el_gen1,el_blocks,fw_writes_per_s,el_writes_per_s,fw_mem_bytes,el_mem_bytes\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%g,%d,%d,%d,%d,%.3f,%.3f,%.0f,%.0f\n",
+			p.FracLong, p.FWBlocks, p.ELGen0, p.ELGen1, p.ELBlocks,
+			p.FWBW, p.ELBW, p.FWMemPeak, p.ELMemPeak)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command elrecover demonstrates crash recovery on an ephemeral log: it
+// runs the paper's workload, crashes the system at a chosen instant, takes
+// the crash image (whatever block writes had completed), performs
+// single-pass redo recovery, and verifies the result against the ground
+// truth of durably committed updates.
+//
+// Usage:
+//
+//	elrecover                      crash the 5%-mix EL run at t=60s
+//	elrecover -crash 200 -recirc   crash later, with recirculation on
+//	elrecover -gens 18,10 -recirc  the paper's tightest recirculating log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/recovery"
+	"ellog/internal/sim"
+)
+
+func main() {
+	var (
+		gens     = flag.String("gens", "18,16", "generation sizes in blocks")
+		recirc   = flag.Bool("recirc", false, "enable recirculation in the last generation")
+		crashS   = flag.Float64("crash", 60, "crash time in simulated seconds")
+		fracLong = flag.Float64("long", 0.05, "fraction of 10s transactions")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		objects  = flag.Uint64("objects", 1_000_000, "database object count")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, part := range strings.Split(*gens, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad -gens: %w", err))
+		}
+		sizes = append(sizes, n)
+	}
+	crashAt := sim.Time(*crashS * float64(sim.Second))
+
+	cfg := harness.PaperDefaults(*fracLong)
+	cfg.Seed = *seed
+	cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: sizes, Recirculate: *recirc}
+	cfg.Workload.Runtime = crashAt + sim.Second
+	cfg.Workload.NumObjects = *objects
+	cfg.Flush.NumObjects = *objects
+
+	live, err := harness.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("running EL %v (recirculation %v) at the paper workload, %.0f%% long transactions...\n",
+		sizes, *recirc, *fracLong*100)
+	live.Setup.Eng.Run(crashAt)
+
+	lm := live.Setup.LM.Stats()
+	ws := live.Gen.Stats()
+	fmt.Printf("CRASH at %v: %d transactions committed, %d in flight, %d log writes done\n",
+		crashAt, ws.Committed, ws.Started-ws.Committed-ws.Killed, lm.TotalWrites)
+	fmt.Printf("stable database holds %d objects; log occupies %d blocks\n\n",
+		live.Setup.DB.Len(), lm.TotalBlocks)
+
+	recovered, res, err := recovery.Recover(live.Setup.Dev, live.Setup.DB, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("single-pass recovery (read the whole log into memory, redo winners):")
+	fmt.Printf("  blocks read:        %d (%d bytes, %d records)\n", res.BlocksRead, res.BytesRead, res.RecordsRead)
+	fmt.Printf("  winners / losers:   %d / %d\n", res.Winners, res.Losers)
+	fmt.Printf("  updates applied:    %d (%d already covered by the stable DB)\n", res.Applied, res.Stale)
+	fmt.Printf("  modeled time:       %v at %v per block\n\n", res.EstimatedTime, recovery.DefaultBlockRead)
+
+	if err := recovery.VerifyOracle(recovered, live.Gen.Oracle()); err != nil {
+		fmt.Println("VERIFICATION FAILED:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("verified: recovered state equals the durably committed state (%d objects)\n", len(live.Gen.Oracle()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elrecover:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command elsim runs a single configured simulation of ephemeral or
+// firewall logging and prints its report — the Go equivalent of the
+// paper's C simulator binary (section 3).
+//
+// Usage:
+//
+//	elsim -init cfg.json          write the default configuration and exit
+//	elsim -config cfg.json        run a configuration file
+//	elsim -mode fw -gens 123      run ad hoc, overriding the defaults
+//
+// The default configuration is the paper's 5%-mix EL run at its measured
+// minimum generation sizes (18+16 blocks, recirculation off).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ellog/internal/config"
+	"ellog/internal/harness"
+	"ellog/internal/sim"
+	"ellog/internal/trace"
+)
+
+func main() {
+	var (
+		initPath   = flag.String("init", "", "write the default configuration JSON to this path and exit")
+		configPath = flag.String("config", "", "configuration JSON to run")
+		mode       = flag.String("mode", "", "override: el or fw")
+		gens       = flag.String("gens", "", "override: comma-separated generation sizes in blocks, e.g. 18,16")
+		recirc     = flag.Bool("recirc", false, "override: enable recirculation in the last generation")
+		runtime    = flag.Float64("runtime", 0, "override: simulated seconds")
+		fracLong   = flag.Float64("long", -1, "override: fraction of 10s transactions in the paper mix")
+		seed       = flag.Uint64("seed", 0, "override: random seed")
+		flushMS    = flag.Int64("flush-ms", 0, "override: per-object flush transfer time in ms")
+		verbose    = flag.Bool("v", false, "also print workload statistics")
+		traceN     = flag.Int("trace", 0, "dump the last N logging-manager trace events")
+	)
+	flag.Parse()
+
+	if *initPath != "" {
+		if err := config.Default().Save(*initPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote default configuration to %s\n", *initPath)
+		return
+	}
+
+	cfg := config.Default()
+	if *configPath != "" {
+		var err error
+		cfg, err = config.Load(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *mode != "" {
+		cfg.Mode = *mode
+	}
+	if *gens != "" {
+		var sizes []int
+		for _, part := range strings.Split(*gens, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -gens %q: %w", *gens, err))
+			}
+			sizes = append(sizes, n)
+		}
+		cfg.Generations = sizes
+	}
+	if *recirc {
+		cfg.Recirculate = true
+	}
+	if *runtime > 0 {
+		cfg.RuntimeS = *runtime
+	}
+	if *fracLong >= 0 {
+		cfg.Mix = []config.TxTypeJSON{
+			{Name: "short-1s", Prob: 1 - *fracLong, LifetimeMS: 1000, NumRecords: 2, RecordSize: 100},
+			{Name: "long-10s", Prob: *fracLong, LifetimeMS: 10000, NumRecords: 4, RecordSize: 100},
+		}
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *flushMS > 0 {
+		cfg.FlushTransferMS = *flushMS
+	}
+
+	hcfg, err := cfg.ToHarness()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("running %s, generations %v (recirculation %v), %s, seed %d\n",
+		strings.ToUpper(cfg.Mode), cfg.Generations, cfg.Recirculate,
+		sim.Time(cfg.RuntimeS*float64(sim.Second)), cfg.Seed)
+	live, err := harness.Build(hcfg)
+	if err != nil {
+		fatal(err)
+	}
+	var ring *trace.Ring
+	if *traceN > 0 {
+		ring = trace.NewRing(*traceN)
+		live.Setup.LM.SetTracer(ring)
+	}
+	live.Setup.Eng.Run(hcfg.Workload.Runtime)
+	res := harness.Result{LM: live.Setup.LM.Stats(), Workload: live.Gen.Stats()}
+	fmt.Print(res.LM)
+	if *verbose {
+		ws := res.Workload
+		fmt.Printf("workload: %d started, %d committed, %d killed; end-to-end mean %.3fs p99 %.3fs\n",
+			ws.Started, ws.Committed, ws.Killed, ws.EndToEndMean, ws.EndToEndP99)
+		for name, n := range ws.PerType {
+			fmt.Printf("  %-12s %d\n", name, n)
+		}
+	}
+	if ring != nil {
+		fmt.Printf("--- last %d trace events ---\n%s", *traceN, ring.Dump(*traceN))
+	}
+	if res.Insufficient() {
+		fmt.Println("verdict: INSUFFICIENT disk space for this workload")
+		os.Exit(2)
+	}
+	fmt.Println("verdict: disk space sufficient (no transactions killed)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elsim:", err)
+	os.Exit(1)
+}

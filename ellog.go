@@ -1,0 +1,181 @@
+// Package ellog is a Go reproduction of "Performance Evaluation of
+// Ephemeral Logging" (John S. Keen and William J. Dally, SIGMOD 1993).
+//
+// Ephemeral logging (EL) manages a database log on disk as a chain of
+// fixed-size circular queues ("generations"). New log records enter the
+// tail of generation 0; records that must still be retained when they
+// reach the head of generation i are forwarded to generation i+1 (or
+// recirculated within the last generation), while garbage records are
+// simply passed over. Committed updates are continuously flushed to a
+// stable database so that their log records become garbage — no
+// checkpoints, and no aborting of long transactions as eagerly as the
+// traditional firewall (FW) discipline.
+//
+// This package is the public facade over the full simulation stack:
+//
+//   - internal/sim: a deterministic discrete-event engine;
+//   - internal/core: the EL logging manager (generations, cells, LOT and
+//     LTT tables, forwarding, recirculation) and the FW baseline;
+//   - internal/blockdev, internal/flushdisk, internal/statedb: the disk
+//     models and the stable database;
+//   - internal/workload: the paper's transaction model;
+//   - internal/recovery: single-pass redo recovery from a crash image;
+//   - internal/search: minimum-disk-space searches;
+//   - internal/experiments: drivers that regenerate every figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := ellog.PaperDefaults(0.05)
+//	cfg.LM = ellog.Params{Mode: ellog.ModeEphemeral, GenSizes: []int{18, 16}}
+//	res, err := ellog.Run(cfg)
+//	fmt.Println(res.LM)
+package ellog
+
+import (
+	"ellog/internal/blockdev"
+	"ellog/internal/config"
+	"ellog/internal/core"
+	"ellog/internal/experiments"
+	"ellog/internal/harness"
+	"ellog/internal/logrec"
+	"ellog/internal/recovery"
+	"ellog/internal/search"
+	"ellog/internal/sim"
+	"ellog/internal/statedb"
+	"ellog/internal/workload"
+)
+
+// Core model types.
+type (
+	// Time is simulated time in microseconds.
+	Time = sim.Time
+	// Mode selects ephemeral logging or the firewall baseline.
+	Mode = core.Mode
+	// Params configures the logging manager (generation sizes,
+	// recirculation, block geometry, memory model).
+	Params = core.Params
+	// FlushConfig sizes the flush disk array.
+	FlushConfig = core.FlushConfig
+	// Stats is the logging manager's measurement snapshot.
+	Stats = core.Stats
+	// Manager is the logging manager itself, for callers that drive
+	// transactions directly rather than through a workload generator.
+	Manager = core.Manager
+	// Setup bundles a manager with its substrate.
+	Setup = core.Setup
+
+	// TxID, OID and LSN identify transactions, objects and log records.
+	TxID = logrec.TxID
+	OID  = logrec.OID
+	LSN  = logrec.LSN
+
+	// TxType and Mix describe the workload's transaction distribution.
+	TxType = workload.TxType
+	Mix    = workload.Mix
+	// WorkloadConfig parameterizes the generator.
+	WorkloadConfig = workload.Config
+
+	// Config is a complete simulation configuration; Result its summary.
+	Config = harness.Config
+	Result = harness.Result
+	// Live exposes a running simulation's components (for crash drills).
+	Live = harness.Live
+
+	// DB is the stable version of the database.
+	DB = statedb.DB
+	// Device is the simulated log disk.
+	Device = blockdev.Device
+
+	// RecoveryResult describes a single-pass recovery.
+	RecoveryResult = recovery.Result
+
+	// SimConfig is the JSON-serializable run description used by cmd/elsim.
+	SimConfig = config.SimConfig
+
+	// ExperimentOptions scales the paper's experimental frame.
+	ExperimentOptions = experiments.Options
+	// MixPoint, Fig7Result, ScarceResult and HeadlineResult carry the
+	// regenerated figures.
+	MixPoint       = experiments.MixPoint
+	Fig7Result     = experiments.Fig7Result
+	ScarceResult   = experiments.ScarceResult
+	HeadlineResult = experiments.HeadlineResult
+	// TwoGenResult is the outcome of the two-generation minimum search.
+	TwoGenResult = search.TwoGenResult
+)
+
+// Modes and time units.
+const (
+	ModeEphemeral = core.ModeEphemeral
+	ModeFirewall  = core.ModeFirewall
+
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// PaperDefaults returns the paper's fixed experimental frame (100 TPS,
+// 500 s, 10^7 objects, 10 flush drives at 25 ms) for the given fraction of
+// long transactions; set cfg.LM before running.
+func PaperDefaults(fracLong float64) Config { return harness.PaperDefaults(fracLong) }
+
+// PaperMix returns the two-type workload of section 4.
+func PaperMix(fracLong float64) Mix { return workload.PaperMix(fracLong) }
+
+// Run executes a configuration to its workload runtime.
+func Run(cfg Config) (Result, error) { return harness.Run(cfg) }
+
+// BuildLive assembles a run without executing it, so the caller can drive
+// (and crash) the simulation explicitly.
+func BuildLive(cfg Config) (*Live, error) { return harness.Build(cfg) }
+
+// NewSetup assembles a manager with substrate on a fresh engine for callers
+// that issue Begin/WriteData/Commit directly.
+func NewSetup(seed uint64, p Params, fc FlushConfig) (*Setup, error) {
+	return core.NewSetup(sim.NewEngine(seed, seed^0x9e3779b97f4a7c15), p, fc)
+}
+
+// MinFirewall finds the minimum single-queue FW size for a configuration.
+func MinFirewall(base Config, hi int) (int, Result, error) { return search.MinFirewall(base, hi) }
+
+// MinTwoGen finds the minimum-total two-generation EL configuration.
+func MinTwoGen(base Config, recirc bool) (TwoGenResult, error) {
+	return search.MinTwoGen(base, recirc, 0, 0)
+}
+
+// MinLastGen finds the minimum last-generation size given fixed younger
+// generations.
+func MinLastGen(base Config, mode Mode, fixed []int, recirc bool, hi int) (int, Result, error) {
+	return search.MinLastGen(base, mode, fixed, recirc, hi)
+}
+
+// Recover performs single-pass redo recovery from a crash image.
+func Recover(dev *Device, db *DB, blockRead Time) (*DB, RecoveryResult, error) {
+	return recovery.Recover(dev, db, blockRead)
+}
+
+// VerifyRecovery checks a recovered database against the latest durably
+// committed LSN per object.
+func VerifyRecovery(recovered *DB, oracle map[OID]LSN) error {
+	return recovery.VerifyOracle(recovered, oracle)
+}
+
+// Experiment drivers: each regenerates one of the paper's figures.
+var (
+	Fig456         = experiments.Fig456
+	Fig7           = experiments.Fig7
+	Scarce         = experiments.Scarce
+	Headline       = experiments.Headline
+	FormatFig456   = experiments.FormatFig456
+	FormatFig7     = experiments.FormatFig7
+	FormatScarce   = experiments.FormatScarce
+	FormatHeadline = experiments.FormatHeadline
+)
+
+// DefaultSimConfig returns the paper's 5%-mix EL run as a JSON-friendly
+// configuration; LoadSimConfig reads one from disk.
+func DefaultSimConfig() SimConfig { return config.Default() }
+
+// LoadSimConfig reads a SimConfig from a JSON file.
+func LoadSimConfig(path string) (SimConfig, error) { return config.Load(path) }

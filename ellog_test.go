@@ -1,0 +1,139 @@
+package ellog
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API exactly the way README and the
+// examples present it; deeper behaviour is covered in the internal
+// packages.
+
+func quickConfig(fracLong float64) Config {
+	cfg := PaperDefaults(fracLong)
+	cfg.Workload.Runtime = 20 * Second
+	cfg.Workload.NumObjects = 1_000_000
+	cfg.Flush.NumObjects = 1_000_000
+	return cfg
+}
+
+func TestRunPaperDefaults(t *testing.T) {
+	cfg := quickConfig(0.05)
+	cfg.LM = Params{Mode: ModeEphemeral, GenSizes: []int{18, 16}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insufficient() {
+		t.Fatalf("paper minimum insufficient:\n%s", res.LM)
+	}
+	if res.Workload.Started != 2000 {
+		t.Fatalf("started %d txs, want 2000", res.Workload.Started)
+	}
+	if res.LM.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestDirectManagerUse(t *testing.T) {
+	setup, err := NewSetup(1, Params{
+		Mode: ModeEphemeral, GenSizes: []int{8, 8},
+	}, FlushConfig{Drives: 2, Transfer: 10 * Millisecond, NumObjects: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := setup.LM
+	durable := false
+	lm.Begin(1)
+	lsn := lm.WriteData(1, 42, 100)
+	lm.Commit(1, func() { durable = true })
+	lm.Quiesce()
+	setup.Eng.Run(Second)
+	if !durable {
+		t.Fatal("commit not acknowledged")
+	}
+	if v, ok := setup.DB.Get(42); !ok || v.LSN != lsn {
+		t.Fatalf("stable DB: %+v %v", v, ok)
+	}
+}
+
+func TestCrashRecoveryThroughFacade(t *testing.T) {
+	cfg := quickConfig(0.05)
+	cfg.LM = Params{Mode: ModeEphemeral, GenSizes: []int{18, 12}, Recirculate: true}
+	live, err := BuildLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Setup.Eng.Run(15 * Second)
+	recovered, res, err := Recover(live.Setup.Dev, live.Setup.DB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecovery(recovered, live.Gen.Oracle()); err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksRead == 0 {
+		t.Fatal("no blocks read")
+	}
+}
+
+func TestSearchThroughFacade(t *testing.T) {
+	cfg := quickConfig(0.05)
+	size, run, err := MinFirewall(cfg, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 100 || size > 150 || run.Insufficient() {
+		t.Fatalf("FW minimum %d implausible", size)
+	}
+	two, err := MinTwoGen(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Total*2 >= size {
+		t.Fatalf("EL %d not well below FW %d", two.Total, size)
+	}
+	g1, _, err := MinLastGen(cfg, ModeEphemeral, []int{two.Gen0}, true, two.Gen1+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 > two.Gen1 {
+		t.Fatalf("recirculation grew the last generation: %d > %d", g1, two.Gen1)
+	}
+}
+
+func TestSimConfigRoundTrip(t *testing.T) {
+	sc := DefaultSimConfig()
+	sc.RuntimeS = 5
+	sc.NumObjects = 1_000_000
+	hc, err := sc.ToHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload.Started != 500 {
+		t.Fatalf("started %d", res.Workload.Started)
+	}
+	if _, err := LoadSimConfig("/nonexistent.json"); err == nil {
+		t.Fatal("missing config loaded")
+	}
+}
+
+func TestStealThroughFacade(t *testing.T) {
+	cfg := quickConfig(0.05)
+	cfg.LM = Params{Mode: ModeEphemeral, GenSizes: []int{18, 14}, Recirculate: true, Steal: true}
+	live, err := BuildLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Setup.Eng.Run(15 * Second)
+	recovered, _, err := Recover(live.Setup.Dev, live.Setup.DB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecovery(recovered, live.Gen.Oracle()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module ellog
+
+go 1.22

@@ -1,0 +1,201 @@
+// Package adaptive implements the sizing controller the paper wishes for
+// in its concluding remarks: "The optimal number of generations and their
+// sizes depends on the application. ... Ideally, we would like an
+// adaptable version of EL that dynamically chooses the number and sizes of
+// generations itself" (section 6).
+//
+// The controller polls the logging manager's per-generation pressure once
+// per epoch and resizes online:
+//
+//   - a generation that killed transactions or needed emergency blocks
+//     grows immediately (kills are the signal the paper's own minimum-space
+//     methodology uses);
+//   - a generation whose peak occupancy left more slack than the target
+//     margin shrinks gradually, reclaiming disk without risking kills.
+//
+// Growth is multiplicative-ish (pressure-proportional plus a boost) and
+// shrinking is additive and slow, so the controller converges to a stable
+// size just above the workload's true requirement — the knob a DBA would
+// otherwise have to find by trial and error.
+package adaptive
+
+import (
+	"fmt"
+
+	"ellog/internal/core"
+	"ellog/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Epoch is the observation interval (default 5 s).
+	Epoch sim.Time
+	// Margin is the slack in blocks, beyond the threshold gap, that a
+	// generation should retain at peak (default 3).
+	Margin int
+	// MaxShrink bounds how many blocks one epoch may reclaim from one
+	// generation (default 2).
+	MaxShrink int
+	// GrowBoost is the extra growth applied on any kill signal, on top of
+	// one block per kill/emergency (default 2).
+	GrowBoost int
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Epoch == 0 {
+		c.Epoch = 5 * sim.Second
+	}
+	if c.Margin == 0 {
+		c.Margin = 3
+	}
+	if c.MaxShrink == 0 {
+		c.MaxShrink = 2
+	}
+	if c.GrowBoost == 0 {
+		c.GrowBoost = 2
+	}
+	return c
+}
+
+// Decision records one epoch's actions for one generation.
+type Decision struct {
+	At       sim.Time
+	Gen      int
+	Grown    int
+	Shrunk   int
+	Kills    uint64
+	PeakUsed int
+	Size     int // size after the action
+}
+
+// Controller resizes a manager's generations online.
+type Controller struct {
+	eng *sim.Engine
+	lm  *core.Manager
+	cfg Config
+
+	decisions  []Decision
+	grownTotal int
+	shrunk     int
+}
+
+// Attach starts a controller on the manager; it reschedules itself every
+// epoch until the engine stops running events.
+func Attach(eng *sim.Engine, lm *core.Manager, cfg Config) *Controller {
+	c := &Controller{eng: eng, lm: lm, cfg: cfg.WithDefaults()}
+	lm.EpochStats() // reset counters at attach time
+	eng.After(c.cfg.Epoch, c.tick)
+	return c
+}
+
+// forwardThreshold is the fraction of a generation's inflow that may be
+// forwarded onward before the controller treats the generation itself as
+// undersized: a healthy generation 0 lets short transactions' records die
+// in place, so most of its traffic should *not* survive to the next
+// generation.
+const forwardThreshold = 0.3
+
+func (c *Controller) tick() {
+	stats := c.lm.EpochStats()
+	grown := make([]int, len(stats))
+
+	// Growth: kills and emergency blocks signal an undersized log, but the
+	// root cause may sit upstream — a too-small young generation forwards
+	// still-hot records into its elder, which then overflows. Grow the
+	// youngest generation whose forward ratio is excessive, else the
+	// pressured generation itself. Growth is capped at half the current
+	// size so one bad epoch cannot overshoot past the sweet spot.
+	for i, gs := range stats {
+		pressure := int(gs.Kills + gs.Emergency)
+		if pressure == 0 {
+			continue
+		}
+		target := i
+		for j := 0; j < i; j++ {
+			if stats[j].In > 20 && float64(stats[j].Out)/float64(stats[j].In) > forwardThreshold {
+				target = j
+				break
+			}
+		}
+		n := pressure + c.cfg.GrowBoost
+		if cap := c.lm.GenSize(target)/2 + 1; n > cap {
+			n = cap
+		}
+		c.lm.GrowGeneration(target, n)
+		grown[target] += n
+		c.grownTotal += n
+		c.decisions = append(c.decisions, Decision{
+			At: c.eng.Now(), Gen: target, Grown: n, Kills: gs.Kills,
+			PeakUsed: gs.PeakUsed, Size: c.lm.GenSize(target),
+		})
+	}
+
+	// Shrinking: a generation truly needs (residence time of its records) x
+	// (fill rate) blocks, plus the threshold gap and margin. Residence is
+	// estimated from the garbage-age distribution: the age by which nearly
+	// all of the generation's records have died in place. Records that
+	// survive longer are exactly the ones forwarding or recirculation is
+	// for, so they do not inflate the estimate — unlike raw occupancy,
+	// which a single long transaction anchors indefinitely.
+	k := c.lm.Params().ThresholdK
+	last := len(stats) - 1
+	for i, gs := range stats {
+		if grown[i] > 0 || gs.Kills+gs.Emergency > 0 {
+			continue
+		}
+		if gs.AgeSamples < 20 || gs.Claims == 0 {
+			continue // not enough signal this epoch
+		}
+		age := gs.AgeQ90
+		if i == last {
+			// The last generation has no further generation to catch what
+			// it evicts; cover nearly everything it retires.
+			age = gs.AgeQ99
+		}
+		fillRate := float64(gs.Claims) / c.cfg.Epoch.Seconds()
+		required := int(age.Seconds()*fillRate) + 1 + k + c.cfg.Margin
+		if required < core.MinBlocksAdaptive {
+			required = core.MinBlocksAdaptive
+		}
+		slack := c.lm.GenSize(i) - required
+		if slack <= 0 {
+			continue
+		}
+		want := slack
+		if want > c.cfg.MaxShrink {
+			want = c.cfg.MaxShrink
+		}
+		got := c.lm.ShrinkGeneration(i, want)
+		if got > 0 {
+			c.shrunk += got
+			c.decisions = append(c.decisions, Decision{
+				At: c.eng.Now(), Gen: i, Shrunk: got,
+				PeakUsed: gs.PeakUsed, Size: c.lm.GenSize(i),
+			})
+		}
+	}
+	c.eng.After(c.cfg.Epoch, c.tick)
+}
+
+// Decisions returns the resize history.
+func (c *Controller) Decisions() []Decision { return c.decisions }
+
+// Grown and Shrunk report total blocks added and removed.
+func (c *Controller) Grown() int  { return c.grownTotal }
+func (c *Controller) Shrunk() int { return c.shrunk }
+
+// Sizes returns the current generation sizes.
+func (c *Controller) Sizes() []int {
+	out := make([]int, c.lm.NumGenerations())
+	for i := range out {
+		out[i] = c.lm.GenSize(i)
+	}
+	return out
+}
+
+// String summarizes the controller's activity.
+func (c *Controller) String() string {
+	return fmt.Sprintf("adaptive: sizes %v after +%d/-%d blocks over %d decisions",
+		c.Sizes(), c.grownTotal, c.shrunk, len(c.decisions))
+}

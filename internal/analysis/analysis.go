@@ -1,0 +1,171 @@
+// Package analysis provides the closed-form performance model the paper
+// gestures at ("familiarity with queueing theory suggests...", section 4):
+// back-of-envelope predictions for log traffic, minimum disk space, flush
+// utilization, backlog and I/O locality, derived purely from the workload
+// parameters. The test suite checks the simulator against these
+// predictions — theory validating simulation and vice versa — and the
+// predictions make good starting points for the search harness and the
+// adaptive controller.
+package analysis
+
+import (
+	"math"
+
+	"ellog/internal/core"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// Model holds the derived quantities for one workload configuration.
+type Model struct {
+	// Log traffic.
+	UpdatesPerSec  float64 // data records per second
+	LogBytesPerSec float64 // payload entering the log
+	LogBlocksPS    float64 // block writes per second for a pure append log
+
+	// Transaction population (Little's law: N = lambda * T).
+	ActiveTxs float64 // mean concurrently active transactions
+
+	// Space.
+	FWMinBlocks   float64 // firewall: everything since the oldest active tx
+	Gen0MinBlocks float64 // EL generation 0: short records must die in place
+	Gen1MinBlocks float64 // EL generation 1 (no recirc): residual long records
+
+	// Memory (the paper's per-entry estimates).
+	FWMemBytes float64
+	ELMemBytes float64
+
+	// Flushing (M/D/1-ish).
+	FlushRho      float64 // utilization
+	FlushBacklog  float64 // mean queue length (whole array)
+	FlushLocality float64 // expected inter-flush oid distance per drive
+}
+
+// Inputs bundles what the model needs.
+type Inputs struct {
+	Mix          workload.Mix
+	ArrivalRate  float64
+	NumObjects   uint64
+	FlushDrives  int
+	FlushXfer    sim.Time
+	BlockPayload int      // default 2000
+	TxRecSize    int      // default 8
+	CommitDelay  sim.Time // mean group-commit delay; ~60 ms at the paper's rates
+	ThresholdK   int      // default 2
+}
+
+// Derive computes the model.
+func Derive(in Inputs) Model {
+	if in.BlockPayload == 0 {
+		in.BlockPayload = core.DefaultBlockPayload
+	}
+	if in.TxRecSize == 0 {
+		in.TxRecSize = core.DefaultTxRecSize
+	}
+	if in.CommitDelay == 0 {
+		// Mean time for a buffer to fill is payload/bytesPerSec; a commit
+		// waits on average half of that plus the 15 ms transfer.
+		bytesPS := in.Mix.LogBytesPerSecond(in.ArrivalRate, in.TxRecSize)
+		in.CommitDelay = sim.Time(float64(in.BlockPayload)/bytesPS/2*float64(sim.Second)) +
+			core.DefaultWriteLatency
+	}
+	if in.ThresholdK == 0 {
+		in.ThresholdK = core.DefaultThresholdK
+	}
+
+	var m Model
+	m.UpdatesPerSec = in.Mix.UpdatesPerSecond(in.ArrivalRate)
+	m.LogBytesPerSec = in.Mix.LogBytesPerSecond(in.ArrivalRate, in.TxRecSize)
+	m.LogBlocksPS = m.LogBytesPerSec / float64(in.BlockPayload)
+
+	var maxLife, shortLife sim.Time
+	for _, t := range in.Mix {
+		if t.Lifetime > maxLife {
+			maxLife = t.Lifetime
+		}
+		m.ActiveTxs += t.Prob * in.ArrivalRate * t.Lifetime.Seconds()
+	}
+	shortLife = maxLife
+	for _, t := range in.Mix {
+		if t.Lifetime < shortLife {
+			shortLife = t.Lifetime
+		}
+	}
+
+	// FW: the log must hold every record written during the longest
+	// transaction's life (plus its commit acknowledgement), plus the gap.
+	fwWindow := maxLife + in.CommitDelay
+	m.FWMinBlocks = m.LogBlocksPS*fwWindow.Seconds() + float64(in.ThresholdK) + 1
+
+	// EL generation 0: a record of the shortest (dominant) transactions,
+	// written at worst right after BEGIN, must become garbage — commit
+	// durable plus a small flush wait — before the head comes around.
+	gen0Window := shortLife + in.CommitDelay + 2*in.FlushXfer
+	m.Gen0MinBlocks = m.LogBlocksPS*gen0Window.Seconds() + float64(in.ThresholdK) + 1
+
+	// EL generation 1 (no recirculation): the records surviving generation
+	// 0 belong to longer transactions; they trickle in at the long types'
+	// byte rate and must live out the rest of those lifetimes.
+	longBytesPS := 0.0
+	for _, t := range in.Mix {
+		if t.Lifetime > shortLife {
+			longBytesPS += t.Prob * in.ArrivalRate *
+				(float64(t.NumRecords*t.RecordSize) + 2*float64(in.TxRecSize))
+		}
+	}
+	gen0Transit := gen0Window
+	residual := maxLife + in.CommitDelay - gen0Transit
+	if residual < 0 {
+		residual = 0
+	}
+	m.Gen1MinBlocks = longBytesPS/float64(in.BlockPayload)*residual.Seconds() +
+		float64(in.ThresholdK) + 1
+
+	// Memory.
+	m.FWMemBytes = float64(core.MemPerTxFW) * m.ActiveTxs
+	// EL's LTT also covers committed-but-unflushed transactions and the
+	// LOT their updates; with healthy flushing the backlog is small, so
+	// active transactions plus their in-flight updates dominate.
+	unflushed := m.UpdatesPerSec * (in.CommitDelay.Seconds() + in.FlushXfer.Seconds()*2)
+	liveUpdates := 0.0
+	for _, t := range in.Mix {
+		// Updates are written uniformly over the lifetime: half are
+		// present on average while the transaction is active.
+		liveUpdates += t.Prob * in.ArrivalRate * t.Lifetime.Seconds() * float64(t.NumRecords) / 2
+	}
+	m.ELMemBytes = float64(core.MemPerTxEL)*(m.ActiveTxs+unflushed/4) +
+		float64(core.MemPerObjEL)*(liveUpdates+unflushed)
+
+	// Flushing: D parallel drives, deterministic service.
+	mu := float64(in.FlushDrives) / in.FlushXfer.Seconds()
+	m.FlushRho = m.UpdatesPerSec / mu
+	if m.FlushRho < 1 {
+		// M/D/1 mean queue (waiting) per drive, times drives, plus those
+		// in service.
+		rho := m.FlushRho
+		m.FlushBacklog = rho*rho/(2*(1-rho)) + rho*float64(in.FlushDrives)
+	} else {
+		m.FlushBacklog = math.Inf(1)
+	}
+	// Shortest-seek over q uniformly scattered pending oids in a drive's
+	// range R wrapping circularly: E[min distance] ~ (R/2)/(q+1).
+	perDrive := float64(in.NumObjects) / float64(in.FlushDrives)
+	qPerDrive := m.FlushBacklog / float64(in.FlushDrives)
+	if math.IsInf(qPerDrive, 1) {
+		m.FlushLocality = 0
+	} else {
+		m.FlushLocality = perDrive / 2 / (qPerDrive + 1)
+	}
+	return m
+}
+
+// PaperInputs returns the inputs for the paper's frame at the given mix.
+func PaperInputs(fracLong float64) Inputs {
+	return Inputs{
+		Mix:         workload.PaperMix(fracLong),
+		ArrivalRate: 100,
+		NumObjects:  10_000_000,
+		FlushDrives: 10,
+		FlushXfer:   25 * sim.Millisecond,
+	}
+}

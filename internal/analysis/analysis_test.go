@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/sim"
+)
+
+// within asserts |got-want|/want <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Fatalf("%s: model %v vs measured %v (tolerance %.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestClosedFormRates(t *testing.T) {
+	m := Derive(PaperInputs(0.05))
+	// Section 4's own numbers.
+	within(t, "updates/s", m.UpdatesPerSec, 210, 1e-9)
+	within(t, "bytes/s", m.LogBytesPerSec, 22600, 1e-9)
+	// 145 mean active transactions by Little's law.
+	within(t, "active txs", m.ActiveTxs, 145, 1e-9)
+	m40 := Derive(PaperInputs(0.40))
+	within(t, "updates/s @40%", m40.UpdatesPerSec, 280, 1e-9)
+}
+
+func simulated(t *testing.T, mode core.Mode, sizes []int) harness.Result {
+	t.Helper()
+	cfg := harness.PaperDefaults(0.05)
+	cfg.LM = core.Params{Mode: mode, GenSizes: sizes}
+	cfg.Workload.Runtime = 60 * sim.Second
+	cfg.Workload.NumObjects = 1_000_000
+	cfg.Flush.NumObjects = 1_000_000
+	res, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestModelPredictsBandwidth(t *testing.T) {
+	in := PaperInputs(0.05)
+	in.NumObjects = 1_000_000
+	m := Derive(in)
+	res := simulated(t, core.ModeFirewall, []int{200})
+	// A pure append log's block rate, within block-packing slack.
+	within(t, "FW bandwidth", m.LogBlocksPS, res.LM.TotalBandwidth, 0.10)
+}
+
+func TestModelPredictsFWSpace(t *testing.T) {
+	in := PaperInputs(0.05)
+	in.NumObjects = 1_000_000
+	m := Derive(in)
+	// The paper (and our search) put the FW minimum at ~121-123 blocks.
+	within(t, "FW min space", m.FWMinBlocks, 123, 0.15)
+}
+
+func TestModelPredictsGen0(t *testing.T) {
+	m := Derive(PaperInputs(0.05))
+	// The paper's generation 0 minimum is 18 blocks (ours 16-21).
+	within(t, "gen0 min", m.Gen0MinBlocks, 18, 0.35)
+	if m.Gen1MinBlocks < 8 || m.Gen1MinBlocks > 24 {
+		t.Fatalf("gen1 min %v outside the plausible 8-24 (paper: 16)", m.Gen1MinBlocks)
+	}
+}
+
+func TestModelPredictsMemory(t *testing.T) {
+	in := PaperInputs(0.05)
+	in.NumObjects = 1_000_000
+	m := Derive(in)
+	res := simulated(t, core.ModeFirewall, []int{200})
+	within(t, "FW memory", m.FWMemBytes, res.LM.MemPeakBytes, 0.35)
+	el := simulated(t, core.ModeEphemeral, []int{18, 16})
+	within(t, "EL memory", m.ELMemBytes, el.LM.MemPeakBytes, 0.45)
+}
+
+func TestModelPredictsFlushBehaviour(t *testing.T) {
+	in := PaperInputs(0.05)
+	in.NumObjects = 1_000_000
+	m := Derive(in)
+	res := simulated(t, core.ModeEphemeral, []int{18, 16})
+	within(t, "flush utilization", m.FlushRho, res.LM.Flush.BusyFrac, 0.10)
+	// Locality: expected inter-flush distance within a factor of two.
+	ratio := m.FlushLocality / res.LM.Flush.AvgDistance
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("flush locality: model %v vs measured %v", m.FlushLocality, res.LM.Flush.AvgDistance)
+	}
+}
+
+func TestScarceFlushSaturation(t *testing.T) {
+	in := PaperInputs(0.05)
+	in.FlushXfer = 45 * sim.Millisecond
+	m := Derive(in)
+	// 210/222 ~ 0.945: near saturation, large backlog, much better locality.
+	within(t, "scarce rho", m.FlushRho, 0.945, 0.01)
+	if m.FlushBacklog < 15 {
+		t.Fatalf("scarce backlog %v too small", m.FlushBacklog)
+	}
+	healthy := Derive(PaperInputs(0.05))
+	if m.FlushLocality >= healthy.FlushLocality {
+		t.Fatalf("model does not predict the locality gain: %v vs %v", m.FlushLocality, healthy.FlushLocality)
+	}
+}
+
+func TestOverloadedFlushIsInfinite(t *testing.T) {
+	in := PaperInputs(0.40) // 280 updates/s
+	in.FlushXfer = 45 * sim.Millisecond
+	m := Derive(in)
+	if !math.IsInf(m.FlushBacklog, 1) {
+		t.Fatalf("overloaded backlog finite: %v", m.FlushBacklog)
+	}
+	if m.FlushLocality != 0 {
+		t.Fatalf("overloaded locality should be reported as 0, got %v", m.FlushLocality)
+	}
+}
+
+func TestModelScalesWithMix(t *testing.T) {
+	m5 := Derive(PaperInputs(0.05))
+	m40 := Derive(PaperInputs(0.40))
+	if m40.FWMinBlocks <= m5.FWMinBlocks {
+		t.Fatal("FW space should grow with the long fraction")
+	}
+	if m40.Gen1MinBlocks <= m5.Gen1MinBlocks {
+		t.Fatal("gen1 space should grow with the long fraction")
+	}
+	if m40.ELMemBytes <= m5.ELMemBytes || m40.FWMemBytes <= m5.FWMemBytes {
+		t.Fatal("memory should grow with the long fraction")
+	}
+	// The paper's Figure 4 shape in closed form: EL's advantage shrinks.
+	r5 := m5.FWMinBlocks / (m5.Gen0MinBlocks + m5.Gen1MinBlocks)
+	r40 := m40.FWMinBlocks / (m40.Gen0MinBlocks + m40.Gen1MinBlocks)
+	if r40 >= r5 {
+		t.Fatalf("space ratio did not shrink with the mix: %v -> %v", r5, r40)
+	}
+}

@@ -1,0 +1,157 @@
+// Package blockdev models the disk device that holds the log. The paper's
+// pragmatic constraints (section 2.2) are: information is written in fixed
+// sized blocks (2048 bytes, 48 reserved for bookkeeping, 2000 of payload),
+// a buffer's transfer to disk takes a conservative fixed
+// tau_DiskWrite = 15 ms, and the log area is write-only storage — the
+// logging manager never needs to read it back except during recovery.
+//
+// The device keeps the last durably written bytes of every block, which is
+// exactly the crash image: records sitting in an unwritten buffer at crash
+// time are lost, and a block whose write is still in flight retains its old
+// contents (block writes are assumed atomic; see DESIGN.md).
+package blockdev
+
+import (
+	"fmt"
+
+	"ellog/internal/sim"
+)
+
+// BlockID names one disk block. IDs are allocated by the device and never
+// reused, so a "freed" block's stale bytes remain readable until the block
+// is physically rewritten — the property recirculation relies on.
+// The zero BlockID is never allocated.
+type BlockID uint64
+
+type block struct {
+	gen     int
+	data    []byte // last durable contents; nil until first write completes
+	writes  uint64
+	pending bool
+}
+
+// Stats aggregates device activity for the bandwidth figures.
+type Stats struct {
+	Writes       uint64 // completed block writes
+	Bytes        uint64 // durable payload bytes
+	WritesPerGen map[int]uint64
+}
+
+// Device is the simulated log disk.
+type Device struct {
+	eng     *sim.Engine
+	latency sim.Time
+	nextID  BlockID
+	blocks  map[BlockID]*block
+	stats   Stats
+}
+
+// New returns a device whose block writes complete latency after they are
+// issued (the paper fixes this at 15 ms).
+func New(eng *sim.Engine, latency sim.Time) *Device {
+	if latency < 0 {
+		panic("blockdev: negative write latency")
+	}
+	return &Device{
+		eng:     eng,
+		latency: latency,
+		blocks:  make(map[BlockID]*block),
+		stats:   Stats{WritesPerGen: make(map[int]uint64)},
+	}
+}
+
+// Latency returns the configured block write latency.
+func (d *Device) Latency() sim.Time { return d.latency }
+
+// Alloc reserves a new block belonging to the given generation and returns
+// its ID. Allocation is pure bookkeeping; no simulated time passes.
+func (d *Device) Alloc(gen int) BlockID {
+	d.nextID++
+	id := d.nextID
+	d.blocks[id] = &block{gen: gen}
+	return id
+}
+
+// Write issues an asynchronous write of data to block id. After the
+// device's latency the bytes become durable — replacing the block's
+// previous contents — and done (if non-nil) is invoked. Multiple writes to
+// the same block are legal (recirculation reuses blocks) but may not
+// overlap: the log's circular discipline guarantees a block is not reissued
+// while a write to it is outstanding, and the device asserts it.
+func (d *Device) Write(id BlockID, data []byte, done func()) {
+	b, ok := d.blocks[id]
+	if !ok {
+		panic(fmt.Sprintf("blockdev: write to unallocated block %d", id))
+	}
+	if b.pending {
+		panic(fmt.Sprintf("blockdev: overlapping writes to block %d", id))
+	}
+	b.pending = true
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.eng.After(d.latency, func() {
+		b.pending = false
+		b.data = buf
+		b.writes++
+		d.stats.Writes++
+		d.stats.Bytes += uint64(len(buf))
+		d.stats.WritesPerGen[b.gen]++
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Read returns the durable contents of a block (nil if never written) —
+// used only by the recovery manager; the log is write-only in normal
+// operation.
+func (d *Device) Read(id BlockID) []byte {
+	b, ok := d.blocks[id]
+	if !ok {
+		panic(fmt.Sprintf("blockdev: read of unallocated block %d", id))
+	}
+	return b.data
+}
+
+// Gen returns the generation a block was allocated for.
+func (d *Device) Gen(id BlockID) int {
+	b, ok := d.blocks[id]
+	if !ok {
+		panic(fmt.Sprintf("blockdev: gen of unallocated block %d", id))
+	}
+	return b.gen
+}
+
+// Pending reports whether a write to the block is in flight.
+func (d *Device) Pending(id BlockID) bool {
+	b, ok := d.blocks[id]
+	return ok && b.pending
+}
+
+// NumBlocks reports how many blocks have been allocated.
+func (d *Device) NumBlocks() int { return len(d.blocks) }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats {
+	out := Stats{Writes: d.stats.Writes, Bytes: d.stats.Bytes, WritesPerGen: make(map[int]uint64, len(d.stats.WritesPerGen))}
+	for g, w := range d.stats.WritesPerGen {
+		out.WritesPerGen[g] = w
+	}
+	return out
+}
+
+// RangeDurable calls fn for every block that has durable contents, in
+// allocation order (deterministic). This is the recovery manager's read
+// pass over the entire log area, including blocks the logging manager has
+// logically freed but not yet overwritten.
+func (d *Device) RangeDurable(fn func(id BlockID, gen int, data []byte) bool) {
+	for id := BlockID(1); id <= d.nextID; id++ {
+		b := d.blocks[id]
+		if b == nil || b.data == nil {
+			continue
+		}
+		if !fn(id, b.gen, b.data) {
+			return
+		}
+	}
+}

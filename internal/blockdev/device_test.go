@@ -1,0 +1,177 @@
+package blockdev
+
+import (
+	"testing"
+
+	"ellog/internal/sim"
+)
+
+func TestWriteBecomesDurableAfterLatency(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 15*sim.Millisecond)
+	id := dev.Alloc(0)
+	var doneAt sim.Time = -1
+	dev.Write(id, []byte("hello"), func() { doneAt = eng.Now() })
+
+	eng.Run(14 * sim.Millisecond)
+	if dev.Read(id) != nil {
+		t.Fatal("block durable before latency elapsed")
+	}
+	if !dev.Pending(id) {
+		t.Fatal("write not pending mid-flight")
+	}
+	eng.Run(15 * sim.Millisecond)
+	if string(dev.Read(id)) != "hello" {
+		t.Fatalf("durable contents %q", dev.Read(id))
+	}
+	if doneAt != 15*sim.Millisecond {
+		t.Fatalf("done callback at %v, want 15ms", doneAt)
+	}
+	if dev.Pending(id) {
+		t.Fatal("write still pending after completion")
+	}
+}
+
+func TestRewriteReplacesContents(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	id := dev.Alloc(1)
+	dev.Write(id, []byte("old"), nil)
+	eng.Run(sim.Millisecond)
+	dev.Write(id, []byte("new"), nil)
+	// Before the second write completes, old bytes remain (atomic blocks).
+	if string(dev.Read(id)) != "old" {
+		t.Fatalf("mid-rewrite contents %q, want old", dev.Read(id))
+	}
+	eng.Run(2 * sim.Millisecond)
+	if string(dev.Read(id)) != "new" {
+		t.Fatalf("contents %q after rewrite", dev.Read(id))
+	}
+}
+
+func TestOverlappingWritesPanic(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	id := dev.Alloc(0)
+	dev.Write(id, []byte("a"), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping write did not panic")
+		}
+	}()
+	dev.Write(id, []byte("b"), nil)
+}
+
+func TestWriteToUnallocatedPanics(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to unallocated block did not panic")
+		}
+	}()
+	dev.Write(42, []byte("x"), nil)
+}
+
+func TestStatsPerGeneration(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	g0 := dev.Alloc(0)
+	g1a := dev.Alloc(1)
+	g1b := dev.Alloc(1)
+	dev.Write(g0, make([]byte, 100), nil)
+	dev.Write(g1a, make([]byte, 200), nil)
+	dev.Write(g1b, make([]byte, 300), nil)
+	eng.Run(sim.Second)
+	s := dev.Stats()
+	if s.Writes != 3 {
+		t.Fatalf("Writes = %d, want 3", s.Writes)
+	}
+	if s.Bytes != 600 {
+		t.Fatalf("Bytes = %d, want 600", s.Bytes)
+	}
+	if s.WritesPerGen[0] != 1 || s.WritesPerGen[1] != 2 {
+		t.Fatalf("WritesPerGen = %v", s.WritesPerGen)
+	}
+	// Stats must be a copy.
+	s.WritesPerGen[0] = 99
+	if dev.Stats().WritesPerGen[0] != 1 {
+		t.Fatal("Stats map aliases internal state")
+	}
+}
+
+func TestCrashImageExcludesInFlight(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 10*sim.Millisecond)
+	a := dev.Alloc(0)
+	b := dev.Alloc(0)
+	dev.Write(a, []byte("durable"), nil)
+	eng.Run(10 * sim.Millisecond)
+	dev.Write(b, []byte("lost"), nil)
+	eng.Run(eng.Now() + 1) // crash 1µs later: b's write in flight
+
+	var seen []BlockID
+	dev.RangeDurable(func(id BlockID, gen int, data []byte) bool {
+		seen = append(seen, id)
+		return true
+	})
+	if len(seen) != 1 || seen[0] != a {
+		t.Fatalf("crash image contains %v, want only block %d", seen, a)
+	}
+}
+
+func TestRangeDurableDeterministicOrder(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	var ids []BlockID
+	for i := 0; i < 10; i++ {
+		id := dev.Alloc(i % 2)
+		ids = append(ids, id)
+		dev.Write(id, []byte{byte(i)}, nil)
+	}
+	eng.Run(sim.Second)
+	var got []BlockID
+	dev.RangeDurable(func(id BlockID, gen int, data []byte) bool {
+		got = append(got, id)
+		return true
+	})
+	if len(got) != len(ids) {
+		t.Fatalf("RangeDurable visited %d blocks, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("RangeDurable order %v, want allocation order %v", got, ids)
+		}
+	}
+	// Early stop.
+	n := 0
+	dev.RangeDurable(func(BlockID, int, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("RangeDurable after false: %d visits", n)
+	}
+}
+
+func TestWriteCopiesCallerBuffer(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	id := dev.Alloc(0)
+	buf := []byte("original")
+	dev.Write(id, buf, nil)
+	copy(buf, "clobber!")
+	eng.Run(sim.Second)
+	if string(dev.Read(id)) != "original" {
+		t.Fatalf("device aliased caller buffer: %q", dev.Read(id))
+	}
+}
+
+func TestGenLookup(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	id := dev.Alloc(3)
+	if dev.Gen(id) != 3 {
+		t.Fatalf("Gen = %d, want 3", dev.Gen(id))
+	}
+	if dev.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d", dev.NumBlocks())
+	}
+}

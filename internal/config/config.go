@@ -1,0 +1,148 @@
+// Package config provides a JSON-serializable description of a simulation
+// run, mirroring the input parameters of the paper's simulator (section 3):
+// the statistical mix of transactions (pdf), the rate of transaction
+// initiation, the flush rate (drives and per-object transfer time), the
+// number and size of generations, the recirculation flag and the runtime.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// TxTypeJSON is one transaction type of the pdf. Durations are in
+// milliseconds for JSON friendliness.
+type TxTypeJSON struct {
+	Name       string  `json:"name"`
+	Prob       float64 `json:"prob"`
+	LifetimeMS int64   `json:"lifetime_ms"`
+	NumRecords int     `json:"num_records"`
+	RecordSize int     `json:"record_size"`
+}
+
+// SimConfig is the JSON form of a full simulation run.
+type SimConfig struct {
+	Seed uint64 `json:"seed"`
+
+	// Technique: "el" or "fw".
+	Mode        string `json:"mode"`
+	Generations []int  `json:"generations"`
+	Recirculate bool   `json:"recirculate"`
+	// LifetimeHintsMS optionally enables the section-6 placement
+	// extension: boundary lifetimes (ms) between consecutive generations.
+	LifetimeHintsMS []int64 `json:"lifetime_hints_ms,omitempty"`
+	// GroupCommitTimeoutMS bounds commit latency in quiet generations
+	// (0 = pure group commit, as in the paper).
+	GroupCommitTimeoutMS int64 `json:"group_commit_timeout_ms,omitempty"`
+
+	// Workload.
+	Mix         []TxTypeJSON `json:"mix"`
+	ArrivalRate float64      `json:"arrival_rate_tps"`
+	RuntimeS    float64      `json:"runtime_s"`
+	NumObjects  uint64       `json:"num_objects"`
+
+	// Flushing.
+	FlushDrives     int   `json:"flush_drives"`
+	FlushTransferMS int64 `json:"flush_transfer_ms"`
+}
+
+// Default returns the paper's 5%-mix EL configuration at its measured
+// minimum sizes.
+func Default() SimConfig {
+	return SimConfig{
+		Seed:        1,
+		Mode:        "el",
+		Generations: []int{18, 16},
+		Recirculate: false,
+		Mix: []TxTypeJSON{
+			{Name: "short-1s", Prob: 0.95, LifetimeMS: 1000, NumRecords: 2, RecordSize: 100},
+			{Name: "long-10s", Prob: 0.05, LifetimeMS: 10000, NumRecords: 4, RecordSize: 100},
+		},
+		ArrivalRate:     100,
+		RuntimeS:        500,
+		NumObjects:      10_000_000,
+		FlushDrives:     10,
+		FlushTransferMS: 25,
+	}
+}
+
+// Load reads a SimConfig from a JSON file.
+func Load(path string) (SimConfig, error) {
+	var cfg SimConfig
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return cfg, fmt.Errorf("config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Save writes the configuration as indented JSON.
+func (c SimConfig) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ToHarness converts to a runnable harness configuration.
+func (c SimConfig) ToHarness() (harness.Config, error) {
+	var mode core.Mode
+	switch c.Mode {
+	case "el", "EL", "":
+		mode = core.ModeEphemeral
+	case "fw", "FW":
+		mode = core.ModeFirewall
+	default:
+		return harness.Config{}, fmt.Errorf("config: unknown mode %q (want \"el\" or \"fw\")", c.Mode)
+	}
+	mix := make(workload.Mix, 0, len(c.Mix))
+	for _, t := range c.Mix {
+		mix = append(mix, workload.TxType{
+			Name:       t.Name,
+			Prob:       t.Prob,
+			Lifetime:   sim.Time(t.LifetimeMS) * sim.Millisecond,
+			NumRecords: t.NumRecords,
+			RecordSize: t.RecordSize,
+		})
+	}
+	var hints []sim.Time
+	for _, h := range c.LifetimeHintsMS {
+		hints = append(hints, sim.Time(h)*sim.Millisecond)
+	}
+	cfg := harness.Config{
+		Seed: c.Seed,
+		LM: core.Params{
+			Mode:               mode,
+			GenSizes:           append([]int(nil), c.Generations...),
+			Recirculate:        c.Recirculate,
+			HintBoundaries:     hints,
+			GroupCommitTimeout: sim.Time(c.GroupCommitTimeoutMS) * sim.Millisecond,
+		},
+		Flush: core.FlushConfig{
+			Drives:     c.FlushDrives,
+			Transfer:   sim.Time(c.FlushTransferMS) * sim.Millisecond,
+			NumObjects: c.NumObjects,
+		},
+		Workload: workload.Config{
+			Mix:         mix,
+			ArrivalRate: c.ArrivalRate,
+			Runtime:     sim.Time(c.RuntimeS * float64(sim.Second)),
+			NumObjects:  c.NumObjects,
+			Hints:       len(hints) > 0,
+		},
+	}
+	if err := mix.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,108 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/sim"
+)
+
+func TestDefaultRoundTripsThroughJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := Default().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mode != "el" || len(loaded.Generations) != 2 || loaded.ArrivalRate != 100 {
+		t.Fatalf("round trip lost fields: %+v", loaded)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/cfg.json"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestLoadBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("bad JSON loaded")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestToHarnessConversion(t *testing.T) {
+	cfg := Default()
+	cfg.LifetimeHintsMS = []int64{2000}
+	cfg.GroupCommitTimeoutMS = 50
+	h, err := cfg.ToHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LM.Mode != core.ModeEphemeral {
+		t.Fatal("mode wrong")
+	}
+	if h.LM.GroupCommitTimeout != 50*sim.Millisecond {
+		t.Fatal("group commit timeout wrong")
+	}
+	if len(h.LM.HintBoundaries) != 1 || h.LM.HintBoundaries[0] != 2*sim.Second {
+		t.Fatal("hints wrong")
+	}
+	if !h.Workload.Hints {
+		t.Fatal("workload hints not enabled")
+	}
+	if h.Workload.Runtime != 500*sim.Second {
+		t.Fatalf("runtime %v", h.Workload.Runtime)
+	}
+	if h.Flush.Transfer != 25*sim.Millisecond || h.Flush.Drives != 10 {
+		t.Fatal("flush config wrong")
+	}
+}
+
+func TestToHarnessRejectsBadMode(t *testing.T) {
+	cfg := Default()
+	cfg.Mode = "wal"
+	if _, err := cfg.ToHarness(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestToHarnessRejectsBadMix(t *testing.T) {
+	cfg := Default()
+	cfg.Mix[0].Prob = 0.1 // sums to 0.15
+	if _, err := cfg.ToHarness(); err == nil {
+		t.Fatal("bad pdf accepted")
+	}
+}
+
+func TestDefaultConfigRuns(t *testing.T) {
+	cfg := Default()
+	cfg.RuntimeS = 5
+	cfg.NumObjects = 1_000_000
+	h, err := cfg.ToHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload.Started != 500 {
+		t.Fatalf("started %d, want 500", res.Workload.Started)
+	}
+}

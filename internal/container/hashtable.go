@@ -1,0 +1,133 @@
+// Package container provides the in-memory data structures prescribed by
+// the paper for the logging manager's bookkeeping: a chained hash table
+// (section 2.3 calls for hash tables with chaining, "rather than open
+// addressing", for both the logged object table and the logged transaction
+// table, because of their dynamic membership) and a treap-based ordered set
+// used by the flush scheduler to find the pending object nearest a disk
+// head position.
+package container
+
+// Table is a chained hash table mapping uint64 keys (object identifiers or
+// transaction identifiers) to values of type V. Buckets grow by doubling
+// when the load factor exceeds 4 and shrink when it falls below 1/8, so the
+// table tracks the highly dynamic membership the paper describes without
+// retaining peak-sized storage forever.
+type Table[V any] struct {
+	buckets []*tableNode[V]
+	n       int
+}
+
+type tableNode[V any] struct {
+	key  uint64
+	val  V
+	next *tableNode[V]
+}
+
+const (
+	tableMinBuckets = 8
+	tableMaxLoad    = 4 // resize up when n > load*buckets
+	tableMinLoad    = 8 // resize down when n*minLoad < buckets
+)
+
+// NewTable returns an empty table.
+func NewTable[V any]() *Table[V] {
+	return &Table[V]{buckets: make([]*tableNode[V], tableMinBuckets)}
+}
+
+// Len reports the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// hash mixes the key so that sequential identifiers spread across buckets.
+// This is the 64-bit finalizer from SplitMix64.
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (t *Table[V]) bucket(key uint64) int {
+	return int(hash(key) & uint64(len(t.buckets)-1))
+}
+
+// Get returns the value stored under key and whether it was present.
+func (t *Table[V]) Get(key uint64) (V, bool) {
+	for n := t.buckets[t.bucket(key)]; n != nil; n = n.next {
+		if n.key == key {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores val under key, replacing any previous value. It reports
+// whether the key was newly inserted.
+func (t *Table[V]) Put(key uint64, val V) bool {
+	b := t.bucket(key)
+	for n := t.buckets[b]; n != nil; n = n.next {
+		if n.key == key {
+			n.val = val
+			return false
+		}
+	}
+	t.buckets[b] = &tableNode[V]{key: key, val: val, next: t.buckets[b]}
+	t.n++
+	if t.n > tableMaxLoad*len(t.buckets) {
+		t.resize(len(t.buckets) * 2)
+	}
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Table[V]) Delete(key uint64) bool {
+	b := t.bucket(key)
+	prev := &t.buckets[b]
+	for n := *prev; n != nil; n = n.next {
+		if n.key == key {
+			*prev = n.next
+			t.n--
+			if len(t.buckets) > tableMinBuckets && t.n*tableMinLoad < len(t.buckets) {
+				t.resize(len(t.buckets) / 2)
+			}
+			return true
+		}
+		prev = &n.next
+	}
+	return false
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order is
+// unspecified. The table must not be mutated during Range.
+func (t *Table[V]) Range(fn func(key uint64, val V) bool) {
+	for _, head := range t.buckets {
+		for n := head; n != nil; n = n.next {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns all keys in unspecified order.
+func (t *Table[V]) Keys() []uint64 {
+	out := make([]uint64, 0, t.n)
+	t.Range(func(k uint64, _ V) bool { out = append(out, k); return true })
+	return out
+}
+
+func (t *Table[V]) resize(size int) {
+	old := t.buckets
+	t.buckets = make([]*tableNode[V], size)
+	for _, head := range old {
+		for n := head; n != nil; {
+			next := n.next
+			b := t.bucket(n.key)
+			n.next = t.buckets[b]
+			t.buckets[b] = n
+			n = next
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package container
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableBasic(t *testing.T) {
+	tb := NewTable[string]()
+	if tb.Len() != 0 {
+		t.Fatal("new table not empty")
+	}
+	if !tb.Put(1, "a") {
+		t.Fatal("Put of new key returned false")
+	}
+	if tb.Put(1, "b") {
+		t.Fatal("Put of existing key returned true")
+	}
+	v, ok := tb.Get(1)
+	if !ok || v != "b" {
+		t.Fatalf("Get(1) = %q,%v want b,true", v, ok)
+	}
+	if _, ok := tb.Get(2); ok {
+		t.Fatal("Get of absent key returned ok")
+	}
+	if !tb.Delete(1) {
+		t.Fatal("Delete of present key returned false")
+	}
+	if tb.Delete(1) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", tb.Len())
+	}
+}
+
+func TestTableGrowShrink(t *testing.T) {
+	tb := NewTable[int]()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		tb.Put(i, int(i*3))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	if len(tb.buckets) <= tableMinBuckets {
+		t.Fatalf("table did not grow: %d buckets", len(tb.buckets))
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tb.Get(i)
+		if !ok || v != int(i*3) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if !tb.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if len(tb.buckets) != tableMinBuckets {
+		t.Fatalf("table did not shrink: %d buckets", len(tb.buckets))
+	}
+}
+
+func TestTableRangeAndKeys(t *testing.T) {
+	tb := NewTable[int]()
+	want := map[uint64]int{}
+	for i := uint64(0); i < 100; i++ {
+		tb.Put(i, int(i))
+		want[i] = int(i)
+	}
+	got := map[uint64]int{}
+	tb.Range(func(k uint64, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range: key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	visits := 0
+	tb.Range(func(uint64, int) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("Range after false: %d visits, want 1", visits)
+	}
+	if len(tb.Keys()) != 100 {
+		t.Fatalf("Keys() returned %d keys, want 100", len(tb.Keys()))
+	}
+}
+
+// TestTableMatchesMapModel drives the table with a random operation
+// sequence and cross-checks every result against Go's built-in map.
+func TestTableMatchesMapModel(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		tb := NewTable[uint64]()
+		model := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			key := uint64(rng.IntN(300)) // small key space forces collisions
+			switch rng.IntN(3) {
+			case 0:
+				val := rng.Uint64()
+				_, existed := model[key]
+				if tb.Put(key, val) != !existed {
+					return false
+				}
+				model[key] = val
+			case 1:
+				v, ok := tb.Get(key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 2:
+				_, existed := model[key]
+				if tb.Delete(key) != existed {
+					return false
+				}
+				delete(model, key)
+			}
+			if tb.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAdversarialKeys(t *testing.T) {
+	// Keys that collide trivially without mixing: multiples of the bucket
+	// count. The SplitMix64 finalizer must still spread them.
+	tb := NewTable[int]()
+	for i := uint64(0); i < 4096; i++ {
+		tb.Put(i*uint64(tableMinBuckets)*1024, int(i))
+	}
+	maxChain := 0
+	for _, head := range tb.buckets {
+		n := 0
+		for node := head; node != nil; node = node.next {
+			n++
+		}
+		if n > maxChain {
+			maxChain = n
+		}
+	}
+	if maxChain > 32 {
+		t.Fatalf("pathological chain length %d for structured keys", maxChain)
+	}
+}
+
+func BenchmarkTablePutGetDelete(b *testing.B) {
+	tb := NewTable[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 50000)
+		tb.Put(k, i)
+		tb.Get(k)
+		if i%2 == 1 {
+			tb.Delete(k)
+		}
+	}
+}

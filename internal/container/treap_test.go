@@ -1,0 +1,243 @@
+package container
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreapBasic(t *testing.T) {
+	tr := NewTreap[string](1)
+	if tr.Len() != 0 {
+		t.Fatal("new treap not empty")
+	}
+	if !tr.Put(5, "five") {
+		t.Fatal("Put of new key returned false")
+	}
+	if tr.Put(5, "FIVE") {
+		t.Fatal("Put of existing key returned true")
+	}
+	v, ok := tr.Get(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Get(5) = %q,%v", v, ok)
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Fatal("Delete semantics wrong")
+	}
+}
+
+func TestTreapOrderedQueries(t *testing.T) {
+	tr := NewTreap[int](7)
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		tr.Put(k, int(k))
+	}
+	if k, _, ok := tr.Min(); !ok || k != 10 {
+		t.Fatalf("Min = %d,%v want 10", k, ok)
+	}
+	if k, _, ok := tr.Max(); !ok || k != 50 {
+		t.Fatalf("Max = %d,%v want 50", k, ok)
+	}
+	cases := []struct {
+		q        uint64
+		ceil     uint64
+		ceilOK   bool
+		floor    uint64
+		floorOK  bool
+		haveBoth bool
+	}{
+		{q: 0, ceil: 10, ceilOK: true, floorOK: false},
+		{q: 10, ceil: 10, ceilOK: true, floor: 10, floorOK: true},
+		{q: 25, ceil: 30, ceilOK: true, floor: 20, floorOK: true},
+		{q: 50, ceil: 50, ceilOK: true, floor: 50, floorOK: true},
+		{q: 51, ceilOK: false, floor: 50, floorOK: true},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Ceiling(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceil) {
+			t.Errorf("Ceiling(%d) = %d,%v want %d,%v", c.q, k, ok, c.ceil, c.ceilOK)
+		}
+		k, _, ok = tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floor) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.q, k, ok, c.floor, c.floorOK)
+		}
+	}
+}
+
+func TestTreapEmptyQueries(t *testing.T) {
+	tr := NewTreap[int](3)
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty treap returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty treap returned ok")
+	}
+	if _, _, ok := tr.Ceiling(5); ok {
+		t.Fatal("Ceiling on empty treap returned ok")
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor on empty treap returned ok")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty treap returned ok")
+	}
+}
+
+func TestTreapRangeSorted(t *testing.T) {
+	tr := NewTreap[int](11)
+	rng := rand.New(rand.NewPCG(5, 6))
+	inserted := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64() % 1000
+		tr.Put(k, int(k))
+		inserted[k] = true
+	}
+	var keys []uint64
+	tr.Range(func(k uint64, _ int) bool { keys = append(keys, k); return true })
+	if len(keys) != len(inserted) {
+		t.Fatalf("Range visited %d keys, want %d", len(keys), len(inserted))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Range not in ascending order")
+	}
+	// Early termination.
+	visits := 0
+	tr.Range(func(uint64, int) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("Range after false: %d visits", visits)
+	}
+}
+
+// TestTreapMatchesSortedModel cross-checks the treap against a sorted-slice
+// model under random Put/Delete/Ceiling/Floor traffic.
+func TestTreapMatchesSortedModel(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		tr := NewTreap[uint64](seed)
+		model := map[uint64]uint64{}
+		sortedKeys := func() []uint64 {
+			ks := make([]uint64, 0, len(model))
+			for k := range model {
+				ks = append(ks, k)
+			}
+			sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+			return ks
+		}
+		for op := 0; op < 1500; op++ {
+			key := uint64(rng.IntN(200))
+			switch rng.IntN(4) {
+			case 0:
+				val := rng.Uint64()
+				_, existed := model[key]
+				if tr.Put(key, val) != !existed {
+					return false
+				}
+				model[key] = val
+			case 1:
+				_, existed := model[key]
+				if tr.Delete(key) != existed {
+					return false
+				}
+				delete(model, key)
+			case 2:
+				k, v, ok := tr.Ceiling(key)
+				var want uint64
+				found := false
+				for _, mk := range sortedKeys() {
+					if mk >= key {
+						want, found = mk, true
+						break
+					}
+				}
+				if ok != found || (ok && (k != want || v != model[want])) {
+					return false
+				}
+			case 3:
+				k, v, ok := tr.Floor(key)
+				var want uint64
+				found := false
+				ks := sortedKeys()
+				for i := len(ks) - 1; i >= 0; i-- {
+					if ks[i] <= key {
+						want, found = ks[i], true
+						break
+					}
+				}
+				if ok != found || (ok && (k != want || v != model[want])) {
+					return false
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreapBalance inserts sequential keys (the worst case for an unbalanced
+// BST) and verifies the depth stays logarithmic.
+func TestTreapBalance(t *testing.T) {
+	tr := NewTreap[int](123)
+	const n = 1 << 14
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, int(i))
+	}
+	var depth func(*treapNode[int]) int
+	depth = func(nd *treapNode[int]) int {
+		if nd == nil {
+			return 0
+		}
+		l, r := depth(nd.left), depth(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	d := depth(tr.root)
+	// Expected depth ~ 3*log2(n) with overwhelming probability.
+	if d > 3*14+10 {
+		t.Fatalf("treap depth %d for %d sequential keys — degenerate balance", d, n)
+	}
+}
+
+func TestTreapHeapProperty(t *testing.T) {
+	tr := NewTreap[int](321)
+	rng := rand.New(rand.NewPCG(9, 8))
+	for i := 0; i < 2000; i++ {
+		tr.Put(rng.Uint64()%5000, i)
+	}
+	var check func(*treapNode[int]) bool
+	check = func(n *treapNode[int]) bool {
+		if n == nil {
+			return true
+		}
+		if n.left != nil && (n.left.prio > n.prio || n.left.key >= n.key) {
+			return false
+		}
+		if n.right != nil && (n.right.prio > n.prio || n.right.key <= n.key) {
+			return false
+		}
+		return check(n.left) && check(n.right)
+	}
+	if !check(tr.root) {
+		t.Fatal("treap violates heap/BST invariants")
+	}
+}
+
+func BenchmarkTreapPutDeleteCeiling(b *testing.B) {
+	tr := NewTreap[int](77)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := rng.Uint64() % 100000
+		tr.Put(k, i)
+		tr.Ceiling(rng.Uint64() % 100000)
+		if i%2 == 1 {
+			tr.Delete(k)
+		}
+	}
+}

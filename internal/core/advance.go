@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"ellog/internal/flushdisk"
+	"ellog/internal/logrec"
+	"ellog/internal/trace"
+)
+
+// advanceHead frees the block at generation g's head, dealing with every
+// log record in it: garbage records are passed over, non-garbage records
+// are forwarded to the next generation or — in the last generation —
+// recirculated (or, with recirculation off, resolved by killing or force
+// flushing). It reports whether the head moved; false means the head slot
+// is not yet durable (the tail has caught up with in-flight writes) or the
+// generation is empty, and the caller must make space some other way.
+func (m *Manager) advanceHead(g *generation) bool {
+	s := g.headSlot()
+	if s == nil || s.state != slotDurable {
+		return false
+	}
+	cells := g.list.oldestInSlot(s)
+	if len(cells) == 0 {
+		// Every record in the head block is garbage: conceptually thrown
+		// in the garbage pail, physically just passed over.
+		g.freeHeadSlot()
+		m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+		m.emit(trace.Event{Kind: trace.EvDiscard, Gen: g.idx})
+		return true
+	}
+	if g.idx < m.lastGen() {
+		m.forwardBatch(g, s, cells)
+		return true
+	}
+	if m.p.Mode == ModeFirewall || !m.p.Recirculate {
+		return m.clearLastHead(g)
+	}
+	m.recirculateHead(g, s, cells)
+	return true
+}
+
+// forwardBatch moves the head block's non-garbage records to the next
+// generation's tail and then "works backward from the head to gather
+// enough other non-garbage log records to fill the buffer" destined for
+// generation i+1, which is then written immediately (section 2.2).
+func (m *Manager) forwardBatch(g *generation, s *slot, cells []*cell) {
+	for _, c := range cells {
+		g.list.remove(c)
+	}
+	g.freeHeadSlot()
+	m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+	target := g.idx + 1
+	for _, c := range cells {
+		m.appendTail(target, c, s)
+		m.forwardedRecs.Inc()
+		g.epochOut++
+	}
+	// Top off the outgoing buffer from the blocks now at the head, freeing
+	// any block drained completely.
+	tg := m.gens[target]
+	for m.tailFree(tg) > 0 && g.used > 0 {
+		s2 := g.headSlot()
+		if s2.state != slotDurable {
+			break
+		}
+		cs := g.list.oldestInSlot(s2)
+		moved := 0
+		for _, c := range cs {
+			if c.rec.Size > m.tailFree(tg) {
+				break
+			}
+			g.list.remove(c)
+			m.appendTail(target, c, s2)
+			m.forwardedRecs.Inc()
+			g.epochOut++
+			moved++
+		}
+		if moved < len(cs) {
+			break // buffer cannot take the block's next record
+		}
+		g.freeHeadSlot()
+		m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+	}
+	m.emit(trace.Event{Kind: trace.EvForward, Gen: g.idx, N: len(cells)})
+	// Forwarded records must be immediately written to disk.
+	m.sealTail(tg)
+}
+
+// recirculateHead drains the last generation's head block into the pending
+// recirculation buffer and frees the block. The drained records' stale
+// copies keep them durable until the buffer is written at the tail.
+func (m *Manager) recirculateHead(g *generation, s *slot, cells []*cell) {
+	for _, c := range cells {
+		g.list.remove(c)
+	}
+	g.freeHeadSlot()
+	m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+	for _, c := range cells {
+		m.appendTail(g.idx, c, s)
+		m.recircRecs.Inc()
+	}
+	m.emit(trace.Event{Kind: trace.EvRecirculate, Gen: g.idx, N: len(cells)})
+}
+
+// clearLastHead handles a non-garbage record reaching the head of the last
+// generation with recirculation off: an active transaction is killed (the
+// FW discipline and the paper's recirculation-off EL experiments), a
+// committed-but-unflushed update is force flushed (random I/O), and a
+// committed transaction's tx record is resolved by flushing its remaining
+// updates. Records of committing (not yet durable) transactions cannot be
+// resolved synchronously, in which case the head stays put and the caller
+// falls back to other victims.
+func (m *Manager) clearLastHead(g *generation) bool {
+	s := g.headSlot()
+	for {
+		cs := g.list.oldestInSlot(s)
+		if len(cs) == 0 {
+			g.freeHeadSlot()
+			m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+			return true
+		}
+		c := cs[0]
+		switch {
+		case c.rec.Kind == logrec.KindData && c.committed:
+			m.forceFlushCell(c)
+		case c.rec.Kind == logrec.KindData || c.rec.Kind == logrec.KindBegin:
+			if c.tx.state != txActive {
+				return false // committing; resolves within a block write
+			}
+			g.epochKills++
+			m.dropTx(c.tx, true)
+		case c.rec.Kind == logrec.KindCommit && c.tx.state == txCommitted:
+			// Tx record of a committed transaction with unflushed updates:
+			// flush them all so the entry retires and the record becomes
+			// garbage.
+			m.forceFlushTx(c.tx)
+		default:
+			return false // commit still in flight
+		}
+	}
+}
+
+// killVictim sacrifices work to make space in generation g when its head
+// cannot advance: the oldest active transaction with a record in g is
+// killed ("System R's solution is to simply kill off excessively lengthy
+// transactions"); failing that, the oldest committed-but-unflushed update
+// is force flushed. It reports whether anything was freed.
+func (m *Manager) killVictim(g *generation) bool {
+	var victim *cell
+	g.list.walkOldestFirst(func(c *cell) bool {
+		switch {
+		case c.tx.state == txActive:
+			victim = c
+			return false
+		case c.rec.Kind == logrec.KindData && c.committed:
+			victim = c
+			return false
+		case c.rec.Kind == logrec.KindCommit && c.tx.state == txCommitted:
+			victim = c
+			return false
+		}
+		return true
+	})
+	if victim == nil {
+		return false
+	}
+	switch {
+	case victim.tx.state == txActive:
+		g.epochKills++
+		m.dropTx(victim.tx, true)
+	case victim.rec.Kind == logrec.KindData:
+		m.forceFlushCell(victim)
+	default:
+		m.forceFlushTx(victim.tx)
+	}
+	return true
+}
+
+// forceFlushCell flushes one committed update out of band (random I/O).
+// Under BroadNonGarbage the cell may be a superseded older version; only
+// flushing the object's newest committed version clears the whole chain,
+// so the force flush targets that.
+func (m *Manager) forceFlushCell(c *cell) {
+	if !c.committed || c.rec.Kind != logrec.KindData {
+		panic(fmt.Sprintf("core: force flush of non-committed record %v", c.rec))
+	}
+	target := c
+	if le, ok := m.lot.Get(uint64(c.rec.Obj)); ok && le.committed != nil && le.committed != c {
+		target = le.committed
+	}
+	// ForceFlush synchronously invokes the manager's Flushed callback,
+	// which disposes the cell (and any superseded chain behind it).
+	m.emit(trace.Event{Kind: trace.EvForceFlush, Gen: target.gen, Obj: target.rec.Obj, LSN: target.rec.LSN})
+	m.flush.ForceFlush(flushdisk.Request{Obj: target.rec.Obj, LSN: target.rec.LSN, Val: target.rec.Val, Tx: target.rec.Tx})
+}
+
+// forceFlushTx flushes every remaining update of a committed transaction,
+// retiring its LTT entry.
+func (m *Manager) forceFlushTx(e *lttEntry) {
+	for _, oid := range sortedOids(e.oids) {
+		le, ok := m.lot.Get(uint64(oid))
+		if !ok || le.committed == nil || le.committed.tx != e {
+			// The version tracked for this oid is not e's; e's update was
+			// superseded and its oid set is stale only transiently.
+			delete(e.oids, oid)
+			continue
+		}
+		m.forceFlushCell(le.committed)
+	}
+	m.maybeRetire(e)
+}

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ellog/internal/flushdisk"
+	"ellog/internal/logrec"
+	"ellog/internal/statedb"
+	"ellog/internal/trace"
+)
+
+// usesPend reports whether generation g appends through the lazy, slotless
+// pending buffer. That is the recirculating last generation of an EL
+// manager: its tail receives recirculated records ("placed in a buffer
+// without immediately writing it to disk", section 2.2) interleaved with
+// forwarded ones, and sharing a single buffer keeps cell-list order equal
+// to block order — the property the h_i head test relies on.
+func (m *Manager) usesPend(g *generation) bool {
+	return g.idx == m.lastGen() && m.p.Mode == ModeEphemeral && m.p.Recirculate
+}
+
+// appendTail adds a record (via its cell) to generation gi's tail. origin
+// is non-nil when the record is being moved from another block (forwarding
+// or recirculation); it is nil for records newly entering the log, which
+// are counted and, for COMMIT records, tracked for the group-commit
+// acknowledgement.
+func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
+	g := m.gens[gi]
+	if c.rec.Size > m.p.BlockPayload {
+		panic(fmt.Sprintf("core: record of %d bytes exceeds block payload %d", c.rec.Size, m.p.BlockPayload))
+	}
+	var b *buffer
+	if m.usesPend(g) {
+		if g.pend != nil && c.rec.Size > g.pend.free {
+			m.sealPend(g)
+		}
+		if g.pend == nil {
+			m.takeToken(g)
+			g.pend = &buffer{free: m.p.BlockPayload}
+		}
+		b = g.pend
+	} else {
+		if g.fill == nil || c.rec.Size > g.fill.free {
+			m.sealFill(g)
+			m.openFill(g)
+		}
+		b = g.fill
+	}
+	// Making space above can cascade into killing a transaction or force
+	// flushing an update — possibly the very record being appended. A cell
+	// that died meanwhile is garbage and must not enter the log again.
+	if m.cellDead(c) {
+		return
+	}
+	if b == g.pend {
+		b.cells = append(b.cells, c)
+		c.slot = nil // belongs to whichever block is written at the tail
+	} else {
+		c.slot = b.slot
+		if m.p.Steal {
+			// The steal policy flushes uncommitted updates once their
+			// records are durable (write-ahead rule), so the buffer must
+			// remember its cells until the write completes.
+			b.cells = append(b.cells, c)
+		}
+	}
+	b.free -= c.rec.Size
+	b.recs = append(b.recs, c.rec)
+	c.gen = gi
+	c.arrived = m.now()
+	g.epochIn++
+	g.list.pushNewest(c)
+	if origin != nil {
+		origin.refugees++
+		b.origins = append(b.origins, origin)
+		return
+	}
+	m.appendedRecs.Inc()
+	m.appendedBytes.Addn(uint64(c.rec.Size))
+	m.emit(trace.Event{Kind: trace.EvAppend, Gen: gi, Tx: c.rec.Tx, Obj: c.rec.Obj, LSN: c.rec.LSN})
+	if c.rec.Kind == logrec.KindCommit {
+		b.commits = append(b.commits, c.tx)
+		m.armGroupCommitTimeout(g, b)
+	}
+}
+
+// cellDead reports whether a cell's record became garbage while the cell
+// was detached (mid-move or mid-append): its transaction was dropped, or
+// its update was superseded or force flushed.
+func (m *Manager) cellDead(c *cell) bool {
+	if c.tx.state == txAborted {
+		return true
+	}
+	if c.rec.Kind == logrec.KindData {
+		le, ok := m.lot.Get(uint64(c.rec.Obj))
+		if !ok {
+			return true
+		}
+		if le.committed == c || le.uncommitted[c.rec.Tx] == c {
+			return false
+		}
+		for _, old := range le.superseded {
+			if old == c {
+				return false
+			}
+		}
+		return true
+	}
+	e, ok := m.ltt.Get(uint64(c.rec.Tx))
+	return !ok || e.txCell != c
+}
+
+// armGroupCommitTimeout bounds how long a COMMIT may wait for its buffer
+// to fill (disabled, per the paper, unless Params.GroupCommitTimeout > 0).
+func (m *Manager) armGroupCommitTimeout(g *generation, b *buffer) {
+	if m.p.GroupCommitTimeout <= 0 {
+		return
+	}
+	m.eng.After(m.p.GroupCommitTimeout, func() {
+		if b.sealed {
+			return
+		}
+		if g.fill == b {
+			m.sealFill(g)
+		} else if g.pend == b {
+			m.sealPend(g)
+		}
+	})
+}
+
+// openFill claims the next tail block and prepares a buffer for it.
+func (m *Manager) openFill(g *generation) {
+	s := m.claimGuarded(g)
+	s.state = slotFilling
+	m.takeToken(g)
+	g.fill = &buffer{slot: s, free: m.p.BlockPayload}
+}
+
+// sealFill writes out the current fill buffer, if any.
+func (m *Manager) sealFill(g *generation) {
+	if g.fill == nil {
+		return
+	}
+	b := g.fill
+	g.fill = nil
+	m.writeOut(g, b)
+}
+
+// sealPend claims a tail slot for the pending buffer and writes it.
+func (m *Manager) sealPend(g *generation) {
+	if g.pend == nil {
+		return
+	}
+	s := m.claimGuarded(g)
+	m.writePend(g, s)
+}
+
+// sealTail forces whatever buffer is open at g's tail to disk — used when
+// a forward batch lands records that must be immediately durable.
+func (m *Manager) sealTail(g *generation) {
+	if m.usesPend(g) {
+		m.sealPend(g)
+	} else {
+		m.sealFill(g)
+	}
+}
+
+// tailFree reports the free bytes in g's open tail buffer, or -1 if none
+// is open.
+func (m *Manager) tailFree(g *generation) int {
+	if m.usesPend(g) {
+		if g.pend == nil {
+			return -1
+		}
+		return g.pend.free
+	}
+	if g.fill == nil {
+		return -1
+	}
+	return g.fill.free
+}
+
+// writePend assigns the pending buffer to slot s and writes it. Cells
+// still live at that point acquire their new block position.
+func (m *Manager) writePend(g *generation, s *slot) {
+	b := g.pend
+	if b == nil {
+		panic("core: writePend with no pending buffer")
+	}
+	g.pend = nil
+	b.slot = s
+	s.state = slotFilling
+	for _, c := range b.cells {
+		if c.inList && c.slot == nil {
+			c.slot = s
+		}
+	}
+	m.writeOut(g, b)
+}
+
+// writeOut issues the block write for a sealed buffer and handles its
+// completion: the slot becomes durable, refugee counts drop, and any
+// COMMIT records riding in the buffer make their transactions durable —
+// the group-commit acknowledgement at the paper's time t4.
+func (m *Manager) writeOut(g *generation, b *buffer) {
+	s := b.slot
+	if s == nil {
+		panic("core: writing slotless buffer")
+	}
+	if s.state != slotFilling {
+		panic(fmt.Sprintf("core: writeOut on %v slot", s.state))
+	}
+	s.state = slotInFlight
+	b.sealed = true
+	m.emit(trace.Event{Kind: trace.EvSeal, Gen: g.idx, N: len(b.recs)})
+	data := logrec.EncodeBlock(b.recs)
+	m.dev.Write(s.id, data, func() {
+		s.state = slotDurable
+		m.emit(trace.Event{Kind: trace.EvDurable, Gen: g.idx, N: len(b.recs)})
+		m.putToken(g)
+		for _, o := range b.origins {
+			o.refugees--
+		}
+		if m.p.Steal {
+			m.stealFlushDurable(b)
+		}
+		for _, tx := range b.commits {
+			m.commitDurable(tx)
+		}
+	})
+}
+
+func (m *Manager) takeToken(g *generation) {
+	if g.tokens <= 0 {
+		// The paper's model has no feedback from the LM into transaction
+		// pacing, so buffer exhaustion is recorded rather than blocked on.
+		m.bufferStalls.Inc()
+	}
+	g.tokens--
+}
+
+func (m *Manager) putToken(g *generation) { g.tokens++ }
+
+// claimGuarded claims the next tail slot after making space and ensuring
+// the slot's previous contents are no longer anyone's only durable copy.
+func (m *Manager) claimGuarded(g *generation) *slot {
+	for attempts := 0; ; attempts++ {
+		if attempts > g.size()+4 {
+			m.emergencyGrow(g)
+		}
+		m.ensureSpace(g)
+		s := g.ring[g.tail]
+		if s.refugees == 0 {
+			claimed := g.claimSlot()
+			g.noteSpan()
+			m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+			return claimed
+		}
+		// The slot still holds the only durable copies of records sitting
+		// in an unwritten buffer. If that buffer is this generation's
+		// pending buffer, write it into this very slot: the old bytes stay
+		// durable until the (atomic) write completes, and the new copy
+		// supersedes them.
+		if g.pend != nil && bufferHasOrigin(g.pend, s) {
+			claimed := g.claimSlot()
+			m.usedGauges[g.idx].Set(m.now(), float64(g.used))
+			m.writePend(g, claimed)
+			continue
+		}
+		// Refugees ride in an in-flight buffer; the write completes within
+		// tau_DiskWrite but an event-driven claim cannot wait. Insert an
+		// emergency block instead and record the stall — any run where
+		// this fires is treated as having insufficient space.
+		m.refugeeStalls.Inc()
+		m.emergencyGrow(g)
+	}
+}
+
+func bufferHasOrigin(b *buffer, s *slot) bool {
+	for _, o := range b.origins {
+		if o == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureSpace advances the head of g until at least ThresholdK+1 slots are
+// free ("at least k blocks must be available to hold new log records",
+// section 3, plus the one about to be claimed).
+func (m *Manager) ensureSpace(g *generation) {
+	iters := 0
+	for g.freeSlots() <= m.p.ThresholdK {
+		iters++
+		if iters > 4*g.size()+16 {
+			// A full revolution without net progress: everything in the
+			// generation is still needed. Sacrifice a victim.
+			if !m.killVictim(g) {
+				m.emergencyGrow(g)
+				return
+			}
+			iters = 0
+			continue
+		}
+		if m.advanceHead(g) {
+			continue
+		}
+		if !m.killVictim(g) {
+			m.emergencyGrow(g)
+			return
+		}
+	}
+}
+
+// emergencyGrow inserts one extra block so the simulation can proceed when
+// a generation is configured too small to make forward progress. Any run
+// with emergency blocks is reported as having exceeded its disk budget.
+func (m *Manager) emergencyGrow(g *generation) {
+	g.grow(m.dev, 1)
+	g.epochEmerg++
+	m.emergencyBlocks.Inc()
+	m.emit(trace.Event{Kind: trace.EvResize, Gen: g.idx, N: 1})
+}
+
+// commitDurable is the moment a transaction actually commits: its COMMIT
+// record reached disk. Updates become flushable only now (section 2.2:
+// "the LM can flush a data log record's update to disk any time after its
+// transaction has committed") and, in EL, earlier committed versions of
+// the same objects become garbage.
+func (m *Manager) commitDurable(e *lttEntry) {
+	if e.state != txCommitting {
+		return // killed or aborted while the commit was in flight
+	}
+	e.state = txCommitted
+	m.commits.Inc()
+	m.commitDelay.Observe((m.now() - e.commitAppAt).Seconds())
+	m.emit(trace.Event{Kind: trace.EvCommit, Gen: -1, Tx: e.tid})
+
+	if m.p.Mode == ModeFirewall {
+		// Per the paper's FW simulation, commitment makes all the
+		// transaction's records garbage immediately (no checkpoint
+		// bookkeeping is charged — an omission the paper notes favours
+		// FW). The stable database is still updated via the flush array so
+		// the two techniques impose the same flush load.
+		for _, oid := range sortedOids(e.oids) {
+			le, ok := m.lot.Get(uint64(oid))
+			if !ok {
+				continue
+			}
+			if c := le.uncommitted[e.tid]; c != nil {
+				m.flush.Enqueue(flushdisk.Request{Obj: oid, LSN: c.rec.LSN, Val: c.rec.Val, Tx: c.rec.Tx})
+				m.unlink(c)
+				delete(le.uncommitted, e.tid)
+			}
+			if le.empty() {
+				m.lot.Delete(uint64(oid))
+			}
+		}
+		e.oids = make(map[logrec.OID]struct{})
+		m.retire(e)
+	} else {
+		for _, oid := range sortedOids(e.oids) {
+			le, ok := m.lot.Get(uint64(oid))
+			if !ok {
+				panic(fmt.Sprintf("core: committed oid %d missing from LOT", oid))
+			}
+			c := le.uncommitted[e.tid]
+			if c == nil {
+				panic(fmt.Sprintf("core: committed oid %d has no uncommitted cell for tx %d", oid, e.tid))
+			}
+			delete(le.uncommitted, e.tid)
+			if old := le.committed; old != nil {
+				if m.p.BroadNonGarbage {
+					// Without per-object version timestamps the superseded
+					// record must stay in the log until the new version is
+					// flushed (paper section 6).
+					le.superseded = append(le.superseded, old)
+				} else {
+					// The earlier committed update is superseded and
+					// garbage; its oid leaves its own transaction's LTT set.
+					m.unlink(old)
+					delete(old.tx.oids, oid)
+					m.maybeRetire(old.tx)
+				}
+			}
+			c.committed = true
+			le.committed = c
+			if c.flushed {
+				// Stolen and already on disk: pay the commit-time write
+				// that clears the stolen marker; the record stays
+				// non-garbage until it lands.
+				c.cleanQueued = true
+				m.flush.Enqueue(flushdisk.Request{Obj: oid, LSN: c.rec.LSN, Val: c.rec.Val, Tx: c.rec.Tx, Clean: true})
+			} else {
+				m.flush.Enqueue(flushdisk.Request{Obj: oid, LSN: c.rec.LSN, Val: c.rec.Val, Tx: c.rec.Tx})
+			}
+		}
+		if len(e.oids) == 0 {
+			m.retire(e) // read-only transaction
+		}
+	}
+	if e.onDurable != nil {
+		e.onDurable()
+	}
+	m.touchMem()
+}
+
+// Flushed is the flush array's completion callback: the update is applied
+// to the stable database and, if it is still the object's most recently
+// committed version, its log record becomes garbage.
+func (m *Manager) Flushed(req flushdisk.Request) {
+	m.emit(trace.Event{Kind: trace.EvFlush, Gen: -1, Obj: req.Obj, LSN: req.LSN})
+	switch {
+	case req.Clean:
+		m.db.Clean(req.Obj, req.LSN)
+	case req.Stolen:
+		m.db.ApplyVersion(req.Obj, statedb.Version{LSN: req.LSN, Val: req.Val, Tx: req.Tx, Stolen: true})
+	default:
+		m.db.Apply(req.Obj, req.LSN, req.Val, req.Tx)
+	}
+	if pr, ok := m.pendingReverts[req.Obj]; ok && pr.tx == req.Tx && pr.lsn == req.LSN {
+		// The writer died while this stolen flush was in service: roll the
+		// version straight back to the before-image.
+		delete(m.pendingReverts, req.Obj)
+		m.db.ForceSet(req.Obj, pr.prev)
+		return
+	}
+	le, ok := m.lot.Get(uint64(req.Obj))
+	if !ok {
+		return
+	}
+	if req.Stolen {
+		if c := le.uncommitted[req.Tx]; c != nil && c.rec.LSN == req.LSN {
+			c.flushed = true // undo information retained until commit/abort
+			return
+		}
+		if c := le.committed; c != nil && c.rec.LSN == req.LSN && c.rec.Tx == req.Tx && !c.cleanQueued {
+			// The transaction committed while the stolen flush was in
+			// service; clear the marker it just planted.
+			c.cleanQueued = true
+			m.flush.Enqueue(flushdisk.Request{Obj: req.Obj, LSN: req.LSN, Val: req.Val, Tx: req.Tx, Clean: true})
+		}
+		return
+	}
+	c := le.committed
+	if c == nil || c.rec.LSN != req.LSN {
+		return // stale completion; a newer version superseded this one
+	}
+	m.unlink(c)
+	le.committed = nil
+	delete(c.tx.oids, req.Obj)
+	m.maybeRetire(c.tx)
+	// The flushed version now anchors recovery even without version
+	// timestamps: every retained older version becomes garbage.
+	for _, old := range le.superseded {
+		if old.inList {
+			m.unlink(old)
+		}
+		delete(old.tx.oids, req.Obj)
+		m.maybeRetire(old.tx)
+	}
+	le.superseded = nil
+	if le.empty() {
+		m.lot.Delete(uint64(req.Obj))
+	}
+	m.touchMem()
+}
+
+// sortedOids returns a set's oids in ascending order. Flush requests are
+// enqueued in this order so that runs are bit-for-bit deterministic; Go's
+// map iteration order would otherwise leak into the flush schedule.
+func sortedOids(set map[logrec.OID]struct{}) []logrec.OID {
+	out := make([]logrec.OID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stealFlushDurable enqueues stolen flushes for the still-uncommitted data
+// records of a buffer that just became durable — the write-ahead rule: the
+// log record reaches disk before the stable database may be dirtied.
+func (m *Manager) stealFlushDurable(b *buffer) {
+	for _, c := range b.cells {
+		if !c.inList || c.rec.Kind != logrec.KindData || c.committed ||
+			c.stolenQueued || c.tx.state != txActive {
+			continue
+		}
+		// The flush queue holds one request per object; stealing while a
+		// previous committed version still awaits its flush would clobber
+		// that (required) request, so the steal is skipped — this update
+		// simply flushes after commit like any other.
+		if c.obj != nil && c.obj.committed != nil {
+			continue
+		}
+		c.stolenQueued = true
+		m.flush.Enqueue(flushdisk.Request{
+			Obj: c.rec.Obj, LSN: c.rec.LSN, Val: c.rec.Val, Tx: c.rec.Tx, Stolen: true,
+		})
+	}
+}
+
+// maybeRetire removes a committed transaction's LTT entry once its last
+// non-garbage data record is gone (section 2.3).
+func (m *Manager) maybeRetire(e *lttEntry) {
+	if e.state == txCommitted && len(e.oids) == 0 {
+		m.retire(e)
+	}
+}
+
+func (m *Manager) retire(e *lttEntry) {
+	if e.txCell.inList {
+		m.unlink(e.txCell)
+	}
+	m.ltt.Delete(uint64(e.tid))
+	m.touchMem()
+}
+
+// Quiesce seals every open buffer so that all appended records head to
+// disk. Recovery drills call it before crashing "cleanly"; the paper's
+// steady-state experiments never need it.
+func (m *Manager) Quiesce() {
+	for _, g := range m.gens {
+		m.sealFill(g)
+		m.sealPend(g)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"ellog/internal/logrec"
+)
+
+func mkCell(lsn logrec.LSN) *cell {
+	return &cell{rec: logrec.NewDataRecord(lsn, 0, 1, logrec.OID(lsn), 10), tx: &lttEntry{}}
+}
+
+func TestCellListPushAndOrder(t *testing.T) {
+	var l cellList
+	if l.oldest() != nil || l.len() != 0 {
+		t.Fatal("empty list not empty")
+	}
+	a, b, c := mkCell(1), mkCell(2), mkCell(3)
+	l.pushNewest(a)
+	if l.oldest() != a || a.left != a || a.right != a {
+		t.Fatal("single-cell list not self-linked")
+	}
+	l.pushNewest(b)
+	l.pushNewest(c)
+	if l.len() != 3 || l.oldest() != a {
+		t.Fatalf("len=%d oldest=%v", l.len(), l.oldest())
+	}
+	// The paper's tail access: the newest cell is h.right.
+	if l.oldest().right != c {
+		t.Fatal("h.right is not the newest cell")
+	}
+	// Oldest-first walk sees insertion order.
+	var seen []logrec.LSN
+	l.walkOldestFirst(func(x *cell) bool { seen = append(seen, x.rec.LSN); return true })
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("walk order %v", seen)
+	}
+}
+
+func TestCellListRemoveHeadAdvances(t *testing.T) {
+	var l cellList
+	a, b, c := mkCell(1), mkCell(2), mkCell(3)
+	l.pushNewest(a)
+	l.pushNewest(b)
+	l.pushNewest(c)
+	l.remove(a)
+	if l.oldest() != b || l.len() != 2 {
+		t.Fatalf("after removing oldest: h=%v len=%d", l.oldest().rec, l.len())
+	}
+	l.remove(c)
+	if l.oldest() != b || b.left != b || b.right != b {
+		t.Fatal("single survivor not self-linked")
+	}
+	l.remove(b)
+	if l.oldest() != nil || l.len() != 0 {
+		t.Fatal("list not empty after removing all")
+	}
+}
+
+func TestCellListRemoveMiddle(t *testing.T) {
+	var l cellList
+	cells := make([]*cell, 5)
+	for i := range cells {
+		cells[i] = mkCell(logrec.LSN(i + 1))
+		l.pushNewest(cells[i])
+	}
+	l.remove(cells[2])
+	var seen []logrec.LSN
+	l.walkOldestFirst(func(x *cell) bool { seen = append(seen, x.rec.LSN); return true })
+	want := []logrec.LSN{1, 2, 4, 5}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk after middle removal: %v", seen)
+		}
+	}
+}
+
+func TestCellListDoublePushPanics(t *testing.T) {
+	var l cellList
+	a := mkCell(1)
+	l.pushNewest(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double push did not panic")
+		}
+	}()
+	l.pushNewest(a)
+}
+
+func TestCellListRemoveUnlinkedPanics(t *testing.T) {
+	var l cellList
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing unlinked cell did not panic")
+		}
+	}()
+	l.remove(mkCell(1))
+}
+
+func TestOldestInSlot(t *testing.T) {
+	var l cellList
+	s1, s2 := &slot{}, &slot{}
+	a, b, c, d := mkCell(1), mkCell(2), mkCell(3), mkCell(4)
+	a.slot, b.slot, c.slot, d.slot = s1, s1, s2, s2
+	for _, x := range []*cell{a, b, c, d} {
+		l.pushNewest(x)
+	}
+	got := l.oldestInSlot(s1)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("oldestInSlot(s1) = %v", got)
+	}
+	// s2's cells are not at the old end, so the head-side scan sees none.
+	if got := l.oldestInSlot(s2); len(got) != 0 {
+		t.Fatalf("oldestInSlot(s2) = %d cells, want 0 (not at head)", len(got))
+	}
+	l.remove(a)
+	l.remove(b)
+	if got := l.oldestInSlot(s2); len(got) != 2 {
+		t.Fatalf("oldestInSlot(s2) after s1 drained = %d cells, want 2", len(got))
+	}
+}
+
+// TestCellListRandomOps cross-checks the circular list against a slice
+// model under random push/remove traffic.
+func TestCellListRandomOps(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		var l cellList
+		var model []*cell
+		next := logrec.LSN(1)
+		for op := 0; op < 400; op++ {
+			if len(model) == 0 || rng.IntN(2) == 0 {
+				c := mkCell(next)
+				next++
+				l.pushNewest(c)
+				model = append(model, c)
+			} else {
+				i := rng.IntN(len(model))
+				l.remove(model[i])
+				model = append(model[:i], model[i+1:]...)
+			}
+			if l.len() != len(model) {
+				return false
+			}
+			if len(model) > 0 && l.oldest() != model[0] {
+				return false
+			}
+			// Full walk matches the model.
+			j := 0
+			ok := true
+			l.walkOldestFirst(func(x *cell) bool {
+				if j >= len(model) || model[j] != x {
+					ok = false
+					return false
+				}
+				j++
+				return true
+			})
+			if !ok || j != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"ellog/internal/logrec"
+)
+
+// CheckInvariants walks the manager's entire bookkeeping and verifies the
+// structural invariants of section 2: cells, generation lists, LOT and LTT
+// cross-references, slot accounting and refugee counts. It returns the
+// first violation found, or nil. Tests call it at checkpoints throughout
+// simulations; it is not part of the hot path.
+func (m *Manager) CheckInvariants() error {
+	// 1. Generation ring accounting.
+	for _, g := range m.gens {
+		occupied := 0
+		for _, s := range g.ring {
+			if s.state != slotFree {
+				occupied++
+			}
+			if s.refugees < 0 {
+				return fmt.Errorf("gen %d: negative refugees on slot %d", g.idx, s.id)
+			}
+		}
+		if occupied != g.used {
+			return fmt.Errorf("gen %d: used=%d but %d slots occupied", g.idx, g.used, occupied)
+		}
+		if g.used > 0 {
+			// Occupied slots must be exactly the circular range [head, tail).
+			for i := 0; i < len(g.ring); i++ {
+				inRange := false
+				for j, idx := 0, g.head; j < g.used; j++ {
+					if i == idx {
+						inRange = true
+						break
+					}
+					idx = (idx + 1) % len(g.ring)
+				}
+				if inRange != (g.ring[i].state != slotFree) {
+					return fmt.Errorf("gen %d: slot index %d state %v disagrees with [head,tail) occupancy",
+						g.idx, i, g.ring[i].state)
+				}
+			}
+		}
+	}
+
+	// 2. Cell lists: circular integrity, h is oldest, cells carry the
+	// generation they are listed in.
+	cellsSeen := make(map[*cell]int)
+	for _, g := range m.gens {
+		if g.list.n == 0 {
+			if g.list.h != nil {
+				return fmt.Errorf("gen %d: empty list with non-nil head", g.idx)
+			}
+			continue
+		}
+		c := g.list.h
+		for i := 0; i < g.list.n; i++ {
+			if !c.inList {
+				return fmt.Errorf("gen %d: listed cell %v not marked inList", g.idx, c.rec)
+			}
+			if c.gen != g.idx {
+				return fmt.Errorf("gen %d: listed cell %v claims gen %d", g.idx, c.rec, c.gen)
+			}
+			if c.left.right != c || c.right.left != c {
+				return fmt.Errorf("gen %d: broken links at cell %v", g.idx, c.rec)
+			}
+			if _, dup := cellsSeen[c]; dup {
+				return fmt.Errorf("cell %v appears in two lists", c.rec)
+			}
+			cellsSeen[c] = g.idx
+			if c.slot != nil && c.slot.state == slotFree {
+				return fmt.Errorf("gen %d: live cell %v points at a free slot", g.idx, c.rec)
+			}
+			c = c.left
+		}
+		if c != g.list.h {
+			return fmt.Errorf("gen %d: list does not close after %d cells", g.idx, g.list.n)
+		}
+	}
+
+	// 3. LOT entries: every referenced cell is live and cross-linked.
+	lotCells := 0
+	var lotErr error
+	m.lot.Range(func(key uint64, le *lotEntry) bool {
+		oid := logrec.OID(key)
+		if le.empty() {
+			lotErr = fmt.Errorf("LOT entry %d is empty but present", oid)
+			return false
+		}
+		check := func(c *cell, committed bool, tid logrec.TxID) error {
+			if !c.inList {
+				return fmt.Errorf("LOT %d: cell %v not in any list", oid, c.rec)
+			}
+			if c.rec.Kind != logrec.KindData || c.rec.Obj != oid {
+				return fmt.Errorf("LOT %d: cell holds foreign record %v", oid, c.rec)
+			}
+			if c.committed != committed {
+				return fmt.Errorf("LOT %d: cell %v committed flag %v, want %v", oid, c.rec, c.committed, committed)
+			}
+			if c.obj != le {
+				return fmt.Errorf("LOT %d: cell %v has wrong owner", oid, c.rec)
+			}
+			if _, ok := c.tx.oids[oid]; !ok {
+				return fmt.Errorf("LOT %d: owner tx %d does not list the oid", oid, c.tx.tid)
+			}
+			if tid != 0 && c.rec.Tx != tid {
+				return fmt.Errorf("LOT %d: uncommitted cell under tx %d written by %d", oid, tid, c.rec.Tx)
+			}
+			return nil
+		}
+		if le.committed != nil {
+			lotCells++
+			if err := check(le.committed, true, 0); err != nil {
+				lotErr = err
+				return false
+			}
+			if le.committed.tx.state != txCommitted {
+				lotErr = fmt.Errorf("LOT %d: committed cell from %v tx", oid, le.committed.tx.state)
+				return false
+			}
+		}
+		for tid, c := range le.uncommitted {
+			lotCells++
+			if err := check(c, false, tid); err != nil {
+				lotErr = err
+				return false
+			}
+		}
+		for _, c := range le.superseded {
+			lotCells++
+			if err := check(c, true, 0); err != nil {
+				lotErr = err
+				return false
+			}
+			if le.committed == nil {
+				lotErr = fmt.Errorf("LOT %d: superseded chain with no committed successor", oid)
+				return false
+			}
+		}
+		return true
+	})
+	if lotErr != nil {
+		return lotErr
+	}
+
+	// 4. LTT entries: tx cells live (unless riding in an unsealed buffer),
+	// oid sets backed by LOT.
+	lttCells := 0
+	var lttErr error
+	m.ltt.Range(func(key uint64, e *lttEntry) bool {
+		if e.txCell == nil {
+			lttErr = fmt.Errorf("LTT %d: no tx cell", e.tid)
+			return false
+		}
+		if e.txCell.inList {
+			lttCells++
+		}
+		if e.txCell.tx != e {
+			lttErr = fmt.Errorf("LTT %d: tx cell owner mismatch", e.tid)
+			return false
+		}
+		for oid := range e.oids {
+			le, ok := m.lot.Get(uint64(oid))
+			if !ok {
+				lttErr = fmt.Errorf("LTT %d: oid %d has no LOT entry", e.tid, oid)
+				return false
+			}
+			found := false
+			if le.committed != nil && le.committed.tx == e {
+				found = true
+			}
+			if c := le.uncommitted[e.tid]; c != nil {
+				found = true
+			}
+			for _, c := range le.superseded {
+				if c.tx == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				lttErr = fmt.Errorf("LTT %d: oid %d has no cell owned by the tx", e.tid, oid)
+				return false
+			}
+		}
+		return true
+	})
+	if lttErr != nil {
+		return lttErr
+	}
+
+	// 5. Every listed cell is reachable from LOT or LTT — "at any given
+	// time, the cells associated with the LOT and LTT entries point to all
+	// non-garbage records in the log" (section 2.3).
+	reachable := make(map[*cell]bool)
+	m.lot.Range(func(_ uint64, le *lotEntry) bool {
+		if le.committed != nil {
+			reachable[le.committed] = true
+		}
+		for _, c := range le.uncommitted {
+			reachable[c] = true
+		}
+		for _, c := range le.superseded {
+			reachable[c] = true
+		}
+		return true
+	})
+	m.ltt.Range(func(_ uint64, e *lttEntry) bool {
+		reachable[e.txCell] = true
+		return true
+	})
+	var orphan error
+	total := 0
+	for _, g := range m.gens {
+		total += g.list.len()
+		g.list.walkOldestFirst(func(c *cell) bool {
+			if !reachable[c] {
+				orphan = fmt.Errorf("gen %d: listed cell %v (tx state %d, committed=%v) unreachable from LOT/LTT",
+					g.idx, c.rec, c.tx.state, c.committed)
+				return false
+			}
+			return true
+		})
+	}
+	if orphan != nil {
+		return orphan
+	}
+	if total != lotCells+lttCells {
+		return fmt.Errorf("%d cells listed but %d reachable from LOT (%d) + LTT (%d)",
+			total, lotCells+lttCells, lotCells, lttCells)
+	}
+	return nil
+}

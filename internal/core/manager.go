@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+
+	"ellog/internal/blockdev"
+	"ellog/internal/container"
+	"ellog/internal/flushdisk"
+	"ellog/internal/logrec"
+	"ellog/internal/metrics"
+	"ellog/internal/sim"
+	"ellog/internal/statedb"
+	"ellog/internal/trace"
+)
+
+// Manager is the logging manager (LM): the DBMS component responsible for
+// managing the log of database activity. One Manager instance implements
+// either ephemeral logging or the firewall baseline, per its Params.
+//
+// The Manager is driven by the transaction stream (Begin, WriteData,
+// Commit, Abort) and by its own simulated-time machinery: block writes
+// completing, flush drives finishing, head pointers advancing to keep the
+// threshold gap free.
+type Manager struct {
+	eng   *sim.Engine
+	p     Params
+	dev   *blockdev.Device
+	flush *flushdisk.Array
+	db    *statedb.DB
+
+	gens []*generation
+	lot  *container.Table[*lotEntry]
+	ltt  *container.Table[*lttEntry]
+
+	nextLSN logrec.LSN
+	onKill  func(logrec.TxID)
+	tracer  trace.Sink
+
+	// pendingReverts tracks stolen flushes that were in service when their
+	// transaction died; the completion is rolled back on arrival.
+	pendingReverts map[logrec.OID]pendingRevert
+
+	// counters and gauges (see Stats)
+	begins, commits, aborts, killedTxs  metrics.Counter
+	appendedRecs, appendedBytes         metrics.Counter
+	forwardedRecs, recircRecs, garbaged metrics.Counter
+	emergencyBlocks, bufferStalls       metrics.Counter
+	refugeeStalls                       metrics.Counter
+	lotGauge, lttGauge, memGauge        metrics.Gauge
+	usedGauges                          []metrics.Gauge
+	commitDelay                         metrics.Histogram
+}
+
+// New builds a Manager. The flush array's completion callback must be
+// wired to the returned manager via its Flushed method; NewSetup does the
+// whole assembly and is what most callers want.
+func New(eng *sim.Engine, p Params, dev *blockdev.Device, flush *flushdisk.Array, db *statedb.DB) (*Manager, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		eng:            eng,
+		p:              p,
+		dev:            dev,
+		flush:          flush,
+		db:             db,
+		lot:            container.NewTable[*lotEntry](),
+		ltt:            container.NewTable[*lttEntry](),
+		pendingReverts: make(map[logrec.OID]pendingRevert),
+	}
+	for i, size := range p.GenSizes {
+		m.gens = append(m.gens, newGeneration(i, size, dev, p.BuffersPerGen))
+	}
+	m.usedGauges = make([]metrics.Gauge, len(m.gens))
+	m.touchMem()
+	return m, nil
+}
+
+// Setup bundles the substrate a Manager runs on.
+type Setup struct {
+	Eng   *sim.Engine
+	Dev   *blockdev.Device
+	Flush *flushdisk.Array
+	DB    *statedb.DB
+	LM    *Manager
+}
+
+// FlushConfig parameterizes the flush disk array (paper section 3: number
+// of drives, per-object transfer time, total object count).
+type FlushConfig struct {
+	Drives     int
+	Transfer   sim.Time
+	NumObjects uint64
+}
+
+// NewSetup assembles engine-attached substrate and a Manager wired to it:
+// the log device at the manager's write latency and a flush array whose
+// completions feed back into the manager.
+func NewSetup(eng *sim.Engine, p Params, fc FlushConfig) (*Setup, error) {
+	p = p.WithDefaults()
+	dev := blockdev.New(eng, p.WriteLatency)
+	db := statedb.New()
+	var m *Manager
+	flush := flushdisk.New(eng, fc.Drives, fc.Transfer, fc.NumObjects, func(req flushdisk.Request) {
+		m.Flushed(req)
+	})
+	var err error
+	m, err = New(eng, p, dev, flush, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{Eng: eng, Dev: dev, Flush: flush, DB: db, LM: m}, nil
+}
+
+// SetKillHandler registers a callback invoked whenever the manager kills a
+// transaction for want of log space. The workload generator uses it to
+// stop issuing the victim's remaining records.
+func (m *Manager) SetKillHandler(fn func(logrec.TxID)) { m.onKill = fn }
+
+// SetTracer attaches a trace sink; nil detaches it. Tracing is off the
+// paper's measurement path and exists for observability and debugging.
+func (m *Manager) SetTracer(s trace.Sink) { m.tracer = s }
+
+// emit sends a trace event if a sink is attached, stamping the time.
+func (m *Manager) emit(e trace.Event) {
+	if m.tracer == nil {
+		return
+	}
+	e.At = m.now()
+	m.tracer.Emit(e)
+}
+
+// Params returns the manager's effective (defaulted) parameters.
+func (m *Manager) Params() Params { return m.p }
+
+// DB returns the stable database the manager flushes into.
+func (m *Manager) DB() *statedb.DB { return m.db }
+
+// Device returns the log disk device.
+func (m *Manager) Device() *blockdev.Device { return m.dev }
+
+func (m *Manager) now() sim.Time { return m.eng.Now() }
+
+func (m *Manager) lsn() logrec.LSN {
+	m.nextLSN++
+	return m.nextLSN
+}
+
+func (m *Manager) lastGen() int { return len(m.gens) - 1 }
+
+// --- transaction-facing API -------------------------------------------
+
+// Begin starts a transaction: a BEGIN tx record enters the log and an LTT
+// entry is created (section 2.3).
+func (m *Manager) Begin(tid logrec.TxID) { m.BeginHinted(tid, 0) }
+
+// BeginHinted starts a transaction whose expected lifetime is known, so
+// the section 6 placement extension (when configured) can start its
+// records directly in an older generation.
+func (m *Manager) BeginHinted(tid logrec.TxID, expected sim.Time) {
+	if _, ok := m.ltt.Get(uint64(tid)); ok {
+		panic(fmt.Sprintf("core: Begin of existing transaction %d", tid))
+	}
+	e := &lttEntry{
+		tid:      tid,
+		state:    txActive,
+		oids:     make(map[logrec.OID]struct{}),
+		beginAt:  m.now(),
+		startGen: m.p.startGen(expected),
+	}
+	rec := logrec.NewTxRecord(m.lsn(), m.now(), logrec.KindBegin, tid, m.p.TxRecSize)
+	c := &cell{rec: rec, tx: e}
+	e.txCell = c
+	m.ltt.Put(uint64(tid), e)
+	m.appendTail(e.startGen, c, nil)
+	m.begins.Inc()
+	m.touchMem()
+}
+
+// WriteData logs an update of size bytes to object oid by transaction tid
+// and returns the record's LSN (the synthetic new value of the object,
+// which lets test oracles verify recovery exactly).
+func (m *Manager) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("core: WriteData on %v transaction %d", e.state, tid))
+	}
+	if size > m.p.BlockPayload {
+		panic(fmt.Sprintf("core: record of %d bytes exceeds block payload %d", size, m.p.BlockPayload))
+	}
+	rec := logrec.NewDataRecord(m.lsn(), m.now(), tid, oid, size)
+	le := m.lotFor(oid)
+	// Record the before-image: the latest committed version of the object
+	// before this transaction touched it (the UNDO information of the
+	// steal extension; harmless bookkeeping under pure REDO).
+	if old := le.uncommitted[tid]; old != nil {
+		rec.PrevLSN, rec.PrevVal = old.rec.PrevLSN, old.rec.PrevVal
+	} else if le.committed != nil {
+		rec.PrevLSN, rec.PrevVal = le.committed.rec.LSN, le.committed.rec.Val
+	} else if v, ok := m.db.Get(oid); ok {
+		rec.PrevLSN, rec.PrevVal = v.LSN, v.Val
+	}
+	if old := le.uncommitted[tid]; old != nil {
+		// The transaction overwrote its own earlier update: only the last
+		// value matters under REDO logging, so the old record is garbage.
+		m.unlink(old)
+	}
+	c := &cell{rec: rec, tx: e, obj: le}
+	le.uncommitted[tid] = c
+	e.oids[oid] = struct{}{}
+	m.appendTail(e.startGen, c, nil)
+	m.touchMem()
+	return rec.LSN
+}
+
+// Commit appends the COMMIT tx record. The transaction commits once that
+// record is durable (group commit); onDurable, if non-nil, is invoked at
+// that moment — the paper's acknowledgement at time t4.
+func (m *Manager) Commit(tid logrec.TxID, onDurable func()) {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("core: Commit on %v transaction %d", e.state, tid))
+	}
+	e.state = txCommitting
+	e.onDurable = onDurable
+	e.commitAppAt = m.now()
+	rec := logrec.NewTxRecord(m.lsn(), m.now(), logrec.KindCommit, tid, m.p.TxRecSize)
+	// The transaction's single tx cell is updated to point at the newest
+	// tx record and moved to the tail end of the cell list (section 2.3
+	// footnote 4); the earlier BEGIN record becomes garbage in place.
+	c := e.txCell
+	if c.inList {
+		g := m.gens[c.gen]
+		g.list.remove(c)
+		g.noteAge(m.now() - c.arrived)
+		m.garbaged.Inc() // the superseded BEGIN record
+	}
+	c.rec = rec
+	c.slot = nil
+	m.appendTail(e.startGen, c, nil)
+}
+
+// Abort voluntarily aborts an active transaction: all its records become
+// garbage immediately and its LTT entry is deleted (section 2.3).
+func (m *Manager) Abort(tid logrec.TxID) {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("core: Abort on %v transaction %d", e.state, tid))
+	}
+	m.dropTx(e, false)
+	m.aborts.Inc()
+}
+
+func (m *Manager) mustTx(tid logrec.TxID) *lttEntry {
+	e, ok := m.ltt.Get(uint64(tid))
+	if !ok {
+		panic(fmt.Sprintf("core: unknown transaction %d", tid))
+	}
+	return e
+}
+
+func (m *Manager) lotFor(oid logrec.OID) *lotEntry {
+	if le, ok := m.lot.Get(uint64(oid)); ok {
+		return le
+	}
+	le := &lotEntry{oid: oid, uncommitted: make(map[logrec.TxID]*cell)}
+	m.lot.Put(uint64(oid), le)
+	return le
+}
+
+// unlink disposes a cell: its record is now garbage.
+func (m *Manager) unlink(c *cell) {
+	if c.inList {
+		g := m.gens[c.gen]
+		g.list.remove(c)
+		g.noteAge(m.now() - c.arrived)
+	}
+	c.slot = nil
+	m.garbaged.Inc()
+}
+
+// dropTx implements abort and kill: every record of the transaction
+// becomes garbage and the LTT entry disappears.
+func (m *Manager) dropTx(e *lttEntry, killed bool) {
+	e.state = txAborted
+	e.killed = killed
+	for oid := range e.oids {
+		le, ok := m.lot.Get(uint64(oid))
+		if !ok {
+			continue
+		}
+		if c := le.uncommitted[e.tid]; c != nil {
+			m.undoStolen(oid, c, e.tid)
+			m.unlink(c)
+			delete(le.uncommitted, e.tid)
+		}
+		if le.empty() {
+			m.lot.Delete(uint64(oid))
+		}
+	}
+	e.oids = make(map[logrec.OID]struct{})
+	if e.txCell.inList {
+		m.unlink(e.txCell)
+	}
+	m.ltt.Delete(uint64(e.tid))
+	if killed {
+		m.killedTxs.Inc()
+		m.emit(trace.Event{Kind: trace.EvKill, Gen: -1, Tx: e.tid})
+		if m.onKill != nil {
+			m.onKill(e.tid)
+		}
+	}
+	m.touchMem()
+}
+
+// pendingRevert remembers the before-image for a stolen flush whose
+// transaction died while the flush was in service.
+type pendingRevert struct {
+	tx   logrec.TxID
+	lsn  logrec.LSN
+	prev statedb.Version
+}
+
+// undoStolen rolls back a dying transaction's stolen update: if the flush
+// completed, the stable database reverts to the before-image now; if it is
+// still in service, the revert is registered for the completion; a merely
+// queued request is withdrawn.
+func (m *Manager) undoStolen(oid logrec.OID, c *cell, tid logrec.TxID) {
+	if !m.p.Steal || c.rec.Kind != logrec.KindData {
+		return
+	}
+	prev := statedb.Version{LSN: c.rec.PrevLSN, Val: c.rec.PrevVal}
+	switch {
+	case c.flushed:
+		m.db.ForceSet(oid, prev)
+	case c.stolenQueued && !m.flush.Remove(oid):
+		m.pendingReverts[oid] = pendingRevert{tx: tid, lsn: c.rec.LSN, prev: prev}
+	}
+}
+
+// touchMem refreshes the main-memory gauges using the paper's accounting:
+// MemPerTx bytes per LTT entry plus MemPerObj bytes per LOT entry.
+func (m *Manager) touchMem() {
+	now := m.now()
+	m.lotGauge.Set(now, float64(m.lot.Len()))
+	m.lttGauge.Set(now, float64(m.ltt.Len()))
+	m.memGauge.Set(now, float64(m.p.MemPerTx*m.ltt.Len()+m.p.MemPerObj*m.lot.Len()))
+}

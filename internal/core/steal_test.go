@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+
+	"ellog/internal/logrec"
+	"ellog/internal/sim"
+)
+
+func stealSetup(t *testing.T) *Setup {
+	t.Helper()
+	return testSetup(t, Params{
+		Mode: ModeEphemeral, GenSizes: []int{8, 8}, Steal: true,
+	}, FlushConfig{Drives: 1, Transfer: 5 * sim.Millisecond, NumObjects: 1000})
+}
+
+func TestStealRequiresEL(t *testing.T) {
+	p := Params{Mode: ModeFirewall, GenSizes: []int{8}, Steal: true}.WithDefaults()
+	if err := p.Validate(); err == nil {
+		t.Fatal("steal accepted in FW mode")
+	}
+}
+
+func TestStealFlushesUncommittedAfterDurability(t *testing.T) {
+	s := stealSetup(t)
+	m := s.LM
+	m.Begin(1)
+	lsn := m.WriteData(1, 7, 100)
+	// The record sits in an unsealed buffer: the write-ahead rule forbids
+	// stealing it yet.
+	s.Eng.Run(sim.Second)
+	if _, ok := m.DB().Get(7); ok {
+		t.Fatal("uncommitted update reached the DB before its record was durable")
+	}
+	// Seal, let the write and the stolen flush land.
+	m.Quiesce()
+	s.Eng.Run(2 * sim.Second)
+	v, ok := m.DB().Get(7)
+	if !ok || v.LSN != lsn {
+		t.Fatalf("stolen flush missing: %+v %v", v, ok)
+	}
+	if !v.Stolen || v.Tx != 1 {
+		t.Fatalf("stolen version not marked: %+v", v)
+	}
+	// The record must still be non-garbage (it carries the undo info).
+	if m.Stats().LOTEntries != 1 {
+		t.Fatal("stolen record's LOT entry vanished before commit")
+	}
+	assertInv(t, m)
+}
+
+func TestStealAbortRevertsFlushedUpdate(t *testing.T) {
+	s := stealSetup(t)
+	m := s.LM
+	// Establish a committed base version first.
+	m.Begin(1)
+	base := m.WriteData(1, 7, 100)
+	m.Commit(1, nil)
+	m.Quiesce()
+	s.Eng.Run(sim.Second)
+
+	m.Begin(2)
+	m.WriteData(2, 7, 100)
+	m.Quiesce()
+	s.Eng.Run(2 * sim.Second) // stolen flush lands
+	if v, _ := m.DB().Get(7); !v.Stolen {
+		t.Fatalf("precondition: version not stolen: %+v", v)
+	}
+	m.Abort(2)
+	v, ok := m.DB().Get(7)
+	if !ok || v.LSN != base || v.Stolen {
+		t.Fatalf("abort did not revert to base version %d: %+v", base, v)
+	}
+	s.Eng.Run(s.Eng.Now() + sim.Second)
+	if st := m.Stats(); st.LOTEntries != 0 || st.LTTEntries != 0 {
+		t.Fatalf("residue after abort: %+v", st)
+	}
+	assertInv(t, m)
+}
+
+func TestStealAbortRevertsToNothingWhenNoBase(t *testing.T) {
+	s := stealSetup(t)
+	m := s.LM
+	m.Begin(1)
+	m.WriteData(1, 7, 100)
+	m.Quiesce()
+	s.Eng.Run(2 * sim.Second)
+	if _, ok := m.DB().Get(7); !ok {
+		t.Fatal("precondition: stolen flush missing")
+	}
+	m.Abort(1)
+	if _, ok := m.DB().Get(7); ok {
+		t.Fatal("object with no committed history still present after abort")
+	}
+	assertInv(t, m)
+}
+
+func TestStealCommitCleansMarker(t *testing.T) {
+	s := stealSetup(t)
+	m := s.LM
+	m.Begin(1)
+	lsn := m.WriteData(1, 7, 100)
+	m.Quiesce()
+	s.Eng.Run(2 * sim.Second) // stolen flush lands
+	m.Commit(1, nil)
+	m.Quiesce()
+	s.Eng.Run(s.Eng.Now() + 2*sim.Second)
+	v, ok := m.DB().Get(7)
+	if !ok || v.LSN != lsn {
+		t.Fatalf("committed version missing: %+v %v", v, ok)
+	}
+	if v.Stolen {
+		t.Fatalf("stolen marker not cleaned after commit: %+v", v)
+	}
+	if st := m.Stats(); st.LOTEntries != 0 || st.LTTEntries != 0 {
+		t.Fatalf("record not retired after clean: %+v", st)
+	}
+	assertInv(t, m)
+}
+
+func TestStealAbortWithFlushInService(t *testing.T) {
+	// Slow drive: abort lands while the stolen flush is in service; the
+	// completion must be rolled back on arrival.
+	s := testSetup(t, Params{
+		Mode: ModeEphemeral, GenSizes: []int{8, 8}, Steal: true,
+	}, FlushConfig{Drives: 1, Transfer: 500 * sim.Millisecond, NumObjects: 1000})
+	m := s.LM
+	m.Begin(1)
+	m.WriteData(1, 7, 100)
+	m.Quiesce()
+	s.Eng.Run(100 * sim.Millisecond) // record durable; flush in service
+	m.Abort(1)
+	if _, ok := m.DB().Get(7); ok {
+		t.Fatal("DB already has the in-service value")
+	}
+	s.Eng.Run(2 * sim.Second) // flush completes, revert fires
+	if _, ok := m.DB().Get(7); ok {
+		t.Fatalf("in-service stolen flush not rolled back: %+v", mustGet(t, m, 7))
+	}
+	assertInv(t, m)
+}
+
+func mustGet(t *testing.T, m *Manager, oid logrec.OID) any {
+	t.Helper()
+	v, _ := m.DB().Get(oid)
+	return v
+}
+
+func TestStealSameTxOverwrite(t *testing.T) {
+	s := stealSetup(t)
+	m := s.LM
+	m.Begin(1)
+	m.WriteData(1, 7, 100)
+	m.Quiesce()
+	s.Eng.Run(2 * sim.Second) // first update stolen
+	second := m.WriteData(1, 7, 100)
+	m.Quiesce()
+	s.Eng.Run(s.Eng.Now() + 2*sim.Second)
+	m.Abort(1)
+	// Both updates must vanish: the before-image chain points to "no
+	// committed state".
+	if _, ok := m.DB().Get(7); ok {
+		t.Fatalf("overwritten stolen update survived abort: %+v", mustGet(t, m, 7))
+	}
+	_ = second
+	assertInv(t, m)
+}
+
+// TestStealSoak runs randomized traffic with steal on, including aborts,
+// and requires the drained database to match the committed oracle exactly.
+func TestStealSoak(t *testing.T) {
+	for seed := uint64(40); seed <= 45; seed++ {
+		runSoak(t, soakConfig{
+			seed: seed, mode: ModeEphemeral,
+			genSizes: []int{6, 8}, recirc: true, steal: true,
+			payload: 300, txCount: 300, maxWrites: 3,
+			abortEvery: 5, transfer: 15 * sim.Millisecond,
+		})
+	}
+}
+
+// --- BroadNonGarbage (no per-object version timestamps, paper section 6) ---
+
+func TestBroadNonGarbageRetainsSupersededUntilFlush(t *testing.T) {
+	// Slow flush so the first committed version is still unflushed when
+	// the second commits.
+	s := testSetup(t, Params{
+		Mode: ModeEphemeral, GenSizes: []int{8, 8}, BroadNonGarbage: true,
+	}, FlushConfig{Drives: 1, Transfer: 2 * sim.Second, NumObjects: 1000})
+	m := s.LM
+	m.Begin(1)
+	m.WriteData(1, 7, 100)
+	m.Commit(1, nil)
+	m.Quiesce()
+	s.Eng.Run(100 * sim.Millisecond)
+	m.Begin(2)
+	lsn2 := m.WriteData(2, 7, 100)
+	m.Commit(2, nil)
+	m.Quiesce()
+	s.Eng.Run(200 * sim.Millisecond)
+	assertInv(t, m)
+	// Both transactions' entries and both records must still be live: the
+	// superseded version cannot become garbage before the new one flushes.
+	st := m.Stats()
+	if st.LTTEntries != 2 {
+		t.Fatalf("LTT entries = %d, want 2 (superseded version retained)", st.LTTEntries)
+	}
+	live := 0
+	for _, g := range st.Gens {
+		live += g.Cells
+	}
+	if live < 4 { // 2 data records + 2 commit records
+		t.Fatalf("only %d live cells; superseded record was dropped", live)
+	}
+	// Once the newest version flushes, the whole chain clears.
+	s.Eng.Run(10 * sim.Second)
+	if st := m.Stats(); st.LOTEntries != 0 || st.LTTEntries != 0 {
+		t.Fatalf("chain did not clear after flush: %+v", st)
+	}
+	if v, _ := m.DB().Get(7); v.LSN != lsn2 {
+		t.Fatalf("DB has %d, want newest %d", v.LSN, lsn2)
+	}
+	assertInv(t, m)
+}
+
+func TestBroadNonGarbageVsDefault(t *testing.T) {
+	// A hot-object workload: without version timestamps the log must carry
+	// superseded chains, so more records stay live.
+	run := func(broad bool) (liveAvg uint64, st Stats) {
+		s := testSetup(t, Params{
+			Mode: ModeEphemeral, GenSizes: []int{12, 12}, BroadNonGarbage: broad,
+		}, FlushConfig{Drives: 1, Transfer: 100 * sim.Millisecond, NumObjects: 1000})
+		m := s.LM
+		for i := 0; i < 200; i++ {
+			tid := logrec.TxID(1 + i)
+			m.Begin(tid)
+			m.WriteData(tid, logrec.OID(i%5), 100) // 5 hot objects
+			m.Commit(tid, nil)
+			s.Eng.Run(s.Eng.Now() + 30*sim.Millisecond)
+			if i%50 == 0 {
+				assertInv(t, m)
+			}
+		}
+		st = m.Stats()
+		live := uint64(0)
+		for _, g := range st.Gens {
+			live += uint64(g.Cells)
+		}
+		return live, st
+	}
+	liveDefault, _ := run(false)
+	liveBroad, stB := run(true)
+	if liveBroad <= liveDefault {
+		t.Fatalf("broad non-garbage retained no extra records: %d vs %d", liveBroad, liveDefault)
+	}
+	if stB.Killed > 0 {
+		t.Fatalf("broad mode killed transactions at generous sizes: %+v", stB)
+	}
+}
+
+func TestBroadNonGarbageSoak(t *testing.T) {
+	for seed := uint64(50); seed <= 53; seed++ {
+		runSoak(t, soakConfig{
+			seed: seed, mode: ModeEphemeral,
+			genSizes: []int{6, 8}, recirc: true, broad: true,
+			payload: 300, txCount: 250, maxWrites: 3,
+			abortEvery: 8, transfer: 25 * sim.Millisecond,
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"ellog/internal/logrec"
+	"ellog/internal/sim"
+)
+
+// txState tracks a transaction through its life in the LTT.
+type txState uint8
+
+const (
+	// txActive: BEGIN written, still executing.
+	txActive txState = iota
+	// txCommitting: COMMIT record appended to a buffer, not yet durable.
+	txCommitting
+	// txCommitted: COMMIT durable; entry lives on until every update is
+	// flushed (its oid set drains to empty).
+	txCommitted
+	// txAborted: aborted or killed; the entry is removed immediately, so
+	// this state is only ever observed transiently.
+	txAborted
+)
+
+// lttEntry is one logged transaction table entry (section 2.3): the cell
+// for the transaction's most recent tx log record plus the set of oids it
+// has updated and that still have non-garbage data records. Entries are
+// keyed by tid in a chained hash table.
+type lttEntry struct {
+	tid    logrec.TxID
+	state  txState
+	txCell *cell
+	// oids tracks which objects this transaction updated; an oid leaves
+	// the set when the corresponding data record becomes garbage.
+	oids map[logrec.OID]struct{}
+
+	beginAt     sim.Time
+	commitAppAt sim.Time // when the COMMIT record was appended (t3)
+	onDurable   func()   // generator callback at t4
+	startGen    int      // generation receiving this tx's records (hints)
+	killed      bool
+}
+
+// lotEntry is one logged object table entry (section 2.3): the cells for
+// the object's non-garbage data log records — at most one for the most
+// recently committed (but unflushed) update, and possibly several for
+// uncommitted updates. Entries are keyed by oid in a chained hash table.
+type lotEntry struct {
+	oid logrec.OID
+	// committed is the cell of the most recently committed, not yet
+	// flushed update, if any.
+	committed *cell
+	// uncommitted maps an active transaction to its latest update's cell.
+	// The paper's workload gives each object at most one active writer,
+	// but the structure supports several (e.g. under optimistic CC).
+	uncommitted map[logrec.TxID]*cell
+	// superseded holds older committed records that must outlive their
+	// successors until the newest version is flushed — only under
+	// Params.BroadNonGarbage (no per-object version timestamps).
+	superseded []*cell
+}
+
+func (e *lotEntry) empty() bool {
+	return e.committed == nil && len(e.uncommitted) == 0 && len(e.superseded) == 0
+}

@@ -1,0 +1,395 @@
+// Package experiments regenerates every figure and headline number of the
+// paper's evaluation (section 4):
+//
+//   - Figure 4: minimum disk space vs. transaction mix, FW and EL (two
+//     generations, recirculation off).
+//   - Figure 5: log disk bandwidth vs. mix at those minimum sizes.
+//   - Figure 6: main-memory requirements vs. mix at those minimum sizes.
+//   - Figure 7: EL last-generation and total bandwidth vs. last-generation
+//     size with recirculation on, generation 0 fixed at its Figure-4
+//     minimum.
+//   - The scarce-flush-bandwidth experiment (45 ms transfers): space,
+//     bandwidth and flush locality when the flush service rate barely
+//     exceeds the update rate.
+//   - The headline ratios: EL's disk-space reduction factor and bandwidth
+//     increase vs. FW at the 5% mix, without and with recirculation.
+//
+// All experiments share the paper's fixed frame: two transaction types
+// (1 s/2x100 B and 10 s/4x100 B), 100 TPS, 500 s, 10^7 objects, 10 flush
+// drives. Options can scale runtime and object count down for quick runs;
+// the shapes survive scaling.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/metrics"
+	"ellog/internal/search"
+	"ellog/internal/sim"
+)
+
+// Options scales the experimental frame.
+type Options struct {
+	Seed       uint64
+	Runtime    sim.Time // default 500 s (the paper's duration)
+	NumObjects uint64   // default 10^7
+	Mixes      []float64
+	// FlushTransfer overrides the per-object flush time (default 25 ms).
+	FlushTransfer sim.Time
+}
+
+// WithDefaults fills in the paper's frame.
+func (o Options) WithDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Runtime == 0 {
+		o.Runtime = 500 * sim.Second
+	}
+	if o.NumObjects == 0 {
+		o.NumObjects = 10_000_000
+	}
+	if len(o.Mixes) == 0 {
+		o.Mixes = []float64{0.05, 0.10, 0.20, 0.30, 0.40}
+	}
+	if o.FlushTransfer == 0 {
+		o.FlushTransfer = 25 * sim.Millisecond
+	}
+	return o
+}
+
+func (o Options) base(fracLong float64) harness.Config {
+	cfg := harness.PaperDefaults(fracLong)
+	cfg.Seed = o.Seed
+	cfg.Workload.Runtime = o.Runtime
+	cfg.Workload.NumObjects = o.NumObjects
+	cfg.Flush.NumObjects = o.NumObjects
+	cfg.Flush.Transfer = o.FlushTransfer
+	return cfg
+}
+
+// MixPoint is one transaction-mix column of Figures 4, 5 and 6.
+type MixPoint struct {
+	FracLong float64
+
+	FWBlocks  int
+	FWBW      float64 // block writes/s at the minimum size
+	FWMemPeak float64 // bytes
+
+	ELGen0, ELGen1 int
+	ELBlocks       int
+	ELBW           float64
+	ELMemPeak      float64
+}
+
+// Fig456 runs the minimum-space searches for each mix and returns the data
+// behind Figures 4 (disk space), 5 (bandwidth) and 6 (memory). EL runs two
+// generations with recirculation disabled, exactly as in the paper's
+// Figure 4 ("recirculation in the last generation is disabled for EL, so
+// that we can assess the effect of simply segmenting the log").
+func Fig456(o Options) ([]MixPoint, error) {
+	o = o.WithDefaults()
+	var out []MixPoint
+	for _, mix := range o.Mixes {
+		base := o.base(mix)
+		fwSize, fwRun, err := search.MinFirewall(base, 192)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 FW at mix %.2f: %w", mix, err)
+		}
+		el, err := search.MinTwoGen(base, false, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 EL at mix %.2f: %w", mix, err)
+		}
+		out = append(out, MixPoint{
+			FracLong:  mix,
+			FWBlocks:  fwSize,
+			FWBW:      fwRun.LM.TotalBandwidth,
+			FWMemPeak: fwRun.LM.MemPeakBytes,
+			ELGen0:    el.Gen0,
+			ELGen1:    el.Gen1,
+			ELBlocks:  el.Total,
+			ELBW:      el.Run.LM.TotalBandwidth,
+			ELMemPeak: el.Run.LM.MemPeakBytes,
+		})
+	}
+	return out, nil
+}
+
+// FormatFig456 renders the three figures' data as aligned tables.
+func FormatFig456(points []MixPoint) string {
+	var b strings.Builder
+	mixCol := func(p MixPoint) string { return fmt.Sprintf("%.0f%%", p.FracLong*100) }
+	b.WriteString("Figure 4 — minimum log disk space (blocks) vs. transaction mix\n")
+	fmt.Fprintf(&b, "  %-6s %8s %14s %10s %8s\n", "mix", "FW", "EL split", "EL total", "FW/EL")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-6s %8d %11d+%-3d %10d %8.2f\n",
+			mixCol(p), p.FWBlocks, p.ELGen0, p.ELGen1, p.ELBlocks,
+			float64(p.FWBlocks)/float64(p.ELBlocks))
+	}
+	b.WriteString("\nFigure 5 — log disk bandwidth (block writes/s) vs. transaction mix\n")
+	fmt.Fprintf(&b, "  %-6s %10s %10s %10s\n", "mix", "FW", "EL", "EL-FW")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-6s %10.2f %10.2f %+9.1f%%\n",
+			mixCol(p), p.FWBW, p.ELBW, 100*(p.ELBW/p.FWBW-1))
+	}
+	b.WriteString("\nFigure 6 — peak LOT+LTT memory (bytes) vs. transaction mix\n")
+	fmt.Fprintf(&b, "  %-6s %10s %10s %10s\n", "mix", "FW", "EL", "EL/FW")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-6s %10.0f %10.0f %9.2fx\n",
+			mixCol(p), p.FWMemPeak, p.ELMemPeak, p.ELMemPeak/p.FWMemPeak)
+	}
+	b.WriteString("\n")
+	b.WriteString(PlotFig456(points))
+	return b.String()
+}
+
+// Fig7Point is one last-generation size of Figure 7.
+type Fig7Point struct {
+	Gen1    int
+	Total   int
+	Gen1BW  float64 // bandwidth to the last generation only
+	TotalBW float64 // overall logging bandwidth
+	Recirc  uint64  // records recirculated during the run
+}
+
+// Fig7Result carries the sweep plus its reference points.
+type Fig7Result struct {
+	Gen0        int // fixed at the Figure-4 minimum (paper: 18)
+	NoRecircG1  int // Figure-4 minimum last generation (paper: 16)
+	MinRecircG1 int // smallest sustainable with recirculation (paper: 10)
+	Points      []Fig7Point
+	FWBlocks    int
+	FWBW        float64
+}
+
+// Fig7 reproduces Figure 7: with recirculation enabled and generation 0
+// fixed at its Figure-4 minimum, the last generation shrinks until
+// transactions die; bandwidth to the last generation (and in total) rises
+// as recirculation does more work.
+func Fig7(o Options) (Fig7Result, error) {
+	o = o.WithDefaults()
+	mix := o.Mixes[0] // the paper uses the 5% mix
+	base := o.base(mix)
+
+	el, err := search.MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 baseline search: %w", err)
+	}
+	fwSize, fwRun, err := search.MinFirewall(base, 192)
+	if err != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 FW reference: %w", err)
+	}
+	res := Fig7Result{
+		Gen0:       el.Gen0,
+		NoRecircG1: el.Gen1,
+		FWBlocks:   fwSize,
+		FWBW:       fwRun.LM.TotalBandwidth,
+	}
+	minG1, _, err := search.MinLastGen(base, core.ModeEphemeral, []int{el.Gen0}, true, el.Gen1+2)
+	if err != nil {
+		return res, fmt.Errorf("fig7 recirculation minimum: %w", err)
+	}
+	res.MinRecircG1 = minG1
+	for g1 := el.Gen1; g1 >= minG1; g1-- {
+		ok, run, err := search.Probe(base, core.ModeEphemeral, []int{el.Gen0, g1}, true)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			break
+		}
+		res.Points = append(res.Points, Fig7Point{
+			Gen1:    g1,
+			Total:   el.Gen0 + g1,
+			Gen1BW:  run.LM.Gens[1].Bandwidth,
+			TotalBW: run.LM.TotalBandwidth,
+			Recirc:  run.LM.Recirculated,
+		})
+	}
+	return res, nil
+}
+
+// FormatFig7 renders the Figure 7 sweep.
+func FormatFig7(r Fig7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — EL disk bandwidth vs. space (gen 0 fixed at %d blocks, recirculation on)\n", r.Gen0)
+	fmt.Fprintf(&b, "  FW reference: %d blocks, %.2f writes/s\n", r.FWBlocks, r.FWBW)
+	fmt.Fprintf(&b, "  last generation shrinks %d -> %d blocks:\n", r.NoRecircG1, r.MinRecircG1)
+	fmt.Fprintf(&b, "  %-10s %-8s %12s %12s %12s\n", "gen1", "total", "gen1 BW", "total BW", "recirculated")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-10d %-8d %12.2f %12.2f %12d\n", p.Gen1, p.Total, p.Gen1BW, p.TotalBW, p.Recirc)
+	}
+	if len(r.Points) > 1 {
+		b.WriteString("\n")
+		b.WriteString(PlotFig7(r))
+	}
+	return b.String()
+}
+
+// ScarceResult is the section-4 scarce-flush-bandwidth experiment.
+type ScarceResult struct {
+	Transfer      sim.Time
+	MaxFlushRate  float64
+	UpdateRate    float64
+	Gen0, Gen1    int
+	TotalBlocks   int
+	TotalBW       float64
+	AvgDist       float64 // locality under scarcity
+	BaselineDist  float64 // locality at the default 25 ms transfer
+	Recirculated  uint64
+	FlushBacklog  int
+	FlushBusyFrac float64
+}
+
+// Scarce reproduces the experiment where flush transfer time rises to
+// 45 ms, giving 222 flushes/s against 210 updates/s at the 5% mix:
+// unflushed committed updates recirculate until flushed, and the flush
+// backlog makes disk I/O markedly more sequential (the inter-flush oid
+// distance drops — the paper reports 109,000 vs 235,000).
+func Scarce(o Options) (ScarceResult, error) {
+	o = o.WithDefaults()
+	mix := o.Mixes[0]
+
+	// Baseline locality at the default transfer on a sufficient recirc
+	// configuration.
+	baseOpt := o
+	baseOpt.FlushTransfer = 25 * sim.Millisecond
+	baseCfg := baseOpt.base(mix)
+	baseEL, err := search.MinTwoGen(baseCfg, false, 0, 0)
+	if err != nil {
+		return ScarceResult{}, fmt.Errorf("scarce baseline: %w", err)
+	}
+
+	scarceOpt := o
+	scarceOpt.FlushTransfer = 45 * sim.Millisecond
+	cfg := scarceOpt.base(mix)
+	g1, run, err := search.MinLastGen(cfg, core.ModeEphemeral, []int{baseEL.Gen0}, true, baseEL.Gen1+16)
+	if err != nil {
+		return ScarceResult{}, fmt.Errorf("scarce search: %w", err)
+	}
+	return ScarceResult{
+		Transfer:      45 * sim.Millisecond,
+		MaxFlushRate:  float64(cfg.Flush.Drives) / (45 * sim.Millisecond).Seconds(),
+		UpdateRate:    cfg.Workload.Mix.UpdatesPerSecond(cfg.Workload.ArrivalRate),
+		Gen0:          baseEL.Gen0,
+		Gen1:          g1,
+		TotalBlocks:   baseEL.Gen0 + g1,
+		TotalBW:       run.LM.TotalBandwidth,
+		AvgDist:       run.LM.Flush.AvgDistance,
+		BaselineDist:  baseEL.Run.LM.Flush.AvgDistance,
+		Recirculated:  run.LM.Recirculated,
+		FlushBacklog:  run.LM.Flush.MaxPending,
+		FlushBusyFrac: run.LM.Flush.BusyFrac,
+	}, nil
+}
+
+// FormatScarce renders the scarce-bandwidth experiment.
+func FormatScarce(r ScarceResult) string {
+	var b strings.Builder
+	b.WriteString("Scarce flush bandwidth (section 4): 10 drives x 45 ms = ")
+	fmt.Fprintf(&b, "%.0f flushes/s vs %.0f updates/s\n", r.MaxFlushRate, r.UpdateRate)
+	fmt.Fprintf(&b, "  EL with recirculation: %d blocks (%d + %d), %.2f writes/s, %d recirculated\n",
+		r.TotalBlocks, r.Gen0, r.Gen1, r.TotalBW, r.Recirculated)
+	fmt.Fprintf(&b, "  avg inter-flush oid distance: %.0f (vs %.0f at 25 ms) — backlog makes I/O more sequential\n",
+		r.AvgDist, r.BaselineDist)
+	fmt.Fprintf(&b, "  flush: busy %.0f%%, peak backlog %d\n", r.FlushBusyFrac*100, r.FlushBacklog)
+	return b.String()
+}
+
+// HeadlineResult carries the paper's summary ratios at the 5% mix.
+type HeadlineResult struct {
+	FWBlocks      int
+	FWBW          float64
+	ELNoRecirc    int // total blocks (paper: 34)
+	ELNoRecircBW  float64
+	ELRecirc      int // total blocks (paper: 28)
+	ELRecircBW    float64
+	SpaceFactorNR float64 // paper: 3.6
+	BWIncreaseNR  float64 // paper: +11%
+	SpaceFactorR  float64 // paper: 4.4
+	BWIncreaseR   float64 // paper: +12%
+}
+
+// Headline computes the paper's summary numbers: "It reduces disk space by
+// a factor of 3.6 with only an 11% increase in bandwidth" (no
+// recirculation) and "a factor of 4.4 reduction in disk space and a 12%
+// increase in bandwidth" (with recirculation), at the 5% mix.
+func Headline(o Options) (HeadlineResult, error) {
+	o = o.WithDefaults()
+	base := o.base(o.Mixes[0])
+	fwSize, fwRun, err := search.MinFirewall(base, 192)
+	if err != nil {
+		return HeadlineResult{}, err
+	}
+	el, err := search.MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		return HeadlineResult{}, err
+	}
+	g1, recircRun, err := search.MinLastGen(base, core.ModeEphemeral, []int{el.Gen0}, true, el.Gen1+2)
+	if err != nil {
+		return HeadlineResult{}, err
+	}
+	h := HeadlineResult{
+		FWBlocks:     fwSize,
+		FWBW:         fwRun.LM.TotalBandwidth,
+		ELNoRecirc:   el.Total,
+		ELNoRecircBW: el.Run.LM.TotalBandwidth,
+		ELRecirc:     el.Gen0 + g1,
+		ELRecircBW:   recircRun.LM.TotalBandwidth,
+	}
+	h.SpaceFactorNR = float64(h.FWBlocks) / float64(h.ELNoRecirc)
+	h.BWIncreaseNR = 100 * (h.ELNoRecircBW/h.FWBW - 1)
+	h.SpaceFactorR = float64(h.FWBlocks) / float64(h.ELRecirc)
+	h.BWIncreaseR = 100 * (h.ELRecircBW/h.FWBW - 1)
+	return h, nil
+}
+
+// FormatHeadline renders the summary comparison.
+func FormatHeadline(h HeadlineResult) string {
+	var b strings.Builder
+	b.WriteString("Headline comparison at the 5% mix (paper section 4):\n")
+	fmt.Fprintf(&b, "  FW:               %4d blocks, %6.2f writes/s\n", h.FWBlocks, h.FWBW)
+	fmt.Fprintf(&b, "  EL (no recirc):   %4d blocks, %6.2f writes/s  -> space /%.1f, bandwidth %+.0f%%  (paper: /3.6, +11%%)\n",
+		h.ELNoRecirc, h.ELNoRecircBW, h.SpaceFactorNR, h.BWIncreaseNR)
+	fmt.Fprintf(&b, "  EL (recirc):      %4d blocks, %6.2f writes/s  -> space /%.1f, bandwidth %+.0f%%  (paper: /4.4, +12%%)\n",
+		h.ELRecirc, h.ELRecircBW, h.SpaceFactorR, h.BWIncreaseR)
+	return b.String()
+}
+
+// PlotFig456 draws the three figures' curves as terminal charts.
+func PlotFig456(points []MixPoint) string {
+	mk := func(name string, y func(MixPoint) float64) metrics.Series {
+		s := metrics.Series{Name: name}
+		for _, p := range points {
+			s.Add(p.FracLong*100, y(p))
+		}
+		return s
+	}
+	var b strings.Builder
+	b.WriteString(metrics.AsciiPlot("Figure 4: min disk space (blocks) vs % long txs", 48, 10,
+		mk("FW", func(p MixPoint) float64 { return float64(p.FWBlocks) }),
+		mk("EL", func(p MixPoint) float64 { return float64(p.ELBlocks) })))
+	b.WriteString("\n")
+	b.WriteString(metrics.AsciiPlot("Figure 5: log bandwidth (writes/s) vs % long txs", 48, 10,
+		mk("FW", func(p MixPoint) float64 { return p.FWBW }),
+		mk("EL", func(p MixPoint) float64 { return p.ELBW })))
+	b.WriteString("\n")
+	b.WriteString(metrics.AsciiPlot("Figure 6: peak memory (bytes) vs % long txs", 48, 10,
+		mk("FW", func(p MixPoint) float64 { return p.FWMemPeak }),
+		mk("EL", func(p MixPoint) float64 { return p.ELMemPeak })))
+	return b.String()
+}
+
+// PlotFig7 draws the Figure 7 sweep.
+func PlotFig7(r Fig7Result) string {
+	total := metrics.Series{Name: "total BW"}
+	last := metrics.Series{Name: "last-gen BW"}
+	for _, p := range r.Points {
+		total.Add(float64(p.Gen1), p.TotalBW)
+		last.Add(float64(p.Gen1), p.Gen1BW)
+	}
+	return metrics.AsciiPlot("Figure 7: bandwidth (writes/s) vs last-generation blocks", 48, 10, total, last)
+}

@@ -1,0 +1,566 @@
+package experiments
+
+// This file implements ablation and extension experiments beyond the
+// paper's evaluation section, covering the design variations its
+// concluding remarks propose: lifetime-hint placement, deeper generation
+// chains, the EL-FW hybrid, and adaptive sizing. EXPERIMENTS.md labels
+// these clearly as extensions rather than reproductions.
+
+import (
+	"fmt"
+	"strings"
+
+	"ellog/internal/adaptive"
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/hybrid"
+	"ellog/internal/multilog"
+	"ellog/internal/search"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// HintsResult is the lifetime-hint placement ablation (paper section 6:
+// starting a transaction's records "in a generation in which the records
+// are unlikely to reach the head before the transaction finishes" to
+// reduce bandwidth).
+type HintsResult struct {
+	Sizes       []int
+	BaseBW      float64 // writes/s without hints
+	HintBW      float64 // writes/s with hints
+	BaseForward uint64
+	HintForward uint64
+	// MinGen0NoHints and MinGen0Hints: the smallest working generation 0
+	// with the last generation fixed — hints shed the long transactions'
+	// traffic from generation 0 entirely.
+	MinGen0NoHints int
+	MinGen0Hints   int
+}
+
+// Hints runs the lifetime-hint ablation at the 5% mix. The generation
+// split follows the paper's method: the no-recirculation minimum fixes
+// generation 0, then recirculation shrinks the last generation (a direct
+// recirculation-on minimum degenerates to a tiny generation 0 with one
+// huge recirculating queue, which is not the configuration of interest).
+func Hints(o Options) (HintsResult, error) {
+	o = o.WithDefaults()
+	base := o.base(o.Mixes[0])
+
+	elNR, err := search.MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		return HintsResult{}, err
+	}
+	g1, _, err := search.MinLastGen(base, core.ModeEphemeral, []int{elNR.Gen0}, true, elNR.Gen1+2)
+	if err != nil {
+		return HintsResult{}, err
+	}
+	gen0 := elNR.Gen0
+	sizes := []int{gen0, g1}
+	r := HintsResult{Sizes: sizes}
+
+	run := func(hints bool, g0 int) (harness.Result, error) {
+		cfg := base
+		cfg.LM = core.Params{
+			Mode:        core.ModeEphemeral,
+			GenSizes:    []int{g0, g1},
+			Recirculate: true,
+		}
+		if hints {
+			cfg.LM.HintBoundaries = []sim.Time{2 * sim.Second}
+			cfg.LM.GroupCommitTimeout = 100 * sim.Millisecond
+			cfg.Workload.Hints = true
+		}
+		return harness.Run(cfg)
+	}
+	baseRun, err := run(false, gen0)
+	if err != nil {
+		return r, err
+	}
+	hintRun, err := run(true, gen0)
+	if err != nil {
+		return r, err
+	}
+	r.BaseBW = baseRun.LM.TotalBandwidth
+	r.HintBW = hintRun.LM.TotalBandwidth
+	r.BaseForward = baseRun.LM.Forwarded
+	r.HintForward = hintRun.LM.Forwarded
+	r.MinGen0NoHints = gen0
+
+	// How small can generation 0 get when long transactions bypass it?
+	lo, hi := search.MinBlocks, gen0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		res, err := run(true, mid)
+		if err != nil {
+			return r, err
+		}
+		if res.Insufficient() {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.MinGen0Hints = hi
+	return r, nil
+}
+
+// FormatHints renders the hint ablation.
+func FormatHints(r HintsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lifetime-hint placement (section 6 extension) at EL %v with recirculation:\n", r.Sizes)
+	fmt.Fprintf(&b, "  without hints: %6.2f writes/s, %6d records forwarded\n", r.BaseBW, r.BaseForward)
+	fmt.Fprintf(&b, "  with hints:    %6.2f writes/s, %6d records forwarded\n", r.HintBW, r.HintForward)
+	fmt.Fprintf(&b, "  minimum generation 0: %d blocks without hints, %d with\n", r.MinGen0NoHints, r.MinGen0Hints)
+	return b.String()
+}
+
+// ChainResult compares log depth on a wide-lifetime workload: FW vs
+// two-generation vs three-generation EL.
+type ChainResult struct {
+	Mix      workload.Mix
+	FWBlocks int
+	FWBW     float64
+	Two      search.TwoGenResult
+	Three    []int
+	ThreeBW  float64
+}
+
+// Chain runs the generation-depth experiment on a three-lifetime mix
+// (1 s / 10 s / 60 s): the wider the lifetime spread, the more a deeper
+// chain of generations pays off — the workload the paper's introduction
+// motivates ("transactions of widely varying lifetimes").
+func Chain(o Options) (ChainResult, error) {
+	o = o.WithDefaults()
+	mix := workload.Mix{
+		{Name: "short-1s", Prob: 0.90, Lifetime: sim.Second, NumRecords: 2, RecordSize: 100},
+		{Name: "medium-10s", Prob: 0.08, Lifetime: 10 * sim.Second, NumRecords: 4, RecordSize: 100},
+		{Name: "long-60s", Prob: 0.02, Lifetime: 60 * sim.Second, NumRecords: 6, RecordSize: 100},
+	}
+	base := o.base(0)
+	base.Workload.Mix = mix
+
+	r := ChainResult{Mix: mix}
+	fwSize, fwRun, err := search.MinFirewall(base, 1024)
+	if err != nil {
+		return r, err
+	}
+	r.FWBlocks = fwSize
+	r.FWBW = fwRun.LM.TotalBandwidth
+
+	// The paper's method: fix generation 0 at the no-recirculation
+	// minimum, then let recirculation shrink the last generation.
+	twoNR, err := search.MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		return r, err
+	}
+	g1, twoRun, err := search.MinLastGen(base, core.ModeEphemeral, []int{twoNR.Gen0}, true, twoNR.Gen1+2)
+	if err != nil {
+		return r, err
+	}
+	r.Two = search.TwoGenResult{Gen0: twoNR.Gen0, Gen1: g1, Total: twoNR.Gen0 + g1, Run: twoRun}
+
+	three, threeRun, err := minChainGuided(base, true,
+		[]int{twoNR.Gen0, twoNR.Gen1, twoNR.Gen1})
+	if err != nil {
+		return r, err
+	}
+	r.Three = three
+	r.ThreeBW = threeRun.LM.TotalBandwidth
+	return r, nil
+}
+
+// minChainGuided sizes an N-generation chain by letting the adaptive
+// controller converge on a live run (it allocates space by garbage-age
+// economics, avoiding the degenerate basins plain local search falls
+// into), then polishing the candidate with search.MinChain's unit-step
+// descent. The start must be feasible or near-feasible.
+func minChainGuided(base harness.Config, recirc bool, start []int) ([]int, harness.Result, error) {
+	cfg := base
+	cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: start, Recirculate: recirc}
+	live, err := harness.Build(cfg)
+	if err != nil {
+		return nil, harness.Result{}, err
+	}
+	ctl := adaptive.Attach(live.Setup.Eng, live.Setup.LM, adaptive.Config{})
+	live.Setup.Eng.Run(cfg.Workload.Runtime)
+	cand := ctl.Sizes()
+	// Two blocks of headroom per generation: the controller's converged
+	// sizes reflect a run that includes its own convergence turbulence.
+	for i := range cand {
+		cand[i] += 2
+	}
+	return search.MinChain(base, recirc, cand)
+}
+
+// FormatChain renders the generation-depth comparison.
+func FormatChain(r ChainResult) string {
+	sum := func(s []int) int {
+		t := 0
+		for _, v := range s {
+			t += v
+		}
+		return t
+	}
+	var b strings.Builder
+	b.WriteString("Generation depth on a 1s/10s/60s mix (90/8/2%):\n")
+	fmt.Fprintf(&b, "  FW:       %4d blocks, %6.2f writes/s\n", r.FWBlocks, r.FWBW)
+	fmt.Fprintf(&b, "  EL x2:    %4d blocks (%d+%d), %6.2f writes/s\n",
+		r.Two.Total, r.Two.Gen0, r.Two.Gen1, r.Two.Run.LM.TotalBandwidth)
+	fmt.Fprintf(&b, "  EL x3:    %4d blocks %v, %6.2f writes/s\n", sum(r.Three), r.Three, r.ThreeBW)
+	return b.String()
+}
+
+// HybridCompareResult positions FW, EL and the EL-FW hybrid on a workload
+// with many updates per transaction (section 6: the hybrid's memory win is
+// "drastic" when each transaction updates many objects).
+type HybridCompareResult struct {
+	Blocks       [3]int     // FW, EL, hybrid disk budgets used
+	Bandwidth    [3]float64 // writes/s
+	MemPeak      [3]float64 // bytes
+	HybridRegens uint64
+}
+
+// HybridCompare runs the three techniques on an update-heavy mix.
+func HybridCompare(o Options) (HybridCompareResult, error) {
+	o = o.WithDefaults()
+	mix := workload.Mix{
+		{Name: "short", Prob: 0.8, Lifetime: sim.Second, NumRecords: 2, RecordSize: 100},
+		{Name: "update-heavy", Prob: 0.2, Lifetime: 10 * sim.Second, NumRecords: 10, RecordSize: 100},
+	}
+	base := o.base(0)
+	base.Workload.Mix = mix
+
+	var r HybridCompareResult
+
+	fwSize, fwRun, err := search.MinFirewall(base, 512)
+	if err != nil {
+		return r, err
+	}
+	r.Blocks[0] = fwSize
+	r.Bandwidth[0] = fwRun.LM.TotalBandwidth
+	r.MemPeak[0] = fwRun.LM.MemPeakBytes
+
+	el, err := search.MinTwoGen(base, true, 0, 0)
+	if err != nil {
+		return r, err
+	}
+	r.Blocks[1] = el.Total
+	r.Bandwidth[1] = el.Run.LM.TotalBandwidth
+	r.MemPeak[1] = el.Run.LM.MemPeakBytes
+
+	// Hybrid at the same budget split as EL.
+	eng := sim.NewEngine(base.Seed, base.Seed^0x9e3779b97f4a7c15)
+	hs, err := hybrid.NewSetup(eng, hybrid.Params{
+		QueueSizes:         []int{el.Gen0, el.Gen1},
+		Recirculate:        true,
+		GroupCommitTimeout: 100 * sim.Millisecond,
+	}, hybrid.FlushConfig{
+		Drives:     base.Flush.Drives,
+		Transfer:   base.Flush.Transfer,
+		NumObjects: base.Flush.NumObjects,
+	})
+	if err != nil {
+		return r, err
+	}
+	gen, err := workload.New(eng, hs.LM, base.Workload)
+	if err != nil {
+		return r, err
+	}
+	gen.Start()
+	eng.Run(base.Workload.Runtime)
+	hst := hs.LM.Stats()
+	r.Blocks[2] = hst.TotalBlocks
+	r.Bandwidth[2] = hst.TotalBandwidth
+	r.MemPeak[2] = hst.MemPeakBytes
+	r.HybridRegens = hst.Regenerated
+	return r, nil
+}
+
+// FormatHybridCompare renders the three-technique comparison.
+func FormatHybridCompare(r HybridCompareResult) string {
+	var b strings.Builder
+	b.WriteString("FW vs EL vs EL-FW hybrid on an update-heavy mix (10 updates per long tx):\n")
+	fmt.Fprintf(&b, "  %-8s %10s %12s %12s\n", "", "blocks", "writes/s", "mem peak B")
+	names := []string{"FW", "EL", "hybrid"}
+	for i, n := range names {
+		fmt.Fprintf(&b, "  %-8s %10d %12.2f %12.0f\n", n, r.Blocks[i], r.Bandwidth[i], r.MemPeak[i])
+	}
+	fmt.Fprintf(&b, "  (hybrid regenerated %d records — its bandwidth premium for FW-like memory)\n", r.HybridRegens)
+	return b.String()
+}
+
+// AdaptiveResult records the adaptive-sizing run.
+type AdaptiveResult struct {
+	StartSizes []int
+	FinalSizes []int
+	OfflineMin int
+	Kills      uint64 // total (all during convergence)
+	LateKills  uint64 // kills in the final quarter of the run — should be 0
+	Grown      int
+	Shrunk     int
+}
+
+// Adaptive starts EL far too small, lets the controller converge, and
+// compares the result with the offline search minimum.
+func Adaptive(o Options) (AdaptiveResult, error) {
+	o = o.WithDefaults()
+	base := o.base(o.Mixes[0])
+
+	r := AdaptiveResult{StartSizes: []int{6, 6}}
+	off, err := search.MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		return r, err
+	}
+	r.OfflineMin = off.Total
+
+	cfg := base
+	cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: r.StartSizes, Recirculate: false}
+	live, err := harness.Build(cfg)
+	if err != nil {
+		return r, err
+	}
+	ctl := adaptive.Attach(live.Setup.Eng, live.Setup.LM, adaptive.Config{})
+	threeQuarters := cfg.Workload.Runtime / 4 * 3
+	live.Setup.Eng.Run(threeQuarters)
+	killsAt75 := live.Gen.Stats().Killed
+	live.Setup.Eng.Run(cfg.Workload.Runtime)
+	r.Kills = live.Gen.Stats().Killed
+	r.LateKills = r.Kills - killsAt75
+	r.FinalSizes = ctl.Sizes()
+	r.Grown = ctl.Grown()
+	r.Shrunk = ctl.Shrunk()
+	return r, nil
+}
+
+// FormatAdaptive renders the adaptive-sizing result.
+func FormatAdaptive(r AdaptiveResult) string {
+	total := 0
+	for _, v := range r.FinalSizes {
+		total += v
+	}
+	var b strings.Builder
+	b.WriteString("Adaptive generation sizing (section 6 wish):\n")
+	fmt.Fprintf(&b, "  started at %v, converged to %v (total %d; offline minimum %d)\n",
+		r.StartSizes, r.FinalSizes, total, r.OfflineMin)
+	fmt.Fprintf(&b, "  %d kills during convergence, %d in the final quarter; +%d/-%d blocks\n",
+		r.Kills, r.LateKills, r.Grown, r.Shrunk)
+	return b.String()
+}
+
+// ArrivalPoint is one arrival process's minimum-space result.
+type ArrivalPoint struct {
+	Process  workload.Arrival
+	FWBlocks int
+	ELGen0   int
+	ELGen1   int
+	ELBlocks int
+}
+
+// ArrivalSensitivity continues the paper's future-work sentence ("more
+// complicated probabilistic models (such as Markov arrivals) may be
+// investigated"): the same 5% mix under deterministic, Poisson and bursty
+// Markov-modulated arrivals. Burstier arrivals need bigger logs — for both
+// techniques — because minimum space is set by peak, not mean, backlog.
+func ArrivalSensitivity(o Options) ([]ArrivalPoint, error) {
+	o = o.WithDefaults()
+	var out []ArrivalPoint
+	for _, proc := range []workload.Arrival{
+		workload.ArrivalDeterministic, workload.ArrivalPoisson, workload.ArrivalBursty,
+	} {
+		base := o.base(o.Mixes[0])
+		base.Workload.Arrival = proc
+		fwSize, _, err := search.MinFirewall(base, 256)
+		if err != nil {
+			return nil, fmt.Errorf("arrivals %v: %w", proc, err)
+		}
+		el, err := search.MinTwoGen(base, false, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("arrivals %v: %w", proc, err)
+		}
+		out = append(out, ArrivalPoint{
+			Process:  proc,
+			FWBlocks: fwSize,
+			ELGen0:   el.Gen0,
+			ELGen1:   el.Gen1,
+			ELBlocks: el.Total,
+		})
+	}
+	return out, nil
+}
+
+// FormatArrivals renders the arrival-sensitivity table.
+func FormatArrivals(points []ArrivalPoint) string {
+	var b strings.Builder
+	b.WriteString("Arrival-process sensitivity (5% mix, minimum blocks with no kills):\n")
+	fmt.Fprintf(&b, "  %-14s %8s %14s %10s\n", "process", "FW", "EL split", "EL total")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-14v %8d %11d+%-3d %10d\n", p.Process, p.FWBlocks, p.ELGen0, p.ELGen1, p.ELBlocks)
+	}
+	return b.String()
+}
+
+// StealResult is the UNDO/REDO ablation: the same workload and sizes with
+// and without the steal policy.
+type StealResult struct {
+	Sizes        []int
+	NoStealBW    float64
+	StealBW      float64
+	NoStealFlush uint64 // total stable-database writes
+	StealFlush   uint64
+	NoStealMem   float64 // peak LOT+LTT bytes
+	StealMem     float64
+	MinTotalNS   int // minimum two-generation total without steal
+	MinTotalS    int // and with
+}
+
+// Steal compares EL with and without the UNDO/REDO extension at the 5%
+// mix: stealing flushes updates earlier (smaller unflushed backlog, less
+// LOT memory) but pays a commit-time cleaning write per stolen object and
+// keeps stolen records non-garbage until cleaned.
+func Steal(o Options) (StealResult, error) {
+	o = o.WithDefaults()
+	base := o.base(o.Mixes[0])
+
+	elNR, err := search.MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		return StealResult{}, err
+	}
+	r := StealResult{Sizes: []int{elNR.Gen0, elNR.Gen1}, MinTotalNS: elNR.Total}
+
+	run := func(steal bool) (harness.Result, error) {
+		cfg := base
+		cfg.LM = core.Params{
+			Mode:     core.ModeEphemeral,
+			GenSizes: []int{elNR.Gen0, elNR.Gen1},
+			Steal:    steal,
+		}
+		return harness.Run(cfg)
+	}
+	ns, err := run(false)
+	if err != nil {
+		return r, err
+	}
+	st, err := run(true)
+	if err != nil {
+		return r, err
+	}
+	r.NoStealBW = ns.LM.TotalBandwidth
+	r.StealBW = st.LM.TotalBandwidth
+	r.NoStealFlush = ns.LM.Flush.Flushes + ns.LM.Flush.Forced
+	r.StealFlush = st.LM.Flush.Flushes + st.LM.Flush.Forced
+	r.NoStealMem = ns.LM.MemPeakBytes
+	r.StealMem = st.LM.MemPeakBytes
+
+	stealBase := base
+	stealBase.LM.Steal = true
+	elS, err := search.MinTwoGen(stealBase, false, 0, 0)
+	if err != nil {
+		return r, err
+	}
+	r.MinTotalS = elS.Total
+	return r, nil
+}
+
+// FormatSteal renders the steal ablation.
+func FormatSteal(r StealResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UNDO/REDO (steal) ablation at EL %v:\n", r.Sizes)
+	fmt.Fprintf(&b, "  %-10s %12s %16s %14s\n", "", "log writes/s", "DB writes total", "mem peak B")
+	fmt.Fprintf(&b, "  %-10s %12.2f %16d %14.0f\n", "no-steal", r.NoStealBW, r.NoStealFlush, r.NoStealMem)
+	fmt.Fprintf(&b, "  %-10s %12.2f %16d %14.0f\n", "steal", r.StealBW, r.StealFlush, r.StealMem)
+	fmt.Fprintf(&b, "  minimum two-generation total: %d blocks without steal, %d with\n", r.MinTotalNS, r.MinTotalS)
+	return b.String()
+}
+
+// ScalePoint is one partition-count measurement of the shared-nothing
+// multilog experiment.
+type ScalePoint struct {
+	Partitions   int
+	TPS          float64 // aggregate sustained transactions/s
+	Bandwidth    float64 // aggregate log writes/s
+	Blocks       int     // total log disk across partitions
+	RecoveryPar  sim.Time
+	RecoverySer  sim.Time
+	Insufficient bool
+}
+
+// Scale runs the paper's motivating scenario — a highly concurrent system
+// — as P shared-nothing EL partitions, P = 1,2,4,8, each at the paper's
+// per-partition workload. No checkpoints means no cross-partition
+// synchronization: throughput scales linearly in the number of logs, and
+// crash recovery time stays flat (each partition replays only its own
+// small log, in parallel).
+func Scale(o Options) ([]ScalePoint, error) {
+	o = o.WithDefaults()
+	var out []ScalePoint
+	for _, parts := range []int{1, 2, 4, 8} {
+		eng := sim.NewEngine(o.Seed, o.Seed^0xabcdef)
+		perPart := o.NumObjects / 8 // keep total object count comparable
+		if perPart%10 != 0 {
+			perPart -= perPart % 10
+		}
+		sys, err := multilog.New(eng, parts, core.Params{
+			Mode: core.ModeEphemeral, GenSizes: []int{20, 16}, Recirculate: true,
+		}, core.FlushConfig{Drives: 10, Transfer: 25 * sim.Millisecond, NumObjects: perPart})
+		if err != nil {
+			return nil, err
+		}
+		var gens []*workload.Generator
+		for i := 0; i < parts; i++ {
+			g, err := workload.New(eng, sys.Sink(i), workload.Config{
+				Mix:         workload.PaperMix(0.05),
+				ArrivalRate: 100,
+				Runtime:     o.Runtime,
+				NumObjects:  perPart,
+				OIDBase:     uint64(i) * perPart,
+				TidBase:     uint64(i) << 32,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g.Start()
+			gens = append(gens, g)
+		}
+		eng.Run(o.Runtime)
+		var committed uint64
+		for _, g := range gens {
+			committed += g.Stats().Committed
+		}
+		st := sys.Stats()
+		_, results, parTime, err := sys.RecoverAll(0)
+		if err != nil {
+			return nil, err
+		}
+		var serTime sim.Time
+		for _, r := range results {
+			serTime += r.EstimatedTime
+		}
+		out = append(out, ScalePoint{
+			Partitions:   parts,
+			TPS:          float64(committed) / o.Runtime.Seconds(),
+			Bandwidth:    st.Bandwidth,
+			Blocks:       st.TotalBlocks,
+			RecoveryPar:  parTime,
+			RecoverySer:  serTime,
+			Insufficient: sys.Insufficient(),
+		})
+	}
+	return out, nil
+}
+
+// FormatScale renders the multilog scaling table.
+func FormatScale(points []ScalePoint) string {
+	var b strings.Builder
+	b.WriteString("Shared-nothing scaling (100 TPS per partition, no cross-log synchronization):\n")
+	fmt.Fprintf(&b, "  %-11s %10s %12s %10s %14s %14s\n",
+		"partitions", "commit/s", "log writes/s", "blocks", "recovery(par)", "recovery(ser)")
+	for _, p := range points {
+		note := ""
+		if p.Insufficient {
+			note = "  INSUFFICIENT"
+		}
+		fmt.Fprintf(&b, "  %-11d %10.1f %12.2f %10d %14v %14v%s\n",
+			p.Partitions, p.TPS, p.Bandwidth, p.Blocks, p.RecoveryPar, p.RecoverySer, note)
+	}
+	return b.String()
+}

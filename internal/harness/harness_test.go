@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// shortPaperConfig shrinks the paper frame to a fast test (50 s, smaller
+// object space).
+func shortPaperConfig(fracLong float64, mode core.Mode, sizes []int, recirc bool) Config {
+	cfg := PaperDefaults(fracLong)
+	cfg.LM = core.Params{Mode: mode, GenSizes: sizes, Recirculate: recirc}
+	cfg.Workload.Runtime = 50 * sim.Second
+	cfg.Workload.NumObjects = 1_000_000
+	cfg.Flush.NumObjects = 1_000_000
+	return cfg
+}
+
+func TestPaperScaleELRun(t *testing.T) {
+	cfg := shortPaperConfig(0.05, core.ModeEphemeral, []int{24, 40}, false)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insufficient() {
+		t.Fatalf("generous EL budget insufficient:\n%s", res.LM)
+	}
+	ws := res.Workload
+	if ws.Started != 5000 {
+		t.Fatalf("started %d txs, want 5000 (100 TPS for 50 s)", ws.Started)
+	}
+	// Expected log payload 22.6 kB/s = ~11.3 blocks/s.
+	if res.LM.TotalBandwidth < 10 || res.LM.TotalBandwidth > 16 {
+		t.Fatalf("EL bandwidth %.2f writes/s outside plausible range:\n%s", res.LM.TotalBandwidth, res.LM)
+	}
+	if res.LM.Forwarded == 0 {
+		t.Fatal("no forwarding despite 10s transactions and a 24-block gen 0")
+	}
+}
+
+func TestPaperScaleFWRun(t *testing.T) {
+	cfg := shortPaperConfig(0.05, core.ModeFirewall, []int{200}, false)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insufficient() {
+		t.Fatalf("generous FW budget insufficient:\n%s", res.LM)
+	}
+	if res.LM.TotalBandwidth < 10 || res.LM.TotalBandwidth > 13 {
+		t.Fatalf("FW bandwidth %.2f writes/s outside plausible range", res.LM.TotalBandwidth)
+	}
+	// FW memory: ~145 active transactions x 22 bytes.
+	if res.LM.MemPeakBytes < 100*22 || res.LM.MemPeakBytes > 400*22 {
+		t.Fatalf("FW peak memory %.0f implausible", res.LM.MemPeakBytes)
+	}
+}
+
+func TestELBeatsFWOnSpace(t *testing.T) {
+	// The headline qualitative result: at a 5% long mix, a small EL budget
+	// sustains the workload while the same FW budget kills transactions.
+	elCfg := shortPaperConfig(0.05, core.ModeEphemeral, []int{20, 20}, false)
+	el, err := Run(elCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Insufficient() {
+		t.Fatalf("EL with 40 blocks insufficient:\n%s", el.LM)
+	}
+	fwCfg := shortPaperConfig(0.05, core.ModeFirewall, []int{40}, false)
+	fw, err := Run(fwCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fw.Insufficient() {
+		t.Fatalf("FW with 40 blocks unexpectedly sufficient:\n%s", fw.LM)
+	}
+}
+
+func TestRecirculationShrinksLastGeneration(t *testing.T) {
+	// With recirculation the last generation can be smaller than the
+	// residence time of a 10 s transaction would otherwise require.
+	cfg := shortPaperConfig(0.05, core.ModeEphemeral, []int{20, 10}, true)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insufficient() {
+		t.Fatalf("recirculating EL insufficient:\n%s", res.LM)
+	}
+	if res.LM.Recirculated == 0 {
+		t.Fatalf("nothing recirculated in a tight last generation:\n%s", res.LM)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := shortPaperConfig(0.2, core.ModeEphemeral, []int{24, 60}, true)
+	cfg.Workload.Runtime = 20 * sim.Second
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LM.TotalWrites != b.LM.TotalWrites || a.LM.Garbage != b.LM.Garbage ||
+		a.Workload.Committed != b.Workload.Committed {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.LM, b.LM)
+	}
+}
+
+func TestInvariantsAfterPaperRun(t *testing.T) {
+	cfg := shortPaperConfig(0.1, core.ModeEphemeral, []int{20, 30}, true)
+	cfg.Workload.Runtime = 20 * sim.Second
+	live, _, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Setup.LM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cfg := shortPaperConfig(0.05, core.ModeFirewall, []int{10, 10}, false)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("FW with two generations accepted")
+	}
+	cfg = shortPaperConfig(0.05, core.ModeEphemeral, []int{10, 10}, false)
+	cfg.Workload.Mix = workload.Mix{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+// TestRecordConservation: every record appended to the log is eventually
+// accounted for as garbage or as a live (non-garbage) record — across
+// forwarding, recirculation, kills and flushes.
+func TestRecordConservation(t *testing.T) {
+	configs := []struct {
+		mode   core.Mode
+		sizes  []int
+		recirc bool
+	}{
+		{core.ModeEphemeral, []int{18, 16}, false},
+		{core.ModeEphemeral, []int{18, 10}, true},
+		{core.ModeEphemeral, []int{8, 6}, true}, // kill pressure
+		{core.ModeFirewall, []int{123}, false},
+	}
+	for _, c := range configs {
+		cfg := shortPaperConfig(0.05, c.mode, c.sizes, c.recirc)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := uint64(0)
+		for _, g := range res.LM.Gens {
+			live += uint64(g.Cells)
+		}
+		if res.LM.AppendedRecs != res.LM.Garbage+live {
+			t.Fatalf("%v %v: %d appended != %d garbage + %d live",
+				c.mode, c.sizes, res.LM.AppendedRecs, res.LM.Garbage, live)
+		}
+	}
+}
+
+// TestDrainedRunLeavesNoResidue: after the workload ends and flushes
+// drain, everything appended is garbage and the tables are empty.
+func TestDrainedRunLeavesNoResidue(t *testing.T) {
+	cfg := shortPaperConfig(0.05, core.ModeEphemeral, []int{18, 12}, true)
+	cfg.Workload.Runtime = 20 * sim.Second
+	live, _, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let in-flight transactions finish (longest lifetime 10s), then
+	// quiesce buffers and drain flushes.
+	live.Setup.Eng.Run(45 * sim.Second)
+	live.Setup.LM.Quiesce()
+	live.Setup.Eng.Run(60 * sim.Second)
+	live.Setup.LM.Quiesce()
+	live.Setup.Eng.Run(75 * sim.Second)
+	st := live.Setup.LM.Stats()
+	if st.LOTEntries != 0 || st.LTTEntries != 0 {
+		t.Fatalf("residue: LOT=%d LTT=%d\n%s", st.LOTEntries, st.LTTEntries, st)
+	}
+	if st.AppendedRecs != st.Garbage {
+		t.Fatalf("%d appended, only %d garbage after drain", st.AppendedRecs, st.Garbage)
+	}
+	if err := live.Setup.LM.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

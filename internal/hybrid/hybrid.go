@@ -1,0 +1,738 @@
+// Package hybrid implements the EL-FW hybrid scheme sketched in the
+// paper's concluding remarks (section 6):
+//
+//	"Like EL, the log is segmented into a chain of FIFO queues. Like FW,
+//	a firewall is maintained for each queue; the oldest non-garbage
+//	record in a queue is its firewall. Now, the LM retains a pointer to
+//	only the oldest log record from each transaction. This can
+//	drastically reduce main memory consumption if each transaction
+//	updates many objects, but at a price of higher bandwidth. When a
+//	transaction's oldest non-garbage log record reaches the head of one
+//	queue, all of its log records must be regenerated and added to the
+//	tail of the next queue because the LM does not have pointers to know
+//	their whereabouts in the current queue."
+//
+// The implementation reuses the block device, flush array and stable
+// database substrate. Main memory is charged at MemPerTx bytes per tracked
+// transaction — no per-object table exists at all. Regeneration rewrites a
+// transaction's entire record set (sourced from the in-memory update
+// buffers the paper assumes), which is exactly where the extra bandwidth
+// relative to EL comes from.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"ellog/internal/blockdev"
+	"ellog/internal/flushdisk"
+	"ellog/internal/logrec"
+	"ellog/internal/metrics"
+	"ellog/internal/sim"
+	"ellog/internal/statedb"
+)
+
+// MemPerTx is the hybrid's main-memory charge per tracked transaction: the
+// FW-style entry (22 bytes in the paper's estimate) plus a queue index.
+const MemPerTx = 24
+
+// Params configures the hybrid manager.
+type Params struct {
+	// QueueSizes gives each FIFO queue's capacity in blocks, youngest
+	// first.
+	QueueSizes []int
+	// Recirculate lets the last queue regenerate into its own tail;
+	// otherwise transactions reaching its head are killed (if active) or
+	// resolved by force flushing (if committed).
+	Recirculate bool
+	// BlockPayload, ThresholdK, TxRecSize and WriteLatency mirror core's
+	// parameters and default to the paper's values.
+	BlockPayload int
+	ThresholdK   int
+	TxRecSize    int
+	WriteLatency sim.Time
+	// GroupCommitTimeout bounds how long a COMMIT may wait for its buffer
+	// to fill. Old queues see little fresh traffic, so transactions that
+	// live there need the bound; 0 keeps pure group commit.
+	GroupCommitTimeout sim.Time
+	// HintBoundaries enables lifetime-hint placement: a transaction with
+	// expected lifetime L starts in the oldest queue i such that
+	// L > HintBoundaries[i-1]. Section 6 notes the technique "would be
+	// particularly beneficial in conjunction with the hybrid EL-FW
+	// approach". Nil disables hints.
+	HintBoundaries []sim.Time
+}
+
+// startQueue returns the queue a new transaction should enter.
+func (p Params) startQueue(expected sim.Time) int {
+	if p.HintBoundaries == nil || expected <= 0 {
+		return 0
+	}
+	q := 0
+	for q < len(p.HintBoundaries) && q < len(p.QueueSizes)-1 && expected > p.HintBoundaries[q] {
+		q++
+	}
+	return q
+}
+
+// WithDefaults fills unset fields.
+func (p Params) WithDefaults() Params {
+	if p.BlockPayload == 0 {
+		p.BlockPayload = 2000
+	}
+	if p.ThresholdK == 0 {
+		p.ThresholdK = 2
+	}
+	if p.TxRecSize == 0 {
+		p.TxRecSize = 8
+	}
+	if p.WriteLatency == 0 {
+		p.WriteLatency = 15 * sim.Millisecond
+	}
+	return p
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if len(p.QueueSizes) == 0 {
+		return fmt.Errorf("hybrid: no queues configured")
+	}
+	for i, s := range p.QueueSizes {
+		if s < p.ThresholdK+2 {
+			return fmt.Errorf("hybrid: queue %d size %d below minimum %d", i, s, p.ThresholdK+2)
+		}
+	}
+	return nil
+}
+
+type txState uint8
+
+const (
+	txActive txState = iota
+	txCommitting
+	txCommitted // durable; waiting for flushes
+	txGone
+)
+
+// recInfo is one logged record, kept in main memory only as part of the
+// transaction's regeneration source (the paper assumes updated values are
+// buffered in RAM anyway); the *tracking* cost charged to the hybrid is
+// still just the per-transaction pointer.
+type recInfo struct {
+	kind logrec.Kind
+	obj  logrec.OID
+	lsn  logrec.LSN
+	size int
+}
+
+type txEntry struct {
+	tid    logrec.TxID
+	state  txState
+	queue  int   // queue holding the oldest record
+	anchor int64 // global sequence number of the block holding it
+	recs   []recInfo
+	// unflushed counts committed updates not yet on the stable database.
+	unflushed   int
+	onDurable   func()
+	commitAppAt sim.Time
+}
+
+// slot is one block position of a queue's circular array.
+type slot struct {
+	id      blockdev.BlockID
+	seq     int64 // global block sequence, -1 when free
+	anchors []*txEntry
+	state   slotState
+}
+
+type slotState uint8
+
+const (
+	slotFree slotState = iota
+	slotFilling
+	slotInFlight
+	slotDurable
+)
+
+type buffer struct {
+	slot    *slot
+	free    int
+	recs    []*logrec.Record
+	commits []*txEntry
+	anchors []*txEntry // txs whose oldest record is in this buffer
+	sealed  bool
+}
+
+type queue struct {
+	idx        int
+	ring       []*slot
+	head, tail int
+	used       int
+	fill       *buffer
+	nextSeq    int64
+}
+
+// Manager is the hybrid logging manager. It satisfies the same workload
+// interface as the EL/FW manager.
+type Manager struct {
+	eng   *sim.Engine
+	p     Params
+	dev   *blockdev.Device
+	flush *flushdisk.Array
+	db    *statedb.DB
+
+	queues  []*queue
+	txs     map[logrec.TxID]*txEntry
+	byObj   map[logrec.OID]*txEntry // latest committed unflushed writer per object
+	nextLSN logrec.LSN
+	onKill  func(logrec.TxID)
+
+	begins, commits, killed metrics.Counter
+	regenerated             metrics.Counter
+	appended                metrics.Counter
+	emergency               metrics.Counter
+	memGauge                metrics.Gauge
+	claimDepth              int
+}
+
+// Setup bundles the hybrid manager with its substrate.
+type Setup struct {
+	Eng   *sim.Engine
+	Dev   *blockdev.Device
+	Flush *flushdisk.Array
+	DB    *statedb.DB
+	LM    *Manager
+}
+
+// FlushConfig mirrors core.FlushConfig.
+type FlushConfig struct {
+	Drives     int
+	Transfer   sim.Time
+	NumObjects uint64
+}
+
+// NewSetup assembles a hybrid manager on fresh substrate.
+func NewSetup(eng *sim.Engine, p Params, fc FlushConfig) (*Setup, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dev := blockdev.New(eng, p.WriteLatency)
+	db := statedb.New()
+	m := &Manager{
+		eng:   eng,
+		p:     p,
+		dev:   dev,
+		db:    db,
+		txs:   make(map[logrec.TxID]*txEntry),
+		byObj: make(map[logrec.OID]*txEntry),
+	}
+	m.flush = flushdisk.New(eng, fc.Drives, fc.Transfer, fc.NumObjects, m.flushed)
+	for i, size := range p.QueueSizes {
+		q := &queue{idx: i}
+		for j := 0; j < size; j++ {
+			q.ring = append(q.ring, &slot{id: dev.Alloc(i), seq: -1})
+		}
+		m.queues = append(m.queues, q)
+	}
+	return &Setup{Eng: eng, Dev: dev, Flush: m.flush, DB: db, LM: m}, nil
+}
+
+// SetKillHandler registers the kill callback.
+func (m *Manager) SetKillHandler(fn func(logrec.TxID)) { m.onKill = fn }
+
+// DB returns the stable database.
+func (m *Manager) DB() *statedb.DB { return m.db }
+
+func (m *Manager) lsn() logrec.LSN {
+	m.nextLSN++
+	return m.nextLSN
+}
+
+func (m *Manager) touchMem() {
+	m.memGauge.Set(m.eng.Now(), float64(MemPerTx*len(m.txs)))
+}
+
+// BeginHinted starts a transaction; the hint selects the starting queue
+// exactly as in core's lifetime-hint extension (here it composes naturally
+// with the hybrid, as section 6 suggests: "this technique would be
+// particularly beneficial in conjunction with the hybrid EL-FW approach").
+func (m *Manager) BeginHinted(tid logrec.TxID, expected sim.Time) {
+	if _, ok := m.txs[tid]; ok {
+		panic(fmt.Sprintf("hybrid: Begin of existing transaction %d", tid))
+	}
+	start := m.p.startQueue(expected)
+	e := &txEntry{tid: tid, state: txActive, queue: start, anchor: -1}
+	m.txs[tid] = e
+	m.begins.Inc()
+	rec := logrec.NewTxRecord(m.lsn(), m.eng.Now(), logrec.KindBegin, tid, m.p.TxRecSize)
+	e.recs = append(e.recs, recInfo{kind: logrec.KindBegin, lsn: rec.LSN, size: rec.Size})
+	m.append(start, rec, e, true)
+	m.touchMem()
+}
+
+// Begin starts a transaction in queue 0.
+func (m *Manager) Begin(tid logrec.TxID) { m.BeginHinted(tid, 0) }
+
+// WriteData logs an update and returns its LSN.
+func (m *Manager) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("hybrid: WriteData on finished transaction %d", tid))
+	}
+	rec := logrec.NewDataRecord(m.lsn(), m.eng.Now(), tid, oid, size)
+	e.recs = append(e.recs, recInfo{kind: logrec.KindData, obj: oid, lsn: rec.LSN, size: size})
+	m.append(e.queue, rec, e, false)
+	return rec.LSN
+}
+
+// Commit appends the COMMIT record; onDurable fires at group-commit
+// acknowledgement.
+func (m *Manager) Commit(tid logrec.TxID, onDurable func()) {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("hybrid: Commit on finished transaction %d", tid))
+	}
+	e.state = txCommitting
+	e.onDurable = onDurable
+	e.commitAppAt = m.eng.Now()
+	rec := logrec.NewTxRecord(m.lsn(), m.eng.Now(), logrec.KindCommit, tid, m.p.TxRecSize)
+	e.recs = append(e.recs, recInfo{kind: logrec.KindCommit, lsn: rec.LSN, size: rec.Size})
+	m.append(e.queue, rec, e, false)
+}
+
+// Abort drops an active transaction.
+func (m *Manager) Abort(tid logrec.TxID) {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("hybrid: Abort on finished transaction %d", tid))
+	}
+	m.drop(e, false)
+}
+
+func (m *Manager) mustTx(tid logrec.TxID) *txEntry {
+	e, ok := m.txs[tid]
+	if !ok {
+		panic(fmt.Sprintf("hybrid: unknown transaction %d", tid))
+	}
+	return e
+}
+
+func (m *Manager) drop(e *txEntry, killed bool) {
+	e.state = txGone
+	for _, r := range e.recs {
+		if r.kind == logrec.KindData && m.byObj[r.obj] == e {
+			delete(m.byObj, r.obj)
+		}
+	}
+	delete(m.txs, e.tid)
+	if killed {
+		m.killed.Inc()
+		if m.onKill != nil {
+			m.onKill(e.tid)
+		}
+	}
+	m.touchMem()
+}
+
+// append adds one record to queue qi's fill buffer. anchorHere marks the
+// buffer's block as holding the transaction's oldest record.
+func (m *Manager) append(qi int, rec *logrec.Record, e *txEntry, anchorHere bool) {
+	q := m.queues[qi]
+	if rec.Size > m.p.BlockPayload {
+		panic("hybrid: record exceeds block payload")
+	}
+	if q.fill == nil || rec.Size > q.fill.free {
+		m.seal(q)
+		m.open(q)
+	}
+	if e.state == txGone {
+		return // killed while space was being made
+	}
+	b := q.fill
+	b.free -= rec.Size
+	b.recs = append(b.recs, rec)
+	m.appended.Inc()
+	if anchorHere {
+		// The block sequence is unknown until the buffer claims its slot
+		// at seal time; a pending anchor can never be at a queue's head,
+		// so the transaction is safe meanwhile.
+		e.queue = qi
+		e.anchor = anchorPending
+		b.anchors = append(b.anchors, e)
+	}
+	if rec.Kind == logrec.KindCommit {
+		b.commits = append(b.commits, e)
+		if m.p.GroupCommitTimeout > 0 {
+			m.eng.After(m.p.GroupCommitTimeout, func() {
+				if !b.sealed && q.fill == b {
+					m.seal(q)
+				}
+			})
+		}
+	}
+}
+
+// anchorPending marks a transaction whose oldest record sits in a buffer
+// that has not yet claimed its block.
+const anchorPending = int64(-2)
+
+// open prepares a slotless fill buffer; the block is claimed only when the
+// buffer is written (like core's lazy recirculation buffer), so a queue's
+// head never collides with a half-filled tail block.
+func (m *Manager) open(q *queue) {
+	q.fill = &buffer{free: m.p.BlockPayload}
+}
+
+func (m *Manager) seal(q *queue) {
+	if q.fill == nil {
+		return
+	}
+	b := q.fill
+	q.fill = nil
+	s := m.claim(q)
+	s.state = slotInFlight
+	s.seq = q.nextSeq
+	q.nextSeq++
+	s.anchors = s.anchors[:0]
+	for _, e := range b.anchors {
+		if e.state != txGone && e.queue == q.idx && e.anchor == anchorPending {
+			e.anchor = s.seq
+			s.anchors = append(s.anchors, e)
+		}
+	}
+	b.sealed = true
+	m.dev.Write(s.id, logrec.EncodeBlock(b.recs), func() {
+		s.state = slotDurable
+		for _, e := range b.commits {
+			m.commitDurable(e)
+		}
+	})
+}
+
+func (m *Manager) claim(q *queue) *slot {
+	m.claimDepth++
+	defer func() { m.claimDepth-- }()
+	if m.claimDepth > 8*len(m.queues)+8 {
+		panic("hybrid: claim recursion out of control")
+	}
+	iters := 0
+	for len(q.ring)-q.used <= m.p.ThresholdK {
+		iters++
+		if iters > 4*len(q.ring)+16 || !m.advanceHead(q) {
+			if !m.killVictim(q) {
+				m.grow(q)
+				break
+			}
+			iters = 0
+		}
+	}
+	s := q.ring[q.tail]
+	if s.state != slotFree {
+		panic("hybrid: claiming occupied slot")
+	}
+	q.tail = (q.tail + 1) % len(q.ring)
+	q.used++
+	return s
+}
+
+func (m *Manager) grow(q *queue) {
+	s := &slot{id: m.dev.Alloc(q.idx), seq: -1}
+	q.ring = append(q.ring, nil)
+	copy(q.ring[q.tail+1:], q.ring[q.tail:])
+	q.ring[q.tail] = s
+	if q.head >= q.tail && q.used > 0 {
+		q.head++
+	}
+	m.emergency.Inc()
+}
+
+// advanceHead processes the block at q's head: every transaction anchored
+// there that is still alive gets all of its records regenerated into the
+// next queue (or this queue's own tail, for a recirculating last queue).
+func (m *Manager) advanceHead(q *queue) bool {
+	if q.used == 0 {
+		return false
+	}
+	s := q.ring[q.head]
+	if s.state != slotDurable {
+		return false
+	}
+	var live []*txEntry
+	lastNoRecirc := q.idx == len(m.queues)-1 && !m.p.Recirculate
+	for _, e := range s.anchors {
+		if e.state == txGone || e.anchor != s.seq || e.queue != q.idx {
+			continue // garbage anchor: the tx finished or moved on
+		}
+		if e.state == txCommitting && lastNoRecirc {
+			// Cannot regenerate (nowhere to go), cannot kill (the commit
+			// may already be on its way to disk); it resolves within one
+			// block write, so refuse to advance for now.
+			return false
+		}
+		live = append(live, e)
+	}
+	// Free the block before regenerating: regeneration sources the
+	// transaction's records from main memory, not from the old block, so
+	// the space can be handed to the regenerated copies immediately. (The
+	// block's stale bytes survive until the tail wraps back to it, long
+	// after the regenerated buffer has been written.)
+	s.anchors = nil
+	s.state = slotFree
+	s.seq = -1
+	q.head = (q.head + 1) % len(q.ring)
+	q.used--
+	for _, e := range live {
+		switch {
+		case q.idx < len(m.queues)-1:
+			// Active, committing and committed-unflushed alike: the whole
+			// record set (commit record included) is regenerated from main
+			// memory; a regenerated COMMIT that lands first simply makes
+			// the transaction durable earlier.
+			m.regenerate(e, q.idx+1)
+		case m.p.Recirculate:
+			m.regenerate(e, q.idx)
+		case e.state == txCommitted:
+			m.forceFlushTx(e)
+		default:
+			m.drop(e, true)
+		}
+	}
+	return true
+}
+
+// regenerate rewrites every record of the transaction at the tail of the
+// target queue — the hybrid's bandwidth price. The transaction's single
+// pointer then refers to the first regenerated block.
+func (m *Manager) regenerate(e *txEntry, target int) {
+	first := true
+	for _, r := range e.recs {
+		var rec *logrec.Record
+		if r.kind == logrec.KindData {
+			rec = logrec.NewDataRecord(r.lsn, m.eng.Now(), e.tid, r.obj, r.size)
+		} else {
+			rec = logrec.NewTxRecord(r.lsn, m.eng.Now(), r.kind, e.tid, r.size)
+		}
+		m.append(target, rec, e, first)
+		if e.state == txGone {
+			return // killed mid-regeneration by cascading pressure
+		}
+		first = false
+		m.regenerated.Inc()
+	}
+}
+
+// killVictim kills the active transaction anchored earliest in the queue,
+// or force flushes the earliest committed one.
+func (m *Manager) killVictim(q *queue) bool {
+	var victim *txEntry
+	var bestSeq int64
+	for _, e := range m.txs {
+		if e.queue != q.idx || e.anchor < 0 {
+			continue
+		}
+		if e.state != txActive && e.state != txCommitted {
+			continue
+		}
+		if victim == nil || e.anchor < bestSeq || (e.anchor == bestSeq && e.tid < victim.tid) {
+			victim = e
+			bestSeq = e.anchor
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if victim.state == txCommitted {
+		m.forceFlushTx(victim)
+		return true
+	}
+	m.drop(victim, true)
+	return true
+}
+
+func (m *Manager) commitDurable(e *txEntry) {
+	if e.state != txCommitting {
+		return
+	}
+	e.state = txCommitted
+	m.commits.Inc()
+	// Only the latest update per object matters (REDO logging); dedupe in
+	// case the transaction wrote an object more than once.
+	latest := make(map[logrec.OID]logrec.LSN)
+	for _, r := range e.recs {
+		if r.kind == logrec.KindData && r.lsn > latest[r.obj] {
+			latest[r.obj] = r.lsn
+		}
+	}
+	for _, obj := range sortedOids(latest) {
+		lsn := latest[obj]
+		if prev := m.byObj[obj]; prev != nil && prev != e {
+			// Superseded: the previous writer's update need not flush.
+			prev.unflushed--
+			m.retireIfDone(prev)
+			m.flush.Remove(obj)
+		}
+		m.byObj[obj] = e
+		e.unflushed++
+		m.flush.Enqueue(flushdisk.Request{Obj: obj, LSN: lsn, Val: uint64(lsn), Tx: e.tid})
+	}
+	if e.onDurable != nil {
+		e.onDurable()
+	}
+	m.retireIfDone(e)
+	m.touchMem()
+}
+
+func (m *Manager) flushed(req flushdisk.Request) {
+	m.db.Apply(req.Obj, req.LSN, req.Val, req.Tx)
+	e := m.byObj[req.Obj]
+	if e == nil {
+		return
+	}
+	// Only count the flush if it covers e's version of the object.
+	for _, r := range e.recs {
+		if r.kind == logrec.KindData && r.obj == req.Obj && r.lsn == req.LSN {
+			delete(m.byObj, req.Obj)
+			e.unflushed--
+			m.retireIfDone(e)
+			return
+		}
+	}
+}
+
+func (m *Manager) retireIfDone(e *txEntry) {
+	if e.state == txCommitted && e.unflushed <= 0 {
+		e.state = txGone
+		delete(m.txs, e.tid)
+		m.touchMem()
+	}
+}
+
+func (m *Manager) forceFlushTx(e *txEntry) {
+	latest := make(map[logrec.OID]logrec.LSN)
+	for _, r := range e.recs {
+		if r.kind == logrec.KindData && r.lsn > latest[r.obj] {
+			latest[r.obj] = r.lsn
+		}
+	}
+	for _, obj := range sortedOids(latest) {
+		if m.byObj[obj] == e {
+			m.flush.ForceFlush(flushdisk.Request{Obj: obj, LSN: latest[obj], Val: uint64(latest[obj]), Tx: e.tid})
+		}
+	}
+}
+
+// sortedOids returns a map's keys in ascending order, keeping flush
+// scheduling deterministic.
+func sortedOids(m map[logrec.OID]logrec.LSN) []logrec.OID {
+	out := make([]logrec.OID, 0, len(m))
+	for obj := range m {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats summarizes the run.
+type Stats struct {
+	Elapsed                 sim.Time
+	Begins, Commits, Killed uint64
+	Appended                uint64
+	Regenerated             uint64 // records rewritten by queue promotion
+	Emergency               uint64
+	TotalBlocks             int
+	TotalWrites             uint64
+	TotalBandwidth          float64
+	MemPeakBytes            float64
+	TrackedTxs              int
+}
+
+// Insufficient reports whether the disk budget failed.
+func (s Stats) Insufficient() bool { return s.Killed > 0 || s.Emergency > 0 }
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	now := m.eng.Now()
+	dev := m.dev.Stats()
+	s := Stats{
+		Elapsed:      now,
+		Begins:       m.begins.Count(),
+		Commits:      m.commits.Count(),
+		Killed:       m.killed.Count(),
+		Appended:     m.appended.Count(),
+		Regenerated:  m.regenerated.Count(),
+		Emergency:    m.emergency.Count(),
+		TotalWrites:  dev.Writes,
+		MemPeakBytes: m.memGauge.Peak(),
+		TrackedTxs:   len(m.txs),
+	}
+	for _, q := range m.queues {
+		s.TotalBlocks += len(q.ring)
+	}
+	if now > 0 {
+		s.TotalBandwidth = float64(s.TotalWrites) / now.Seconds()
+	}
+	return s
+}
+
+// CheckInvariants validates the hybrid manager's bookkeeping: ring
+// accounting, anchor consistency, and flush-tracking cross-references.
+// Tests call it at checkpoints; it is not on the hot path.
+func (m *Manager) CheckInvariants() error {
+	for _, q := range m.queues {
+		occupied := 0
+		for _, s := range q.ring {
+			if s.state != slotFree {
+				occupied++
+			}
+		}
+		if occupied != q.used {
+			return fmt.Errorf("queue %d: used=%d but %d slots occupied", q.idx, q.used, occupied)
+		}
+		if q.used > 0 {
+			idx := q.head
+			for i := 0; i < q.used; i++ {
+				if q.ring[idx].state == slotFree {
+					return fmt.Errorf("queue %d: free slot inside occupied region", q.idx)
+				}
+				idx = (idx + 1) % len(q.ring)
+			}
+			if idx != q.tail {
+				return fmt.Errorf("queue %d: occupied region does not end at tail", q.idx)
+			}
+		}
+		// Anchors on slots must point back consistently.
+		for _, s := range q.ring {
+			for _, e := range s.anchors {
+				if e.state == txGone {
+					continue // lazily cleared
+				}
+				if e.queue == q.idx && e.anchor == s.seq && s.state == slotFree {
+					return fmt.Errorf("queue %d: live anchor for tx %d on freed slot", q.idx, e.tid)
+				}
+			}
+		}
+	}
+	// Every tracked transaction is sane.
+	for tid, e := range m.txs {
+		if e.tid != tid {
+			return fmt.Errorf("tx map key %d holds entry for %d", tid, e.tid)
+		}
+		if e.state == txGone {
+			return fmt.Errorf("gone tx %d still tracked", tid)
+		}
+		if e.queue < 0 || e.queue >= len(m.queues) {
+			return fmt.Errorf("tx %d in unknown queue %d", tid, e.queue)
+		}
+		if e.state == txCommitted && e.unflushed <= 0 {
+			return fmt.Errorf("committed tx %d with %d unflushed should have retired", tid, e.unflushed)
+		}
+	}
+	// byObj refers only to live committed entries.
+	for obj, e := range m.byObj {
+		if e.state == txGone {
+			return fmt.Errorf("byObj[%d] refers to a gone tx", obj)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package hybrid
+
+import (
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/logrec"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+func newSetup(t *testing.T, p Params, fc ...FlushConfig) *Setup {
+	t.Helper()
+	cfg := FlushConfig{Drives: 1, Transfer: 5 * sim.Millisecond, NumObjects: 1000}
+	if len(fc) > 0 {
+		cfg = fc[0]
+	}
+	s, err := NewSetup(sim.NewEngine(3, 4), p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{QueueSizes: []int{8, 8}}).WithDefaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{}).WithDefaults().Validate(); err == nil {
+		t.Fatal("empty queues accepted")
+	}
+	if err := (Params{QueueSizes: []int{2}}).WithDefaults().Validate(); err == nil {
+		t.Fatal("undersized queue accepted")
+	}
+}
+
+func TestCommitDurableAfterGroupCommit(t *testing.T) {
+	s := newSetup(t, Params{QueueSizes: []int{8, 8}, BlockPayload: 100})
+	m := s.LM
+	done := sim.Time(-1)
+	m.Begin(1)
+	m.WriteData(1, 42, 84)
+	m.Commit(1, func() { done = s.Eng.Now() })
+	s.Eng.Run(sim.Second)
+	if done != -1 {
+		t.Fatal("commit durable without buffer seal")
+	}
+	m.Begin(2)
+	m.WriteData(2, 43, 84) // overflows the buffer, sealing it
+	s.Eng.Run(2 * sim.Second)
+	if done < 0 {
+		t.Fatal("commit never became durable")
+	}
+}
+
+func TestSingleTxLifecycle(t *testing.T) {
+	s := newSetup(t, Params{QueueSizes: []int{8, 8}, BlockPayload: 100})
+	m := s.LM
+	m.Begin(1)
+	lsn := m.WriteData(1, 7, 84)
+	m.Commit(1, nil)
+	m.Begin(2)
+	m.WriteData(2, 8, 84)
+	s.Eng.Run(sim.Second)
+	if v, ok := m.DB().Get(7); !ok || v.LSN != lsn {
+		t.Fatalf("flushed version %+v %v, want LSN %d", v, ok, lsn)
+	}
+	st := m.Stats()
+	if st.TrackedTxs != 1 { // only tx 2 remains
+		t.Fatalf("%d tracked txs, want 1 (committed+flushed should retire)", st.TrackedTxs)
+	}
+	if st.MemPeakBytes != float64(2*MemPerTx) {
+		t.Fatalf("mem peak %v, want %d", st.MemPeakBytes, 2*MemPerTx)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	s := newSetup(t, Params{QueueSizes: []int{8, 8}})
+	m := s.LM
+	m.Begin(1)
+	m.WriteData(1, 7, 100)
+	m.Abort(1)
+	s.Eng.Run(sim.Second)
+	if _, ok := m.DB().Get(7); ok {
+		t.Fatal("aborted update reached the database")
+	}
+	if m.Stats().TrackedTxs != 0 {
+		t.Fatal("aborted tx still tracked")
+	}
+}
+
+// tracker records kills so test drivers can stop driving dead
+// transactions, the way the workload generator does.
+type tracker struct {
+	killed map[logrec.TxID]bool
+}
+
+func track(m *Manager) *tracker {
+	tr := &tracker{killed: make(map[logrec.TxID]bool)}
+	m.SetKillHandler(func(tid logrec.TxID) { tr.killed[tid] = true })
+	return tr
+}
+
+// churnHybrid pushes short committed transactions through the manager,
+// with time for writes to land between steps.
+func churnHybrid(s *Setup, tr *tracker, start logrec.TxID, n int, size int, dt sim.Time) {
+	for i := 0; i < n; i++ {
+		tid := start + logrec.TxID(i)
+		s.LM.Begin(tid)
+		if !tr.killed[tid] {
+			s.LM.WriteData(tid, logrec.OID(100+i), size)
+		}
+		s.Eng.Run(s.Eng.Now() + dt/2)
+		if !tr.killed[tid] {
+			s.LM.Commit(tid, nil)
+		}
+		s.Eng.Run(s.Eng.Now() + dt/2)
+	}
+}
+
+func TestRegenerationPromotesLongTransaction(t *testing.T) {
+	s := newSetup(t, Params{QueueSizes: []int{4, 8}, BlockPayload: 100,
+		GroupCommitTimeout: 100 * sim.Millisecond})
+	m := s.LM
+	tr := track(m)
+	m.Begin(1)
+	m.WriteData(1, 7, 60)
+	s.Eng.Run(50 * sim.Millisecond)
+	m.WriteData(1, 8, 60)
+	s.Eng.Run(100 * sim.Millisecond)
+	churnHybrid(s, tr, 100, 60, 84, 20*sim.Millisecond)
+	st := m.Stats()
+	if st.Regenerated == 0 {
+		t.Fatalf("long transaction never regenerated: %+v", st)
+	}
+	if tr.killed[1] {
+		t.Fatalf("long transaction killed with ample queue-1 space: %+v", st)
+	}
+	// The whole record set moves: regenerated count is a multiple of the
+	// transaction's record count (BEGIN + 2 data = 3).
+	if st.Regenerated%3 != 0 {
+		t.Fatalf("regenerated %d records, not a multiple of the tx's 3", st.Regenerated)
+	}
+	done := false
+	m.Commit(1, func() { done = true })
+	churnHybrid(s, tr, 500, 30, 84, 20*sim.Millisecond)
+	s.Eng.Run(s.Eng.Now() + 5*sim.Second)
+	if !done {
+		t.Fatal("long transaction failed to commit after promotion")
+	}
+}
+
+func TestRecirculationInLastQueue(t *testing.T) {
+	s := newSetup(t, Params{QueueSizes: []int{4, 5}, BlockPayload: 100, Recirculate: true},
+		FlushConfig{Drives: 1, Transfer: 25 * sim.Millisecond, NumObjects: 1000})
+	m := s.LM
+	tr := track(m)
+	m.Begin(1)
+	m.WriteData(1, 7, 60)
+	s.Eng.Run(100 * sim.Millisecond)
+	churnHybrid(s, tr, 100, 150, 84, 20*sim.Millisecond)
+	st := m.Stats()
+	if tr.killed[1] {
+		t.Fatalf("recirculating hybrid killed the long transaction: %+v", st)
+	}
+	if st.Regenerated == 0 {
+		t.Fatal("nothing regenerated")
+	}
+}
+
+func TestKillWithoutRecirculation(t *testing.T) {
+	s := newSetup(t, Params{QueueSizes: []int{4, 4}, BlockPayload: 100},
+		FlushConfig{Drives: 1, Transfer: 25 * sim.Millisecond, NumObjects: 1000})
+	m := s.LM
+	tr := track(m)
+	m.Begin(1)
+	m.WriteData(1, 7, 60)
+	s.Eng.Run(100 * sim.Millisecond)
+	churnHybrid(s, tr, 100, 150, 84, 20*sim.Millisecond)
+	if !tr.killed[1] {
+		t.Fatalf("long transaction not killed: %+v", m.Stats())
+	}
+}
+
+// TestHybridTradeoffs drives the hybrid with the paper's generator on a
+// many-update workload (where section 6 says the hybrid's memory saving is
+// "drastic") and checks its position in the design space: FW-like memory,
+// EL-like disk space, and the regeneration bandwidth premium over a pure
+// append log.
+func TestHybridTradeoffs(t *testing.T) {
+	mix := workload.Mix{
+		{Name: "short", Prob: 0.8, Lifetime: sim.Second, NumRecords: 2, RecordSize: 100},
+		{Name: "update-heavy", Prob: 0.2, Lifetime: 10 * sim.Second, NumRecords: 10, RecordSize: 100},
+	}
+	runHybrid := func(sizes []int) Stats {
+		eng := sim.NewEngine(1, 99)
+		s, err := NewSetup(eng, Params{QueueSizes: sizes, Recirculate: true,
+			GroupCommitTimeout: 100 * sim.Millisecond},
+			FlushConfig{Drives: 10, Transfer: 25 * sim.Millisecond, NumObjects: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.New(eng, s.LM, workload.Config{
+			Mix:         mix,
+			ArrivalRate: 100,
+			Runtime:     50 * sim.Second,
+			NumObjects:  1_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Start()
+		eng.Run(50 * sim.Second)
+		return s.LM.Stats()
+	}
+	hyb := runHybrid([]int{30, 60})
+	if hyb.Insufficient() {
+		t.Fatalf("hybrid insufficient at 90 blocks: %+v", hyb)
+	}
+	if hyb.Regenerated == 0 {
+		t.Fatal("no regeneration happened; the workload exerts no promotion pressure")
+	}
+
+	base := harness.PaperDefaults(0.05)
+	base.Workload.Mix = mix
+	base.Workload.Runtime = 50 * sim.Second
+	base.Workload.NumObjects = 1_000_000
+	base.Flush.NumObjects = 1_000_000
+
+	// EL at the same 90-block budget: the hybrid's memory must be far
+	// below EL's LOT+LTT model.
+	elCfg := base
+	elCfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: []int{30, 60}, Recirculate: true}
+	el, err := harness.Run(elCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FW needs several times the space for the same workload; at a
+	// sufficient size its bandwidth is the pure append rate, which the
+	// hybrid must exceed (the regeneration premium).
+	fwCfg := base
+	fwCfg.LM = core.Params{Mode: core.ModeFirewall, GenSizes: []int{260}}
+	fw, err := harness.Run(fwCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Insufficient() {
+		t.Fatalf("FW reference budget insufficient:\n%s", fw.LM)
+	}
+	t.Logf("hybrid: %d blocks, %.2f writes/s, %.0f B mem; EL: %.2f writes/s, %.0f B mem; FW: %d blocks, %.2f writes/s, %.0f B mem",
+		hyb.TotalBlocks, hyb.TotalBandwidth, hyb.MemPeakBytes,
+		el.LM.TotalBandwidth, el.LM.MemPeakBytes,
+		260, fw.LM.TotalBandwidth, fw.LM.MemPeakBytes)
+	if hyb.MemPeakBytes >= el.LM.MemPeakBytes/2 {
+		t.Fatalf("hybrid memory %.0f not drastically below EL %.0f", hyb.MemPeakBytes, el.LM.MemPeakBytes)
+	}
+	if hyb.TotalBandwidth <= fw.LM.TotalBandwidth {
+		t.Fatalf("hybrid bandwidth %.2f not above the pure append rate %.2f — regeneration must cost",
+			hyb.TotalBandwidth, fw.LM.TotalBandwidth)
+	}
+	if hyb.TotalBlocks*2 >= 260 {
+		t.Fatalf("hybrid space %d not well below FW's 260", hyb.TotalBlocks)
+	}
+}
+
+func TestHybridDeterminism(t *testing.T) {
+	run := func() Stats {
+		eng := sim.NewEngine(5, 6)
+		s, err := NewSetup(eng, Params{QueueSizes: []int{6, 8}, Recirculate: true},
+			FlushConfig{Drives: 2, Transfer: 20 * sim.Millisecond, NumObjects: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.New(eng, s.LM, workload.Config{
+			Mix:         workload.PaperMix(0.2),
+			ArrivalRate: 50,
+			Runtime:     20 * sim.Second,
+			NumObjects:  10000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Start()
+		eng.Run(25 * sim.Second)
+		return s.LM.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("hybrid runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHintPlacementStartsInOlderQueue(t *testing.T) {
+	s := newSetup(t, Params{
+		QueueSizes:         []int{8, 8},
+		Recirculate:        true,
+		HintBoundaries:     []sim.Time{2 * sim.Second},
+		GroupCommitTimeout: 50 * sim.Millisecond,
+	})
+	m := s.LM
+	m.BeginHinted(1, 10*sim.Second)
+	if got := m.txs[1].queue; got != 1 {
+		t.Fatalf("hinted long transaction starts in queue %d, want 1", got)
+	}
+	m.BeginHinted(2, sim.Second)
+	if got := m.txs[2].queue; got != 0 {
+		t.Fatalf("hinted short transaction starts in queue %d, want 0", got)
+	}
+	done := 0
+	m.Commit(1, func() { done++ })
+	m.Commit(2, func() { done++ })
+	s.Eng.Run(sim.Second)
+	if done != 2 {
+		t.Fatalf("%d hinted transactions durable, want 2", done)
+	}
+}
+
+// TestHybridSoakOracle drives the hybrid with randomized traffic and
+// verifies invariants throughout plus stable-database/oracle equality
+// after draining.
+func TestHybridSoakOracle(t *testing.T) {
+	for seed := uint64(60); seed <= 64; seed++ {
+		eng := sim.NewEngine(seed, seed^0xbeef)
+		s, err := NewSetup(eng, Params{
+			QueueSizes: []int{8, 10}, Recirculate: true,
+			GroupCommitTimeout: 80 * sim.Millisecond,
+		}, FlushConfig{Drives: 2, Transfer: 10 * sim.Millisecond, NumObjects: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.New(eng, s.LM, workload.Config{
+			Mix: workload.Mix{
+				{Name: "s", Prob: 0.8, Lifetime: 300 * sim.Millisecond, NumRecords: 2, RecordSize: 80},
+				{Name: "l", Prob: 0.2, Lifetime: 3 * sim.Second, NumRecords: 4, RecordSize: 80},
+			},
+			ArrivalRate: 40,
+			Runtime:     20 * sim.Second,
+			NumObjects:  1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Start()
+		for step := sim.Time(0); step < 20*sim.Second; step += 2 * sim.Second {
+			eng.Run(step)
+			if err := s.LM.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d at %v: %v", seed, step, err)
+			}
+		}
+		eng.Run(40 * sim.Second) // drain
+		if err := s.LM.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		st := s.LM.Stats()
+		if st.Killed > 0 {
+			continue // oracle still valid but drained-state asserts differ; sizes are generous so this should not happen
+		}
+		if st.TrackedTxs != 0 {
+			t.Fatalf("seed %d: %d txs never retired", seed, st.TrackedTxs)
+		}
+		// DB equals oracle.
+		for oid, lsn := range gen.Oracle() {
+			v, ok := s.DB.Get(oid)
+			if !ok || v.LSN != lsn {
+				t.Fatalf("seed %d: oid %d db=%v/%v oracle=%d", seed, oid, v.LSN, ok, lsn)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package logrec defines the log record model of the paper (section 2.1):
+// two record classes — transaction (tx) log records marking milestones in a
+// transaction's life (BEGIN, COMMIT, ABORT) and data log records
+// chronicling updates to database objects — plus a binary wire encoding so
+// that the simulated disk holds real bytes and the recovery manager decodes
+// what a crash would actually leave behind.
+//
+// The paper assumes REDO-only physical state logging: a data record carries
+// only the new value of the object, written by a transaction that never
+// propagates uncommitted updates to the disk version of the database. All
+// records are timestamped (section 2.1) so the recovery manager can
+// re-establish temporal order even after recirculation scrambles physical
+// order; this implementation uses a global log sequence number (LSN) as
+// that timestamp.
+package logrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ellog/internal/sim"
+)
+
+// LSN is a log sequence number: a strictly increasing timestamp assigned
+// when a record is created. Recirculation in the last generation destroys
+// the correspondence between physical order and temporal order, so the LSN
+// is the authoritative ordering during recovery.
+type LSN uint64
+
+// TxID identifies a transaction.
+type TxID uint64
+
+// OID identifies a database object — "any distinct item of data in a
+// database" in the paper's broad sense.
+type OID uint64
+
+// Kind distinguishes record types.
+type Kind uint8
+
+const (
+	// KindBegin is the tx record written when a transaction starts.
+	KindBegin Kind = iota + 1
+	// KindCommit is the tx record written when a transaction requests
+	// commit; the transaction is committed once the record is durable.
+	KindCommit
+	// KindAbort is the tx record written when a transaction aborts or is
+	// killed by the logging manager for want of log space.
+	KindAbort
+	// KindData is a data log record carrying an object's new value.
+	KindData
+)
+
+// String returns the record kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "BEGIN"
+	case KindCommit:
+		return "COMMIT"
+	case KindAbort:
+		return "ABORT"
+	case KindData:
+		return "DATA"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsTx reports whether the record kind is a transaction milestone record.
+func (k Kind) IsTx() bool { return k == KindBegin || k == KindCommit || k == KindAbort }
+
+// Record is a single log record. Size is the record's logical footprint in
+// the log (the paper charges 8 bytes per tx record and the workload's
+// configured size, 100 bytes in the experiments, per data record); block
+// packing and disk-space accounting use Size, while Encode produces the
+// simulated on-disk bytes.
+type Record struct {
+	LSN  LSN
+	Time sim.Time // creation time (the paper's timestamp)
+	Kind Kind
+	Tx   TxID
+	Obj  OID    // data records only
+	Size int    // logical bytes charged against the 2000-byte block payload
+	Val  uint64 // synthetic object value; echoes the LSN for verification
+
+	// Before-image for the UNDO/REDO extension (the paper's section 1:
+	// "the techniques proposed in this paper can be extended to the more
+	// general situation of UNDO/REDO logging with little difficulty").
+	// PrevLSN/PrevVal identify the latest committed version of the object
+	// before this transaction touched it; under a steal policy they are
+	// what recovery (or an abort) restores. Zero under pure REDO logging.
+	PrevLSN LSN
+	PrevVal uint64
+}
+
+// NewTxRecord builds a BEGIN/COMMIT/ABORT record of the given logical size.
+func NewTxRecord(lsn LSN, now sim.Time, kind Kind, tx TxID, size int) *Record {
+	if !kind.IsTx() {
+		panic("logrec: NewTxRecord with non-tx kind " + kind.String())
+	}
+	return &Record{LSN: lsn, Time: now, Kind: kind, Tx: tx, Size: size}
+}
+
+// NewDataRecord builds a data record. The synthetic value is derived from
+// the LSN so that recovery results can be verified exactly.
+func NewDataRecord(lsn LSN, now sim.Time, tx TxID, obj OID, size int) *Record {
+	return &Record{LSN: lsn, Time: now, Kind: KindData, Tx: tx, Obj: obj, Size: size, Val: uint64(lsn)}
+}
+
+// String formats the record for traces and test failures.
+func (r *Record) String() string {
+	if r.Kind == KindData {
+		return fmt.Sprintf("{%d @%v DATA tx=%d obj=%d %dB}", r.LSN, r.Time, r.Tx, r.Obj, r.Size)
+	}
+	return fmt.Sprintf("{%d @%v %s tx=%d %dB}", r.LSN, r.Time, r.Kind, r.Tx, r.Size)
+}
+
+// encodedLen is the fixed wire size of one record header. Data payload
+// beyond the header is not materialized — the simulated disk does not need
+// the actual 100 bytes of application data, only its accounting — so the
+// wire form is header-only and Size records the logical length.
+const encodedLen = 8 + 8 + 1 + 8 + 8 + 4 + 8 + 8 + 8 // LSN, Time, Kind, Tx, Obj, Size, Val, PrevLSN, PrevVal
+
+// Append encodes the record onto buf and returns the extended slice.
+func (r *Record) Append(buf []byte) []byte {
+	var tmp [encodedLen]byte
+	binary.LittleEndian.PutUint64(tmp[0:], uint64(r.LSN))
+	binary.LittleEndian.PutUint64(tmp[8:], uint64(r.Time))
+	tmp[16] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(tmp[17:], uint64(r.Tx))
+	binary.LittleEndian.PutUint64(tmp[25:], uint64(r.Obj))
+	binary.LittleEndian.PutUint32(tmp[33:], uint32(r.Size))
+	binary.LittleEndian.PutUint64(tmp[37:], r.Val)
+	binary.LittleEndian.PutUint64(tmp[45:], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(tmp[53:], r.PrevVal)
+	return append(buf, tmp[:]...)
+}
+
+// ErrCorrupt is returned when decoding malformed bytes.
+var ErrCorrupt = errors.New("logrec: corrupt record encoding")
+
+// Decode parses one record from the front of buf and returns it along with
+// the remaining bytes.
+func Decode(buf []byte) (*Record, []byte, error) {
+	if len(buf) < encodedLen {
+		return nil, buf, fmt.Errorf("%w: %d bytes remaining, need %d", ErrCorrupt, len(buf), encodedLen)
+	}
+	r := &Record{
+		LSN:     LSN(binary.LittleEndian.Uint64(buf[0:])),
+		Time:    sim.Time(binary.LittleEndian.Uint64(buf[8:])),
+		Kind:    Kind(buf[16]),
+		Tx:      TxID(binary.LittleEndian.Uint64(buf[17:])),
+		Obj:     OID(binary.LittleEndian.Uint64(buf[25:])),
+		Size:    int(binary.LittleEndian.Uint32(buf[33:])),
+		Val:     binary.LittleEndian.Uint64(buf[37:]),
+		PrevLSN: LSN(binary.LittleEndian.Uint64(buf[45:])),
+		PrevVal: binary.LittleEndian.Uint64(buf[53:]),
+	}
+	if r.Kind < KindBegin || r.Kind > KindData {
+		return nil, buf, fmt.Errorf("%w: kind %d", ErrCorrupt, r.Kind)
+	}
+	return r, buf[encodedLen:], nil
+}
+
+// EncodeBlock serializes a block's records: a count header followed by the
+// records back to back.
+func EncodeBlock(recs []*Record) []byte {
+	buf := make([]byte, 4, 4+len(recs)*encodedLen)
+	binary.LittleEndian.PutUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = r.Append(buf)
+	}
+	return buf
+}
+
+// DecodeBlock parses the output of EncodeBlock.
+func DecodeBlock(buf []byte) ([]*Record, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: block shorter than header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	recs := make([]*Record, 0, n)
+	for i := uint32(0); i < n; i++ {
+		r, rest, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return recs, nil
+}

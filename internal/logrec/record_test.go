@@ -1,0 +1,185 @@
+package logrec
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ellog/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindBegin:  "BEGIN",
+		KindCommit: "COMMIT",
+		KindAbort:  "ABORT",
+		KindData:   "DATA",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindIsTx(t *testing.T) {
+	if !KindBegin.IsTx() || !KindCommit.IsTx() || !KindAbort.IsTx() {
+		t.Fatal("tx kinds not recognized as tx")
+	}
+	if KindData.IsTx() {
+		t.Fatal("DATA recognized as tx kind")
+	}
+}
+
+func TestNewTxRecordPanicsOnDataKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTxRecord(KindData) did not panic")
+		}
+	}()
+	NewTxRecord(1, 0, KindData, 1, 8)
+}
+
+func TestNewDataRecordValue(t *testing.T) {
+	r := NewDataRecord(77, 5*sim.Second, 3, 12345, 100)
+	if r.Val != 77 {
+		t.Fatalf("synthetic value = %d, want LSN 77", r.Val)
+	}
+	if r.Kind != KindData || r.Obj != 12345 || r.Size != 100 {
+		t.Fatalf("unexpected record %v", r)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	d := NewDataRecord(1, 2, 3, 4, 100)
+	if !strings.Contains(d.String(), "DATA") || !strings.Contains(d.String(), "obj=4") {
+		t.Fatalf("data record String: %q", d.String())
+	}
+	c := NewTxRecord(2, 9, KindCommit, 3, 8)
+	if !strings.Contains(c.String(), "COMMIT") {
+		t.Fatalf("tx record String: %q", c.String())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := &Record{LSN: 42, Time: 1234567, Kind: KindData, Tx: 9, Obj: 9999999, Size: 100, Val: 42}
+	buf := r.Append(nil)
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after decode", len(rest))
+	}
+	if *got != *r {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("Decode of short buffer succeeded")
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	r := NewDataRecord(1, 2, 3, 4, 100)
+	buf := r.Append(nil)
+	buf[16] = 200 // corrupt the kind byte
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("Decode of corrupt kind succeeded")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	var recs []*Record
+	for i := 0; i < 19; i++ {
+		if i%5 == 0 {
+			recs = append(recs, NewTxRecord(LSN(i), sim.Time(i*10), KindBegin, TxID(i), 8))
+		} else {
+			recs = append(recs, NewDataRecord(LSN(i), sim.Time(i*10), TxID(i/5), OID(i*31), 100))
+		}
+	}
+	buf := EncodeBlock(recs)
+	got, err := DecodeBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if *got[i] != *recs[i] {
+			t.Fatalf("record %d mismatch: %v vs %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestDecodeBlockEmpty(t *testing.T) {
+	got, err := DecodeBlock(EncodeBlock(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty block round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeBlockTrailingGarbage(t *testing.T) {
+	buf := EncodeBlock([]*Record{NewDataRecord(1, 2, 3, 4, 100)})
+	buf = append(buf, 0xFF)
+	if _, err := DecodeBlock(buf); err == nil {
+		t.Fatal("trailing garbage not detected")
+	}
+}
+
+func TestDecodeBlockTruncated(t *testing.T) {
+	buf := EncodeBlock([]*Record{NewDataRecord(1, 2, 3, 4, 100), NewDataRecord(2, 3, 4, 5, 100)})
+	if _, err := DecodeBlock(buf[:len(buf)-8]); err == nil {
+		t.Fatal("truncated block not detected")
+	}
+}
+
+// TestBlockRoundTripProperty fuzzes whole blocks of random records.
+func TestBlockRoundTripProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := rng.IntN(40)
+		recs := make([]*Record, 0, n)
+		for i := 0; i < n; i++ {
+			r := &Record{
+				LSN:  LSN(rng.Uint64()),
+				Time: sim.Time(rng.Int64N(1 << 40)),
+				Kind: Kind(1 + rng.IntN(4)),
+				Tx:   TxID(rng.Uint64()),
+				Obj:  OID(rng.Uint64()),
+				Size: rng.IntN(2000),
+				Val:  rng.Uint64(),
+			}
+			recs = append(recs, r)
+		}
+		got, err := DecodeBlock(EncodeBlock(recs))
+		if err != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if *got[i] != *recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeBlock(b *testing.B) {
+	recs := make([]*Record, 20)
+	for i := range recs {
+		recs[i] = NewDataRecord(LSN(i), sim.Time(i), 1, OID(i), 100)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeBlock(recs)
+	}
+}

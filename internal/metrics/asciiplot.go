@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders one or more series as a compact terminal chart, so the
+// benchmark harness can draw the paper's figures next to their tables.
+// Each series gets a marker rune; points are plotted on a width x height
+// character grid with linear axes spanning the data.
+func AsciiPlot(title string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			total++
+		}
+	}
+	if total == 0 {
+		return title + ": (no data)\n"
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	// Breathing room above and below.
+	pad := (maxY - minY) * 0.08
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	markers := []rune{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			r := height - 1 - row
+			if r >= 0 && r < height && col >= 0 && col < width {
+				if grid[r][col] != ' ' && grid[r][col] != mark {
+					grid[r][col] = '&' // overlapping series
+				} else {
+					grid[r][col] = mark
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	topLabel := trimFloat(maxY)
+	botLabel := trimFloat(minY)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&b, "  %s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "  %s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "  %s  %-*s%s\n", strings.Repeat(" ", labelW), width-len(trimFloat(maxX)), trimFloat(minX), trimFloat(maxX))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "  %s  (%s)\n", strings.Repeat(" ", labelW), strings.Join(legend, ", "))
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

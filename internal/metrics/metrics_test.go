@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ellog/internal/sim"
+)
+
+func TestGaugePeakAndAvg(t *testing.T) {
+	var g Gauge
+	g.Set(0, 10)
+	g.Set(2*sim.Second, 20) // 10 held for 2s
+	g.Set(3*sim.Second, 0)  // 20 held for 1s
+	// avg over [0, 4s]: (10*2 + 20*1 + 0*1) / 4 = 10
+	if got := g.TimeAvg(4 * sim.Second); got != 10 {
+		t.Fatalf("TimeAvg = %v, want 10", got)
+	}
+	if g.Peak() != 20 {
+		t.Fatalf("Peak = %v, want 20", g.Peak())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("Value = %v, want 0", g.Value())
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(0, 5)
+	g.Add(sim.Second, 3)
+	g.Add(2*sim.Second, -8)
+	if g.Value() != 0 || g.Peak() != 8 {
+		t.Fatalf("Value=%v Peak=%v", g.Value(), g.Peak())
+	}
+}
+
+func TestGaugeEmpty(t *testing.T) {
+	var g Gauge
+	if g.TimeAvg(sim.Second) != 0 || g.Peak() != 0 {
+		t.Fatal("empty gauge not zero")
+	}
+}
+
+func TestGaugeAvgBeforeAnyTimePasses(t *testing.T) {
+	var g Gauge
+	g.Set(0, 7)
+	if got := g.TimeAvg(0); got != 7 {
+		t.Fatalf("TimeAvg at t=0 = %v, want current value 7", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.Count() != 10 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	if r := c.Rate(2 * sim.Second); r != 5 {
+		t.Fatalf("Rate = %v, want 5", r)
+	}
+	if r := c.Rate(0); r != 0 {
+		t.Fatalf("Rate(0) = %v, want 0", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Mean() != 3 {
+		t.Fatalf("Count=%d Mean=%v", h.Count(), h.Mean())
+	}
+	if h.Quantile(0.5) != 3 {
+		t.Fatalf("median = %v", h.Quantile(0.5))
+	}
+	if h.Max() != 5 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if h.Quantile(0) != 1 {
+		t.Fatalf("min quantile = %v", h.Quantile(0))
+	}
+	// Observing after a quantile query must keep order stats correct.
+	h.Observe(0)
+	if h.Quantile(0) != 0 {
+		t.Fatalf("min after new observation = %v", h.Quantile(0))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.9) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "disk space"}
+	s.Add(5, 123)
+	s.Add(10, 110)
+	if len(s.Points) != 2 || s.Points[1] != (Point{10, 110}) {
+		t.Fatalf("points %v", s.Points)
+	}
+	str := s.String()
+	if !strings.Contains(str, "disk space") || !strings.Contains(str, "123") {
+		t.Fatalf("String() = %q", str)
+	}
+}
+
+// TestGaugeIntegralProperty: for any piecewise-constant trajectory, the
+// time average times the span equals the sum of value*duration segments.
+func TestGaugeIntegralProperty(t *testing.T) {
+	prop := func(vals []uint8) bool {
+		var g Gauge
+		now := sim.Time(0)
+		var manual float64
+		var prev float64
+		for i, v := range vals {
+			g.Set(now, float64(v))
+			dur := sim.Time(1+i%5) * sim.Second
+			if i > 0 {
+				_ = prev
+			}
+			manual += float64(v) * dur.Seconds()
+			now += dur
+			prev = float64(v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		got := g.TimeAvg(now) * now.Seconds()
+		return math.Abs(got-manual) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsciiPlotBasics(t *testing.T) {
+	var fw, el Series
+	fw.Name = "FW"
+	el.Name = "EL"
+	for i, v := range []float64{123, 130, 141, 152, 162} {
+		fw.Add(float64(5+i*10), v)
+	}
+	for i, v := range []float64{34, 40, 54, 70, 85} {
+		el.Add(float64(5+i*10), v)
+	}
+	out := AsciiPlot("Figure 4", 40, 10, fw, el)
+	for _, want := range []string{"Figure 4", "* FW", "o EL", "|", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	if out := AsciiPlot("empty", 30, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+}
+
+func TestAsciiPlotDegenerateRanges(t *testing.T) {
+	var s Series
+	s.Name = "flat"
+	s.Add(1, 5)
+	s.Add(2, 5) // zero Y range
+	out := AsciiPlot("flat", 20, 6, s)
+	if !strings.Contains(out, "flat") {
+		t.Fatal("flat plot failed")
+	}
+	var one Series
+	one.Name = "point"
+	one.Add(3, 7) // zero X and Y range
+	if out := AsciiPlot("", 20, 6, one); !strings.Contains(out, "point") {
+		t.Fatal("single-point plot failed")
+	}
+}

@@ -1,0 +1,177 @@
+// Package multilog composes ephemeral logging across a shared-nothing
+// highly concurrent system — the setting the paper's introduction
+// motivates: "the advent of highly concurrent systems consisting of
+// hundreds or thousands of processors has offered much greater processing
+// power, but has made synchronization much more difficult. Traditionally,
+// checkpointing has been a part of all DBMS designs [and] relies on some
+// form of synchronization of activity in the entire system."
+//
+// Because EL needs no checkpoints, partitions need no cross-log
+// synchronization at all: each partition runs its own logging manager over
+// its own generations, flush drives and slice of the object space (range
+// partitioning, as in the parallel database systems of the paper's
+// reference [3], DeWitt & Gray). Transactions are routed to the partition
+// owning their objects. Crash recovery is embarrassingly parallel — each
+// partition replays its own small log — so recovery time is the maximum
+// over partitions, not the sum.
+package multilog
+
+import (
+	"fmt"
+
+	"ellog/internal/core"
+	"ellog/internal/logrec"
+	"ellog/internal/recovery"
+	"ellog/internal/sim"
+	"ellog/internal/statedb"
+)
+
+// System is a set of independent EL partitions sharing one simulated
+// machine (engine) and nothing else.
+type System struct {
+	eng   *sim.Engine
+	parts []*core.Setup
+	// objectsPerPart is each partition's object-range width; partition p
+	// owns oids [p*objectsPerPart, (p+1)*objectsPerPart).
+	objectsPerPart uint64
+}
+
+// New builds a system of n identical partitions. Each partition gets its
+// own log (params.GenSizes blocks), its own flush drives and the object
+// range [i*fc.NumObjects, (i+1)*fc.NumObjects).
+func New(eng *sim.Engine, n int, params core.Params, fc core.FlushConfig) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("multilog: need at least one partition")
+	}
+	sys := &System{eng: eng, objectsPerPart: fc.NumObjects}
+	for i := 0; i < n; i++ {
+		setup, err := core.NewSetup(eng, params, fc)
+		if err != nil {
+			return nil, fmt.Errorf("multilog: partition %d: %w", i, err)
+		}
+		sys.parts = append(sys.parts, setup)
+	}
+	return sys, nil
+}
+
+// Partitions reports the partition count.
+func (s *System) Partitions() int { return len(s.parts) }
+
+// Partition returns one partition's components.
+func (s *System) Partition(i int) *core.Setup { return s.parts[i] }
+
+// OwnerOf returns the partition index owning an object.
+func (s *System) OwnerOf(oid logrec.OID) int {
+	return int(uint64(oid) / s.objectsPerPart)
+}
+
+// Sink returns partition i's transaction interface in GLOBAL object
+// coordinates: the partition internally works on its local object range
+// [0, NumObjects) (its flush drives are range partitioned over exactly
+// that), and the sink translates. It satisfies workload.LogManager.
+func (s *System) Sink(i int) *PartitionSink {
+	return &PartitionSink{sys: s, part: i, base: uint64(i) * s.objectsPerPart}
+}
+
+// PartitionSink routes one partition's transactions, translating global
+// object identifiers to the partition's local range.
+type PartitionSink struct {
+	sys  *System
+	part int
+	base uint64
+}
+
+// BeginHinted starts a transaction on the partition.
+func (ps *PartitionSink) BeginHinted(tid logrec.TxID, expected sim.Time) {
+	ps.sys.parts[ps.part].LM.BeginHinted(tid, expected)
+}
+
+// WriteData logs an update; oid is global and must belong to the
+// partition.
+func (ps *PartitionSink) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
+	local := uint64(oid) - ps.base
+	if local >= ps.sys.objectsPerPart {
+		panic(fmt.Sprintf("multilog: object %d routed to partition %d (owner %d)",
+			oid, ps.part, ps.sys.OwnerOf(oid)))
+	}
+	return ps.sys.parts[ps.part].LM.WriteData(tid, logrec.OID(local), size)
+}
+
+// Commit requests commit; onDurable fires at the group-commit ack.
+func (ps *PartitionSink) Commit(tid logrec.TxID, onDurable func()) {
+	ps.sys.parts[ps.part].LM.Commit(tid, onDurable)
+}
+
+// SetKillHandler registers the kill callback for this partition.
+func (ps *PartitionSink) SetKillHandler(fn func(logrec.TxID)) {
+	ps.sys.parts[ps.part].LM.SetKillHandler(fn)
+}
+
+// Stats aggregates all partitions.
+type Stats struct {
+	PerPartition []core.Stats
+	TotalBlocks  int
+	TotalWrites  uint64
+	Bandwidth    float64
+	Killed       uint64
+	MemPeak      float64
+}
+
+// Stats snapshots every partition.
+func (s *System) Stats() Stats {
+	var out Stats
+	for _, p := range s.parts {
+		st := p.LM.Stats()
+		out.PerPartition = append(out.PerPartition, st)
+		out.TotalBlocks += st.TotalBlocks
+		out.TotalWrites += st.TotalWrites
+		out.Bandwidth += st.TotalBandwidth
+		out.Killed += st.Killed
+		out.MemPeak += st.MemPeakBytes
+	}
+	return out
+}
+
+// Insufficient reports whether any partition exceeded its budget.
+func (s *System) Insufficient() bool {
+	for _, p := range s.parts {
+		if p.LM.Stats().Insufficient() {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoverAll recovers every partition independently and merges the
+// results. Returned alongside are the per-partition recovery details and
+// the parallel recovery time: since no partition needs any other, wall
+// time is the slowest partition — the payoff of checkpoint-free logs.
+func (s *System) RecoverAll(blockRead sim.Time) (*statedb.DB, []recovery.Result, sim.Time, error) {
+	merged := statedb.New()
+	var results []recovery.Result
+	var slowest sim.Time
+	for i, p := range s.parts {
+		rec, res, err := recovery.Recover(p.Dev, p.DB, blockRead)
+		if err != nil {
+			return nil, results, slowest, fmt.Errorf("multilog: partition %d: %w", i, err)
+		}
+		results = append(results, res)
+		if res.EstimatedTime > slowest {
+			slowest = res.EstimatedTime
+		}
+		base := uint64(i) * s.objectsPerPart
+		var mergeErr error
+		rec.Range(func(oid logrec.OID, v statedb.Version) bool {
+			if uint64(oid) >= s.objectsPerPart {
+				mergeErr = fmt.Errorf("multilog: partition %d recovered out-of-range local object %d", i, oid)
+				return false
+			}
+			merged.ForceSet(logrec.OID(base+uint64(oid)), v)
+			return true
+		})
+		if mergeErr != nil {
+			return nil, results, slowest, mergeErr
+		}
+	}
+	return merged, results, slowest, nil
+}

@@ -1,0 +1,202 @@
+package multilog
+
+import (
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/logrec"
+	"ellog/internal/recovery"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// buildSystem assembles n partitions, each driven by its own generator at
+// the paper workload scaled to perPartTPS.
+func buildSystem(t *testing.T, n int, perPartTPS float64, runtime sim.Time) (*System, []*workload.Generator, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine(3, 4)
+	sys, err := New(eng, n, core.Params{
+		Mode: core.ModeEphemeral, GenSizes: []int{20, 16}, Recirculate: true,
+	}, core.FlushConfig{Drives: 10, Transfer: 25 * sim.Millisecond, NumObjects: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []*workload.Generator
+	for i := 0; i < n; i++ {
+		g, err := workload.New(eng, sys.Sink(i), workload.Config{
+			Mix:         workload.PaperMix(0.05),
+			ArrivalRate: perPartTPS,
+			Runtime:     runtime,
+			NumObjects:  1_000_000,
+			OIDBase:     uint64(i) * 1_000_000,
+			TidBase:     uint64(i) << 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		gens = append(gens, g)
+	}
+	return sys, gens, eng
+}
+
+func TestPartitionsRunIndependently(t *testing.T) {
+	sys, gens, eng := buildSystem(t, 4, 100, 30*sim.Second)
+	eng.Run(30 * sim.Second)
+	if sys.Insufficient() {
+		t.Fatalf("system insufficient: %+v", sys.Stats())
+	}
+	st := sys.Stats()
+	// Four partitions at 100 TPS each: aggregate bandwidth ~4x one log's.
+	if st.Bandwidth < 45 || st.Bandwidth > 60 {
+		t.Fatalf("aggregate bandwidth %.1f, want ~4x12.7", st.Bandwidth)
+	}
+	total := uint64(0)
+	for i, g := range gens {
+		ws := g.Stats()
+		if ws.Started != 3000 {
+			t.Fatalf("partition %d started %d, want 3000", i, ws.Started)
+		}
+		if ws.Killed != 0 {
+			t.Fatalf("partition %d killed %d", i, ws.Killed)
+		}
+		total += ws.Committed
+	}
+	if total < 11000 {
+		t.Fatalf("only %d commits across 4 partitions", total)
+	}
+	// No invariant violations anywhere.
+	for i := 0; i < sys.Partitions(); i++ {
+		if err := sys.Partition(i).LM.CheckInvariants(); err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+	}
+}
+
+func TestGlobalCrashRecovery(t *testing.T) {
+	sys, gens, eng := buildSystem(t, 4, 100, 60*sim.Second)
+	eng.Run(37 * sim.Second) // crash the whole machine at once
+
+	merged, results, parallelTime, err := sys.RecoverAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d partition recoveries", len(results))
+	}
+	// Global oracle = union of the per-partition oracles (disjoint oid
+	// ranges guarantee no conflicts).
+	oracle := make(map[logrec.OID]logrec.LSN)
+	for _, g := range gens {
+		for oid, lsn := range g.Oracle() {
+			oracle[oid] = lsn
+		}
+	}
+	if len(oracle) == 0 {
+		t.Fatal("empty oracle")
+	}
+	if err := recovery.VerifyOracle(merged, oracle); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel recovery time = slowest partition, about one partition's
+	// log; total blocks read is ~4x that.
+	totalRead := 0
+	for _, r := range results {
+		totalRead += r.BlocksRead
+	}
+	if parallelTime <= 0 {
+		t.Fatal("no parallel recovery time")
+	}
+	serialTime := sim.Time(totalRead) * recovery.DefaultBlockRead
+	if parallelTime*3 > serialTime {
+		t.Fatalf("parallel recovery %v not well below serial %v", parallelTime, serialTime)
+	}
+}
+
+func TestKillIsolation(t *testing.T) {
+	// Partition 0 gets a hopeless budget; the others are generous. Kills
+	// must stay confined to partition 0 — no global synchronization means
+	// no global fallout.
+	eng := sim.NewEngine(9, 10)
+	mk := func(sizes []int) *core.Setup {
+		s, err := core.NewSetup(eng, core.Params{
+			Mode: core.ModeEphemeral, GenSizes: sizes, Recirculate: true,
+		}, core.FlushConfig{Drives: 10, Transfer: 25 * sim.Millisecond, NumObjects: 1_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sys := &System{eng: eng, objectsPerPart: 1_000_000}
+	sys.parts = []*core.Setup{mk([]int{5, 4}), mk([]int{20, 16}), mk([]int{20, 16})}
+	var gens []*workload.Generator
+	for i := 0; i < 3; i++ {
+		g, err := workload.New(eng, sys.Sink(i), workload.Config{
+			Mix:         workload.PaperMix(0.05),
+			ArrivalRate: 100,
+			Runtime:     30 * sim.Second,
+			NumObjects:  1_000_000,
+			OIDBase:     uint64(i) * 1_000_000,
+			TidBase:     uint64(i) << 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Start()
+		gens = append(gens, g)
+	}
+	eng.Run(30 * sim.Second)
+	if gens[0].Stats().Killed == 0 {
+		t.Fatal("starved partition killed nothing — test premise broken")
+	}
+	for i := 1; i < 3; i++ {
+		if gens[i].Stats().Killed != 0 {
+			t.Fatalf("kills leaked into healthy partition %d", i)
+		}
+	}
+	// And recovery of the whole machine is still exact.
+	merged, _, _, err := sys.RecoverAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[logrec.OID]logrec.LSN)
+	for _, g := range gens {
+		for oid, lsn := range g.Oracle() {
+			oracle[oid] = lsn
+		}
+	}
+	if err := recovery.VerifyOracle(merged, oracle); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutingGuards(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	sys, err := New(eng, 2, core.Params{Mode: core.ModeEphemeral, GenSizes: []int{8, 8}},
+		core.FlushConfig{Drives: 2, Transfer: 10 * sim.Millisecond, NumObjects: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.OwnerOf(500) != 0 || sys.OwnerOf(1500) != 1 {
+		t.Fatal("owner mapping wrong")
+	}
+	sink := sys.Sink(0)
+	sink.BeginHinted(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign-object write did not panic")
+		}
+	}()
+	sink.WriteData(1, 1500, 100) // belongs to partition 1
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	if _, err := New(eng, 0, core.Params{}, core.FlushConfig{}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := New(eng, 2, core.Params{Mode: core.ModeFirewall, GenSizes: []int{4, 4}},
+		core.FlushConfig{Drives: 1, Transfer: sim.Millisecond, NumObjects: 100}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

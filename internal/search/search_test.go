@@ -1,0 +1,153 @@
+package search
+
+import (
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/sim"
+)
+
+// shortBase shrinks the paper frame for fast searching in tests.
+func shortBase(fracLong float64, runtime sim.Time) harness.Config {
+	cfg := harness.PaperDefaults(fracLong)
+	cfg.Workload.Runtime = runtime
+	cfg.Workload.NumObjects = 1_000_000
+	cfg.Flush.NumObjects = 1_000_000
+	return cfg
+}
+
+func TestProbeSufficientAndNot(t *testing.T) {
+	base := shortBase(0.05, 30*sim.Second)
+	ok, res, err := Probe(base, core.ModeFirewall, []int{200}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("200-block FW insufficient:\n%s", res.LM)
+	}
+	ok, res, err = Probe(base, core.ModeFirewall, []int{10}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("10-block FW sufficient?!\n%s", res.LM)
+	}
+	if res.LM.Killed == 0 {
+		t.Fatal("insufficient run reports no kills")
+	}
+}
+
+func TestMinFirewallFindsBoundary(t *testing.T) {
+	base := shortBase(0.05, 30*sim.Second)
+	size, res, err := MinFirewall(base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 10 s transaction holds ~11.3 blocks/s x 10 s of log: expect a
+	// minimum in the rough vicinity of 120 blocks.
+	if size < 100 || size > 150 {
+		t.Fatalf("FW minimum %d blocks outside plausible range:\n%s", size, res.LM)
+	}
+	if res.Insufficient() {
+		t.Fatal("returned run insufficient")
+	}
+	// The boundary is real: one block less must fail.
+	ok, _, err := Probe(base, core.ModeFirewall, []int{size - 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("size-1 (%d) still sufficient — not a minimum", size-1)
+	}
+}
+
+func TestMinFirewallGrowsUpperBound(t *testing.T) {
+	base := shortBase(0.05, 30*sim.Second)
+	// Deliberately low initial hi: the search must expand it.
+	size, _, err := MinFirewall(base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 100 || size > 150 {
+		t.Fatalf("FW minimum %d with low initial bound", size)
+	}
+}
+
+func TestMinTwoGenBeatsFirewall(t *testing.T) {
+	base := shortBase(0.05, 30*sim.Second)
+	two, err := MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, _, err := MinFirewall(base, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("EL minimum %d+%d=%d vs FW %d", two.Gen0, two.Gen1, two.Total, fw)
+	if two.Total*2 >= fw {
+		t.Fatalf("EL (%d blocks) not at least 2x better than FW (%d) at 5%% mix", two.Total, fw)
+	}
+	if two.Run.Insufficient() {
+		t.Fatal("winning configuration insufficient")
+	}
+}
+
+func TestRecirculationReducesLastGeneration(t *testing.T) {
+	base := shortBase(0.05, 30*sim.Second)
+	two, err := MinTwoGen(base, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1NoRecirc := two.Gen1
+	g1Recirc, res, err := MinLastGen(base, core.ModeEphemeral, []int{two.Gen0}, true, g1NoRecirc+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gen1 without recirculation: %d, with: %d", g1NoRecirc, g1Recirc)
+	if g1Recirc > g1NoRecirc {
+		t.Fatalf("recirculation made the last generation larger (%d > %d)", g1Recirc, g1NoRecirc)
+	}
+	if g1Recirc == g1NoRecirc {
+		t.Fatalf("recirculation gave no space benefit (both %d)", g1Recirc)
+	}
+	if res.LM.Recirculated == 0 {
+		t.Fatal("minimum recirculating config never recirculated")
+	}
+}
+
+func TestMinChainThreeGenerations(t *testing.T) {
+	base := shortBase(0.05, 30*sim.Second)
+	sizes, res, err := MinChain(base, true, []int{24, 24, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("sizes %v", sizes)
+	}
+	total := sizes[0] + sizes[1] + sizes[2]
+	t.Logf("three-generation minimum: %v (total %d)", sizes, total)
+	if res.Insufficient() {
+		t.Fatal("final configuration insufficient")
+	}
+	// Must not be worse than a very loose bound; the two-generation
+	// minimum is ~28-33 with recirculation.
+	if total > 60 {
+		t.Fatalf("coordinate descent stalled: total %d", total)
+	}
+	// Each coordinate is at a boundary: shrinking any one breaks it.
+	for i := range sizes {
+		if sizes[i] <= MinBlocks {
+			continue
+		}
+		work := append([]int(nil), sizes...)
+		work[i]--
+		ok, _, err := Probe(base, core.ModeEphemeral, work, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("generation %d not at its boundary: %v still sufficient", i, work)
+		}
+	}
+}

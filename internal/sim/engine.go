@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Handler is a callback invoked when an event fires. The current simulated
+// time is available through Engine.Now.
+type Handler func()
+
+// EventID identifies a scheduled event so that it can be cancelled.
+// The zero EventID is never issued.
+type EventID uint64
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among simultaneous events, for determinism
+	id   EventID
+	fn   Handler
+	heap int // index in the heap, -1 when popped/cancelled
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use; the whole simulation is single-threaded, exactly like the
+// paper's C simulator, which makes runs bit-for-bit reproducible for a given
+// seed.
+type Engine struct {
+	now     Time
+	events  []*event
+	byID    map[EventID]*event
+	nextSeq uint64
+	nextID  EventID
+	rng     *rand.Rand
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// number generator is seeded with the two given words (PCG).
+func NewEngine(seed1, seed2 uint64) *Engine {
+	return &Engine{
+		byID: make(map[EventID]*event),
+		rng:  rand.New(rand.NewPCG(seed1, seed2)),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random number generator.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: the model must never travel backwards.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.nextSeq++
+	e.nextID++
+	ev := &event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+	e.push(ev)
+	e.byID[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired or was cancelled before).
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	delete(e.byID, ev.id)
+	e.remove(ev)
+	return true
+}
+
+// Stop makes Run return after the event currently being dispatched.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order (FIFO among equal timestamps)
+// until the queue empties or the next event would fire strictly after the
+// until time. The clock is left at the later of the last fired event and
+// until.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		e.pop()
+		delete(e.byID, next.id)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Step dispatches exactly one event, if any is pending, and reports whether
+// one fired. Useful in tests that need to observe intermediate states.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	next := e.events[0]
+	e.pop()
+	delete(e.byID, next.id)
+	e.now = next.at
+	e.fired++
+	next.fn()
+	return true
+}
+
+// --- binary heap ordered by (at, seq) ---------------------------------
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.events[i], e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.events[i], e.events[j] = e.events[j], e.events[i]
+	e.events[i].heap = i
+	e.events[j].heap = j
+}
+
+func (e *Engine) push(ev *event) {
+	ev.heap = len(e.events)
+	e.events = append(e.events, ev)
+	e.up(ev.heap)
+}
+
+func (e *Engine) pop() *event {
+	ev := e.events[0]
+	last := len(e.events) - 1
+	e.swap(0, last)
+	e.events = e.events[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	ev.heap = -1
+	return ev
+}
+
+func (e *Engine) remove(ev *event) {
+	i := ev.heap
+	if i < 0 {
+		return
+	}
+	last := len(e.events) - 1
+	e.swap(i, last)
+	e.events = e.events[:last]
+	if i < last {
+		e.down(i)
+		e.up(i)
+	}
+	ev.heap = -1
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && e.less(l, small) {
+			small = l
+		}
+		if r < n && e.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000 {
+		t.Fatalf("Second = %d, want 1e6 µs", Second)
+	}
+	if Millisecond != 1000 {
+		t.Fatalf("Millisecond = %d, want 1000 µs", Millisecond)
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds() = %v, want 2.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{3 * Second, "3s"},
+		{15 * Millisecond, "15ms"},
+		{1500 * Millisecond, "1.500s"},
+		{42, "42µs"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1, 2)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v after Run(100), want 100", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1, 2)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: position %d holds %d", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1, 2)
+	fired := false
+	id := e.At(10, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for an already-cancelled event")
+	}
+	e.Run(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1, 2)
+	id := e.At(10, func() {})
+	e.Run(100)
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for an event that already fired")
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1, 2)
+	var at Time
+	e.At(40, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run(1000)
+	if at != 45 {
+		t.Fatalf("After(5) from t=40 fired at %v, want 45", at)
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1, 2)
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.Run(15)
+	if fired != 1 {
+		t.Fatalf("Run(15) fired %d events, want 1", fired)
+	}
+	e.Run(25)
+	if fired != 2 {
+		t.Fatalf("after Run(25) fired %d events, want 2", fired)
+	}
+}
+
+func TestEventsScheduledDuringDispatch(t *testing.T) {
+	e := NewEngine(1, 2)
+	var seen []Time
+	var rec func()
+	n := 0
+	rec = func() {
+		seen = append(seen, e.Now())
+		n++
+		if n < 5 {
+			e.After(10, rec)
+		}
+	}
+	e.At(0, rec)
+	e.Run(1000)
+	want := []Time{0, 10, 20, 30, 40}
+	if len(seen) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("firing %d at %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1, 2)
+	e.At(50, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(10, func() {})
+	})
+	e.Run(100)
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1, 2)
+	fired := 0
+	e.At(10, func() { fired++; e.Stop() })
+	e.At(20, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("Stop did not halt dispatch: fired=%d", fired)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1, 2)
+	fired := 0
+	e.At(10, func() { fired++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with a pending event")
+	}
+	if fired != 1 || e.Now() != 10 {
+		t.Fatalf("Step: fired=%d now=%v", fired, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step returned true with no pending events")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine(7, 9)
+		var draws []uint64
+		for i := 0; i < 20; i++ {
+			e.At(Time(i*3), func() { draws = append(draws, e.Rand().Uint64()) })
+		}
+		e.Run(1000)
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHeapOrderingProperty drives the event heap with random schedules and
+// cancellations and checks that surviving events fire in nondecreasing time
+// order with FIFO tie-breaking.
+func TestHeapOrderingProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		e := NewEngine(seed, 1)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		ids := make([]EventID, 0, 200)
+		times := make(map[EventID]Time)
+		for i := 0; i < 200; i++ {
+			at := Time(rng.IntN(500))
+			seq := i
+			id := e.At(at, func() { fired = append(fired, rec{at, seq}) })
+			ids = append(ids, id)
+			times[id] = at
+		}
+		// Cancel a random third.
+		for _, id := range ids {
+			if rng.IntN(3) == 0 {
+				e.Cancel(id)
+				delete(times, id)
+			}
+		}
+		e.Run(1000)
+		if len(fired) != len(times) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		}) {
+			return false
+		}
+		// Already-sorted means every adjacent pair is in order, including ties.
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%100), func() {})
+		if i%64 == 63 {
+			e.Run(e.Now() + 100)
+		}
+	}
+	e.Run(e.Now() + 1000)
+}

@@ -1,0 +1,49 @@
+// Package sim provides the discrete-event simulation substrate used by the
+// ephemeral-logging study: a virtual clock with microsecond resolution, an
+// event queue with deterministic FIFO ordering of simultaneous events, and a
+// seeded pseudo-random number generator.
+//
+// The paper's evaluation (Keen & Dally, SIGMOD 1993, section 3) is driven by
+// an event-driven simulator written in C; this package is its Go equivalent.
+// All model components (log managers, disks, workload generators) share one
+// Engine and schedule callbacks on it.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured in microseconds since the
+// start of the simulation. All of the paper's constants (the 1 ms commit
+// gap epsilon, the 15 ms log write latency, the 25/45 ms flush transfer
+// times) are integral in microseconds, so no floating-point clock is needed.
+type Time int64
+
+// Convenient duration units expressed as Time deltas.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds, for
+// reporting rates such as block writes per second.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts a simulated time span to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// String formats the time compactly, e.g. "1.250s" or "15ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second && t%Second == 0:
+		return fmt.Sprintf("%ds", int64(t/Second))
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond && t%Millisecond == 0:
+		return fmt.Sprintf("%dms", int64(t/Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", int64(t))
+	}
+}

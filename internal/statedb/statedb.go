@@ -1,0 +1,145 @@
+// Package statedb models the stable ("disk") version of the database that
+// resides elsewhere on disk (paper, Figure 1). It does not necessarily
+// incorporate the most recent committed changes — the log holds whatever is
+// still missing — but together log and stable version always suffice to
+// restore the most recent consistent state.
+//
+// The paper assumes a no-steal buffer policy: uncommitted updates are never
+// propagated here, so records are REDO-only. Versions carry the LSN of the
+// data log record that produced them; an update is applied only if its LSN
+// exceeds the stored version's, which makes replay (flushes arriving out of
+// order, recovery re-applying stale physical copies) idempotent and safe.
+package statedb
+
+import (
+	"ellog/internal/logrec"
+)
+
+// Version is one object's durable state. Tx records which transaction
+// wrote it, and Stolen marks a version written before its transaction
+// committed (the UNDO/REDO extension's steal policy): recovery must roll a
+// stolen version back to its before-image unless the writer's COMMIT is in
+// the log. A committing transaction cleans its stolen versions (a second
+// disk write per stolen object — the classic price of steal) so that the
+// marker never outlives the commit record's readability. Tx is 0 for
+// versions installed by recovery itself (restored before-images).
+type Version struct {
+	LSN    logrec.LSN
+	Val    uint64
+	Tx     logrec.TxID
+	Stolen bool
+}
+
+// DB is the stable version of the database. Only objects that have ever
+// been written are materialized; the remaining NUM_OBJECTS (10^7 in the
+// paper) are implicitly at their initial (zero) version.
+type DB struct {
+	versions map[logrec.OID]Version
+	applies  uint64
+	stale    uint64
+}
+
+// New returns an empty stable database.
+func New() *DB {
+	return &DB{versions: make(map[logrec.OID]Version)}
+}
+
+// Apply installs a version if it is newer than what is stored. It reports
+// whether the write took effect (false = stale, ignored).
+func (db *DB) Apply(obj logrec.OID, lsn logrec.LSN, val uint64, tx logrec.TxID) bool {
+	return db.ApplyVersion(obj, Version{LSN: lsn, Val: val, Tx: tx})
+}
+
+// ApplyVersion is Apply with full version control (the steal flag).
+func (db *DB) ApplyVersion(obj logrec.OID, v Version) bool {
+	if cur, ok := db.versions[obj]; ok && cur.LSN >= v.LSN {
+		db.stale++
+		return false
+	}
+	db.versions[obj] = v
+	db.applies++
+	return true
+}
+
+// Clean clears the stolen marker on a version, if it is still the one the
+// caller flushed. It reports whether the marker was cleared.
+func (db *DB) Clean(obj logrec.OID, lsn logrec.LSN) bool {
+	v, ok := db.versions[obj]
+	if !ok || v.LSN != lsn || !v.Stolen {
+		return false
+	}
+	v.Stolen = false
+	db.versions[obj] = v
+	return true
+}
+
+// ForceSet installs a version unconditionally, bypassing the LSN monotone
+// rule. Only the UNDO paths use it: rolling an aborted transaction's
+// stolen (flushed-while-uncommitted) update back to the before-image, and
+// recovery undoing a loser's version. A zero-LSN version deletes the
+// object (it had no committed state at all).
+func (db *DB) ForceSet(obj logrec.OID, v Version) {
+	if v.LSN == 0 {
+		delete(db.versions, obj)
+		return
+	}
+	db.versions[obj] = v
+}
+
+// Get returns the stored version of an object.
+func (db *DB) Get(obj logrec.OID) (Version, bool) {
+	v, ok := db.versions[obj]
+	return v, ok
+}
+
+// Len reports how many objects have materialized versions.
+func (db *DB) Len() int { return len(db.versions) }
+
+// Applies reports how many writes took effect; Stale how many were ignored
+// as out of date.
+func (db *DB) Applies() uint64 { return db.applies }
+
+// Stale reports how many Apply calls were ignored as stale.
+func (db *DB) Stale() uint64 { return db.stale }
+
+// Clone returns a deep copy, used to snapshot the pre-crash state for
+// recovery experiments.
+func (db *DB) Clone() *DB {
+	out := New()
+	for k, v := range db.versions {
+		out.versions[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two databases hold identical versions, and if not,
+// returns one differing oid for diagnostics.
+func (db *DB) Equal(other *DB) (bool, logrec.OID) {
+	if len(db.versions) != len(other.versions) {
+		for k := range db.versions {
+			if _, ok := other.versions[k]; !ok {
+				return false, k
+			}
+		}
+		for k := range other.versions {
+			if _, ok := db.versions[k]; !ok {
+				return false, k
+			}
+		}
+	}
+	for k, v := range db.versions {
+		if ov, ok := other.versions[k]; !ok || ov != v {
+			return false, k
+		}
+	}
+	return true, 0
+}
+
+// Range visits every materialized version until fn returns false.
+func (db *DB) Range(fn func(obj logrec.OID, v Version) bool) {
+	for k, v := range db.versions {
+		if !fn(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace provides structured event tracing for the logging
+// manager: every significant action (records entering the log, buffers
+// sealing and becoming durable, forwarding batches, recirculation, kills,
+// flushes) can be captured as a typed event. The default sink is a bounded
+// ring buffer, cheap enough to leave attached, whose tail can be dumped
+// when something needs explaining — the log-manager equivalent of a flight
+// recorder.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ellog/internal/logrec"
+	"ellog/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// EvAppend: a fresh record entered a generation's tail buffer.
+	EvAppend Kind = iota + 1
+	// EvSeal: a buffer was written out to a block.
+	EvSeal
+	// EvDurable: a block write completed.
+	EvDurable
+	// EvForward: a record moved from one generation to the next.
+	EvForward
+	// EvRecirculate: a record recirculated in the last generation.
+	EvRecirculate
+	// EvDiscard: a head block containing only garbage was reclaimed.
+	EvDiscard
+	// EvFlush: a committed update reached the stable database.
+	EvFlush
+	// EvForceFlush: an update was flushed out of band (random I/O).
+	EvForceFlush
+	// EvCommit: a transaction's COMMIT became durable (t4).
+	EvCommit
+	// EvKill: the manager killed a transaction for want of space.
+	EvKill
+	// EvResize: a generation grew or shrank (adaptive or emergency).
+	EvResize
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case EvAppend:
+		return "append"
+	case EvSeal:
+		return "seal"
+	case EvDurable:
+		return "durable"
+	case EvForward:
+		return "forward"
+	case EvRecirculate:
+		return "recirc"
+	case EvDiscard:
+		return "discard"
+	case EvFlush:
+		return "flush"
+	case EvForceFlush:
+		return "force-flush"
+	case EvCommit:
+		return "commit"
+	case EvKill:
+		return "kill"
+	case EvResize:
+		return "resize"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Gen  int // generation involved (-1 if not applicable)
+	Tx   logrec.TxID
+	Obj  logrec.OID
+	LSN  logrec.LSN
+	N    int // records in batch / bytes / resize delta, per kind
+}
+
+// String formats an event for dumps.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10v %-11s gen=%d", e.At, e.Kind, e.Gen)
+	if e.Tx != 0 {
+		fmt.Fprintf(&b, " tx=%d", e.Tx)
+	}
+	if e.Obj != 0 {
+		fmt.Fprintf(&b, " obj=%d", e.Obj)
+	}
+	if e.LSN != 0 {
+		fmt.Fprintf(&b, " lsn=%d", e.LSN)
+	}
+	if e.N != 0 {
+		fmt.Fprintf(&b, " n=%d", e.N)
+	}
+	return b.String()
+}
+
+// Sink receives events. Implementations must be cheap; the manager calls
+// Emit on hot paths.
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a bounded in-memory sink retaining the most recent events.
+type Ring struct {
+	buf   []Event
+	next  int
+	total uint64
+	// KindCount tallies events by kind for assertions and summaries.
+	counts [EvResize + 1]uint64
+}
+
+// NewRing returns a sink retaining up to n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	if int(e.Kind) < len(r.counts) {
+		r.counts[e.Kind]++
+	}
+}
+
+// Total reports how many events were emitted (including evicted ones).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Count reports how many events of a kind were emitted.
+func (r *Ring) Count(k Kind) uint64 {
+	if int(k) >= len(r.counts) {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// Tail returns up to n of the most recent events, oldest first.
+func (r *Ring) Tail(n int) []Event {
+	size := len(r.buf)
+	if n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	// Events are ordered starting at r.next when the ring has wrapped.
+	start := 0
+	if size == cap(r.buf) {
+		start = r.next
+	}
+	for i := size - n; i < size; i++ {
+		out = append(out, r.buf[(start+i)%size])
+	}
+	return out
+}
+
+// Dump renders the most recent n events, one per line.
+func (r *Ring) Dump(n int) string {
+	var b strings.Builder
+	for _, e := range r.Tail(n) {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Filter is a sink decorator that forwards only selected kinds.
+type Filter struct {
+	Next  Sink
+	Kinds map[Kind]bool
+}
+
+// Emit implements Sink.
+func (f *Filter) Emit(e Event) {
+	if f.Kinds[e.Kind] {
+		f.Next.Emit(e)
+	}
+}
+
+// Func adapts a function to the Sink interface.
+type Func func(Event)
+
+// Emit implements Sink.
+func (f Func) Emit(e Event) { f(e) }

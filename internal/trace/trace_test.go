@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ellog/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{EvAppend, EvSeal, EvDurable, EvForward, EvRecirculate,
+		EvDiscard, EvFlush, EvForceFlush, EvCommit, EvKill, EvResize}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Fatal("unknown kind not reported as such")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Second, Kind: EvForward, Gen: 0, Tx: 7, N: 3}
+	s := e.String()
+	for _, want := range []string{"forward", "gen=0", "tx=7", "n=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRingRetainsTail(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: EvAppend, N: i})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	tail := r.Tail(4)
+	if len(tail) != 4 {
+		t.Fatalf("Tail returned %d events", len(tail))
+	}
+	for i, e := range tail {
+		if e.N != 6+i {
+			t.Fatalf("tail = %v, want events 6..9 oldest first", tail)
+		}
+	}
+	// Requesting more than retained caps at the buffer size.
+	if got := r.Tail(100); len(got) != 4 {
+		t.Fatalf("Tail(100) returned %d", len(got))
+	}
+}
+
+func TestRingBeforeWrap(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Kind: EvSeal, N: i})
+	}
+	tail := r.Tail(2)
+	if len(tail) != 2 || tail[0].N != 1 || tail[1].N != 2 {
+		t.Fatalf("tail before wrap = %v", tail)
+	}
+}
+
+func TestRingCounts(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(Event{Kind: EvKill})
+	r.Emit(Event{Kind: EvKill})
+	r.Emit(Event{Kind: EvFlush})
+	if r.Count(EvKill) != 2 || r.Count(EvFlush) != 1 || r.Count(EvSeal) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if r.Count(Kind(200)) != 0 {
+		t.Fatal("out-of-range kind count not zero")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(Event{At: 5, Kind: EvCommit, Gen: -1, Tx: 42})
+	out := r.Dump(10)
+	if !strings.Contains(out, "commit") || !strings.Contains(out, "tx=42") {
+		t.Fatalf("dump %q", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRing(8)
+	f := &Filter{Next: r, Kinds: map[Kind]bool{EvKill: true}}
+	f.Emit(Event{Kind: EvAppend})
+	f.Emit(Event{Kind: EvKill})
+	if r.Total() != 1 || r.Count(EvKill) != 1 {
+		t.Fatalf("filter passed %d events", r.Total())
+	}
+}
+
+func TestFuncSink(t *testing.T) {
+	var got []Event
+	s := Func(func(e Event) { got = append(got, e) })
+	s.Emit(Event{Kind: EvSeal})
+	if len(got) != 1 || got[0].Kind != EvSeal {
+		t.Fatal("func sink did not receive the event")
+	}
+}
+
+func TestNewRingDefaultsSize(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 2000; i++ {
+		r.Emit(Event{Kind: EvAppend})
+	}
+	if len(r.Tail(2000)) != 1024 {
+		t.Fatalf("default ring retained %d", len(r.Tail(2000)))
+	}
+}

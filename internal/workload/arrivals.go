@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"ellog/internal/sim"
+)
+
+// Arrival selects the transaction initiation process. The paper uses
+// deterministic arrivals ("transactions are initiated at regular
+// intervals") and defers richer models to future work ("more complicated
+// probabilistic models (such as Markov arrivals) may be investigated");
+// this package implements the deterministic baseline plus two of those
+// richer processes, used by the arrival-sensitivity extension experiment.
+type Arrival int
+
+const (
+	// ArrivalDeterministic initiates one transaction every 1/rate seconds —
+	// the paper's model and the default.
+	ArrivalDeterministic Arrival = iota
+	// ArrivalPoisson draws exponential inter-arrival gaps with the same
+	// mean rate: memoryless arrivals, the classic open-system model.
+	ArrivalPoisson
+	// ArrivalBursty is a two-state Markov-modulated process: an "on" state
+	// arriving at twice the mean rate and an "off" state at ~zero,
+	// alternating with exponentially distributed sojourns. Mean rate
+	// matches the configured rate, but arrivals clump — the hardest case
+	// for a fixed disk budget.
+	ArrivalBursty
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case ArrivalDeterministic:
+		return "deterministic"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// burstySojourn is the mean sojourn time in each modulation state.
+const burstySojourn = 2 * sim.Second
+
+// nextGap returns the next inter-arrival gap for the configured process.
+func (g *Generator) nextGap() sim.Time {
+	mean := g.interval()
+	switch g.cfg.Arrival {
+	case ArrivalPoisson:
+		return expGap(g, float64(mean))
+	case ArrivalBursty:
+		// Flip modulation state when its sojourn expires.
+		for g.eng.Now() >= g.burstUntil {
+			g.burstOn = !g.burstOn
+			g.burstUntil += expGap(g, float64(burstySojourn))
+		}
+		if g.burstOn {
+			return expGap(g, float64(mean)/2)
+		}
+		// The off state still trickles at a tenth of the rate so the
+		// process cannot starve forever.
+		return expGap(g, float64(mean)*10)
+	default:
+		return mean
+	}
+}
+
+// expGap draws an exponential gap with the given mean (in µs), at least
+// 1 µs so simulated time always advances.
+func expGap(g *Generator, mean float64) sim.Time {
+	gap := sim.Time(g.eng.Rand().ExpFloat64() * mean)
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}

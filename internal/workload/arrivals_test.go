@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ellog/internal/sim"
+)
+
+func TestArrivalString(t *testing.T) {
+	if ArrivalDeterministic.String() != "deterministic" ||
+		ArrivalPoisson.String() != "poisson" ||
+		ArrivalBursty.String() != "bursty" {
+		t.Fatal("arrival names wrong")
+	}
+	if Arrival(9).String() == "" {
+		t.Fatal("unknown arrival unnamed")
+	}
+}
+
+// runArrivals counts arrivals and inter-arrival gap variance for a process.
+func runArrivals(t *testing.T, a Arrival, rate float64, runtime sim.Time) (n int, cv float64) {
+	t.Helper()
+	eng := sim.NewEngine(21, 22)
+	lm := &fakeLM{eng: eng, ackImmediately: true}
+	cfg := Config{
+		Mix:         Mix{{Name: "t", Prob: 1, Lifetime: 50 * sim.Millisecond, NumRecords: 1, RecordSize: 10}},
+		ArrivalRate: rate,
+		Runtime:     runtime,
+		NumObjects:  1_000_000,
+		Arrival:     a,
+	}
+	g, err := New(eng, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(runtime + sim.Second)
+	var begins []sim.Time
+	for i, e := range lm.events {
+		if e == "begin" {
+			begins = append(begins, lm.times[i])
+		}
+	}
+	var gaps []float64
+	for i := 1; i < len(begins); i++ {
+		gaps = append(gaps, float64(begins[i]-begins[i-1]))
+	}
+	mean, varsum := 0.0, 0.0
+	for _, gp := range gaps {
+		mean += gp
+	}
+	mean /= float64(len(gaps))
+	for _, gp := range gaps {
+		varsum += (gp - mean) * (gp - mean)
+	}
+	sd := math.Sqrt(varsum / float64(len(gaps)))
+	return len(begins), sd / mean
+}
+
+func TestArrivalRatesMatchAcrossProcesses(t *testing.T) {
+	const rate, runtime = 200.0, 60 * sim.Second
+	want := int(rate * runtime.Seconds())
+	for _, a := range []Arrival{ArrivalDeterministic, ArrivalPoisson, ArrivalBursty} {
+		n, _ := runArrivals(t, a, rate, runtime)
+		// All processes share the same mean rate; bursty wobbles the most.
+		if n < want*7/10 || n > want*13/10 {
+			t.Fatalf("%v: %d arrivals, want ~%d", a, n, want)
+		}
+	}
+}
+
+func TestArrivalVariability(t *testing.T) {
+	const rate, runtime = 200.0, 60 * sim.Second
+	_, cvDet := runArrivals(t, ArrivalDeterministic, rate, runtime)
+	_, cvPoi := runArrivals(t, ArrivalPoisson, rate, runtime)
+	_, cvBur := runArrivals(t, ArrivalBursty, rate, runtime)
+	// Deterministic: zero variance. Poisson: CV = 1. Bursty: heavier.
+	if cvDet > 1e-9 {
+		t.Fatalf("deterministic CV = %v, want 0", cvDet)
+	}
+	if math.Abs(cvPoi-1) > 0.15 {
+		t.Fatalf("poisson CV = %v, want ~1", cvPoi)
+	}
+	if cvBur <= cvPoi {
+		t.Fatalf("bursty CV %v not above poisson %v", cvBur, cvPoi)
+	}
+}
+
+func TestBurstyNeverStalls(t *testing.T) {
+	// The off state trickles rather than stopping; the engine must never
+	// run out of arrivals mid-runtime.
+	n, _ := runArrivals(t, ArrivalBursty, 50, 30*sim.Second)
+	if n < 100 {
+		t.Fatalf("bursty arrivals starved: %d", n)
+	}
+}

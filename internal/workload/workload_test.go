@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ellog/internal/logrec"
+	"ellog/internal/sim"
+)
+
+func TestMixValidate(t *testing.T) {
+	if err := PaperMix(0.05).Validate(); err != nil {
+		t.Fatalf("paper mix rejected: %v", err)
+	}
+	bad := []Mix{
+		{},
+		{{Prob: 0.5, Lifetime: sim.Second, NumRecords: 1, RecordSize: 1}}, // sums to 0.5
+		{{Prob: 1, Lifetime: 0, NumRecords: 1, RecordSize: 1}},
+		{{Prob: 1, Lifetime: sim.Second, NumRecords: 0, RecordSize: 1}},
+		{{Prob: -1, Lifetime: sim.Second, NumRecords: 1, RecordSize: 1},
+			{Prob: 2, Lifetime: sim.Second, NumRecords: 1, RecordSize: 1}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad mix %d accepted", i)
+		}
+	}
+}
+
+func TestPaperMixRates(t *testing.T) {
+	// Section 4: "As the fraction of 10 s transactions increases from 5%
+	// to 40%, the average number of updates per second rises from 210 to
+	// 280" at 100 TPS.
+	if got := PaperMix(0.05).UpdatesPerSecond(100); math.Abs(got-210) > 1e-9 {
+		t.Fatalf("5%% mix updates/s = %v, want 210", got)
+	}
+	if got := PaperMix(0.40).UpdatesPerSecond(100); math.Abs(got-280) > 1e-9 {
+		t.Fatalf("40%% mix updates/s = %v, want 280", got)
+	}
+	// 5% mix bytes: 0.95*(200+16) + 0.05*(400+16) = 226 per tx.
+	if got := PaperMix(0.05).LogBytesPerSecond(100, 8); math.Abs(got-22600) > 1e-6 {
+		t.Fatalf("5%% mix bytes/s = %v, want 22600", got)
+	}
+}
+
+// fakeLM records the call sequence the generator produces.
+type fakeLM struct {
+	events []string
+	times  []sim.Time
+	eng    *sim.Engine
+	lsn    logrec.LSN
+	// ackImmediately controls whether Commit acks synchronously.
+	ackImmediately bool
+	pendingAcks    []func()
+	killFn         func(logrec.TxID)
+}
+
+func (f *fakeLM) BeginHinted(tid logrec.TxID, expected sim.Time) {
+	f.events = append(f.events, "begin")
+	f.times = append(f.times, f.eng.Now())
+	_ = expected
+}
+
+func (f *fakeLM) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
+	f.events = append(f.events, "data")
+	f.times = append(f.times, f.eng.Now())
+	f.lsn++
+	return f.lsn
+}
+
+func (f *fakeLM) Commit(tid logrec.TxID, onDurable func()) {
+	f.events = append(f.events, "commit")
+	f.times = append(f.times, f.eng.Now())
+	if f.ackImmediately && onDurable != nil {
+		onDurable()
+	} else if onDurable != nil {
+		f.pendingAcks = append(f.pendingAcks, onDurable)
+	}
+}
+
+func (f *fakeLM) SetKillHandler(fn func(logrec.TxID)) { f.killFn = fn }
+
+func singleTypeCfg(life sim.Time, n int) Config {
+	return Config{
+		Mix:         Mix{{Name: "t", Prob: 1, Lifetime: life, NumRecords: n, RecordSize: 100}},
+		ArrivalRate: 1,
+		Runtime:     sim.Second / 2, // exactly one arrival at t=0
+		NumObjects:  1000,
+	}
+}
+
+func TestFigure3Schedule(t *testing.T) {
+	// One transaction, T=1s, N=2, eps=1ms: BEGIN at 0, data at (T-eps)/2
+	// = 499.5ms and 999ms, COMMIT at 1s.
+	eng := sim.NewEngine(1, 2)
+	lm := &fakeLM{eng: eng, ackImmediately: true}
+	g, err := New(eng, lm, singleTypeCfg(sim.Second, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(2 * sim.Second)
+	want := []string{"begin", "data", "data", "commit"}
+	if len(lm.events) != len(want) {
+		t.Fatalf("events %v, want %v", lm.events, want)
+	}
+	for i := range want {
+		if lm.events[i] != want[i] {
+			t.Fatalf("events %v, want %v", lm.events, want)
+		}
+	}
+	step := (sim.Second - DefaultEpsilon) / 2
+	wantTimes := []sim.Time{0, step, 2 * step, sim.Second}
+	for i, w := range wantTimes {
+		if lm.times[i] != w {
+			t.Fatalf("event %d at %v, want %v (all: %v)", i, lm.times[i], w, lm.times)
+		}
+	}
+	// Last data record is exactly epsilon before the commit record.
+	if lm.times[3]-lm.times[2] != DefaultEpsilon {
+		t.Fatalf("commit gap %v, want epsilon %v", lm.times[3]-lm.times[2], DefaultEpsilon)
+	}
+}
+
+func TestRegularArrivals(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	lm := &fakeLM{eng: eng, ackImmediately: true}
+	cfg := singleTypeCfg(100*sim.Millisecond, 1)
+	cfg.ArrivalRate = 100
+	cfg.Runtime = 100 * sim.Millisecond
+	g, err := New(eng, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(sim.Second)
+	// Arrivals at 0,10,...,90 ms: exactly 10.
+	if got := g.Stats().Started; got != 10 {
+		t.Fatalf("started %d transactions, want 10", got)
+	}
+	var begins []sim.Time
+	for i, e := range lm.events {
+		if e == "begin" {
+			begins = append(begins, lm.times[i])
+		}
+	}
+	for i, b := range begins {
+		if b != sim.Time(i)*10*sim.Millisecond {
+			t.Fatalf("begin %d at %v, want %v", i, b, sim.Time(i)*10*sim.Millisecond)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	eng := sim.NewEngine(5, 6)
+	lm := &fakeLM{eng: eng, ackImmediately: true}
+	cfg := Config{
+		Mix:         PaperMix(0.25),
+		ArrivalRate: 1000,
+		Runtime:     20 * sim.Second,
+		NumObjects:  10_000_000,
+	}
+	g, err := New(eng, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(cfg.Runtime)
+	st := g.Stats()
+	frac := float64(st.PerType["long-10s"]) / float64(st.Started)
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("long fraction %v after %d arrivals, want ~0.25", frac, st.Started)
+	}
+}
+
+func TestOIDsUniqueAmongActive(t *testing.T) {
+	// Small object space and many concurrent writers: no two active
+	// transactions may ever hold the same oid.
+	eng := sim.NewEngine(7, 8)
+	lm := &fakeLM{eng: eng} // acks withheld: transactions stay "active"
+	cfg := Config{
+		Mix:         Mix{{Name: "w", Prob: 1, Lifetime: 100 * sim.Millisecond, NumRecords: 4, RecordSize: 10}},
+		ArrivalRate: 200,
+		Runtime:     sim.Second,
+		NumObjects:  1200,
+	}
+	g, err := New(eng, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(2 * sim.Second)
+	// With acks withheld, every written oid is still held.
+	dataWrites := 0
+	for _, e := range lm.events {
+		if e == "data" {
+			dataWrites++
+		}
+	}
+	if g.ActiveHeld() != dataWrites {
+		t.Fatalf("%d oids held, %d data writes — duplicate draw", g.ActiveHeld(), dataWrites)
+	}
+}
+
+func TestOracleAndCommitAccounting(t *testing.T) {
+	eng := sim.NewEngine(9, 10)
+	lm := &fakeLM{eng: eng, ackImmediately: true}
+	cfg := singleTypeCfg(100*sim.Millisecond, 2)
+	cfg.ArrivalRate = 10
+	cfg.Runtime = sim.Second
+	g, err := New(eng, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(5 * sim.Second)
+	st := g.Stats()
+	if st.Started != 10 || st.Committed != 10 || st.Killed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(g.Oracle()) != 20 {
+		t.Fatalf("oracle has %d entries, want 20 (2 per tx, distinct oids)", len(g.Oracle()))
+	}
+	if g.ActiveHeld() != 0 {
+		t.Fatalf("%d oids still held after all commits", g.ActiveHeld())
+	}
+	if st.EndToEndMean < 0.099 {
+		t.Fatalf("end-to-end mean %v below lifetime", st.EndToEndMean)
+	}
+}
+
+func TestKilledTransactionStopsWriting(t *testing.T) {
+	eng := sim.NewEngine(11, 12)
+	lm := &fakeLM{eng: eng, ackImmediately: true}
+	cfg := singleTypeCfg(sim.Second, 4)
+	g, err := New(eng, lm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	eng.Run(300 * sim.Millisecond) // one data record written (at ~249.75ms)
+	lm.killFn(1)                   // the LM kills tx 1
+	eng.Run(5 * sim.Second)
+	dataWrites := 0
+	commits := 0
+	for _, e := range lm.events {
+		switch e {
+		case "data":
+			dataWrites++
+		case "commit":
+			commits++
+		}
+	}
+	if dataWrites != 1 {
+		t.Fatalf("%d data writes after kill, want 1 (pre-kill only)", dataWrites)
+	}
+	if commits != 0 {
+		t.Fatal("killed transaction still committed")
+	}
+	st := g.Stats()
+	if st.Killed != 1 || st.Committed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if g.ActiveHeld() != 0 {
+		t.Fatal("killed transaction's oids not released")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	lm := &fakeLM{eng: eng}
+	bad := []Config{
+		{Mix: PaperMix(0.05), ArrivalRate: 0, Runtime: sim.Second, NumObjects: 10},
+		{Mix: PaperMix(0.05), ArrivalRate: 1, Runtime: 0, NumObjects: 10},
+		{Mix: PaperMix(0.05), ArrivalRate: 1, Runtime: sim.Second, NumObjects: 0},
+		{Mix: Mix{{Prob: 1, Lifetime: sim.Millisecond / 2, NumRecords: 1, RecordSize: 1}},
+			ArrivalRate: 1, Runtime: sim.Second, NumObjects: 10}, // lifetime <= epsilon
+	}
+	for i, cfg := range bad {
+		if _, err := New(eng, lm, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	run := func() []string {
+		eng := sim.NewEngine(42, 43)
+		lm := &fakeLM{eng: eng, ackImmediately: true}
+		cfg := Config{Mix: PaperMix(0.3), ArrivalRate: 50, Runtime: 2 * sim.Second, NumObjects: 100000}
+		g, _ := New(eng, lm, cfg)
+		g.Start()
+		eng.Run(15 * sim.Second)
+		return lm.events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at event %d", i)
+		}
+	}
+}
