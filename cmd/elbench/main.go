@@ -23,17 +23,19 @@ import (
 	"time"
 
 	"ellog/internal/experiments"
+	"ellog/internal/runner"
 	"ellog/internal/sim"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|ext")
-		runtime = flag.Float64("runtime", 500, "simulated seconds per run")
-		objects = flag.Uint64("objects", 10_000_000, "database object count")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		mixes   = flag.String("mixes", "", "comma-separated long-transaction fractions (default 0.05,0.1,0.2,0.3,0.4)")
-		csvPath = flag.String("csv", "", "write Figure 4-6 data as CSV to this path")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|ext")
+		runtime  = flag.Float64("runtime", 500, "simulated seconds per run")
+		objects  = flag.Uint64("objects", 10_000_000, "database object count")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		mixes    = flag.String("mixes", "", "comma-separated long-transaction fractions (default 0.05,0.1,0.2,0.3,0.4)")
+		csvPath  = flag.String("csv", "", "write Figure 4-6 data as CSV to this path")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, negative = strictly sequential)")
 	)
 	flag.Parse()
 
@@ -41,7 +43,18 @@ func main() {
 		Seed:       *seed,
 		Runtime:    sim.Time(*runtime * float64(sim.Second)),
 		NumObjects: *objects,
+		Parallel:   *parallel,
 	}
+	// One pool shared across every experiment of this invocation: probe
+	// points recur between experiments (the headline numbers reuse the
+	// figure 4-6 searches), and the shared cache answers the repeats. The
+	// results are identical with or without it.
+	var pool *runner.Pool
+	if *parallel >= 0 {
+		pool = runner.New(*parallel)
+		opt.Pool = pool
+	}
+	wallStart := time.Now()
 	if *mixes != "" {
 		for _, part := range strings.Split(*mixes, ",") {
 			var f float64
@@ -59,7 +72,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(experiments.FormatFig456(points))
-		fmt.Printf("(figures 4-6 regenerated in %v)\n\n", time.Since(start).Round(time.Second))
+		fmt.Printf("(figures 4-6 regenerated in %v wall clock)\n\n", time.Since(start).Round(time.Millisecond))
 		if *csvPath != "" {
 			if err := writeCSV(*csvPath, points); err != nil {
 				fatal(err)
@@ -72,129 +85,66 @@ func main() {
 	case "fig4", "fig5", "fig6":
 		runFig456()
 	case "fig7":
-		r, err := experiments.Fig7(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatFig7(r))
+		show("fig7", opt, experiments.Fig7, experiments.FormatFig7)
 	case "scarce":
-		r, err := experiments.Scarce(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatScarce(r))
+		show("scarce", opt, experiments.Scarce, experiments.FormatScarce)
 	case "headline":
-		h, err := experiments.Headline(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatHeadline(h))
+		show("headline", opt, experiments.Headline, experiments.FormatHeadline)
 	case "hints":
-		r, err := experiments.Hints(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatHints(r))
+		show("hints", opt, experiments.Hints, experiments.FormatHints)
 	case "chain":
-		r, err := experiments.Chain(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatChain(r))
+		show("chain", opt, experiments.Chain, experiments.FormatChain)
 	case "hybrid":
-		r, err := experiments.HybridCompare(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatHybridCompare(r))
+		show("hybrid", opt, experiments.HybridCompare, experiments.FormatHybridCompare)
 	case "adaptive":
-		r, err := experiments.Adaptive(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatAdaptive(r))
+		show("adaptive", opt, experiments.Adaptive, experiments.FormatAdaptive)
 	case "arrivals":
-		pts, err := experiments.ArrivalSensitivity(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatArrivals(pts))
+		show("arrivals", opt, experiments.ArrivalSensitivity, experiments.FormatArrivals)
 	case "steal":
-		r, err := experiments.Steal(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatSteal(r))
+		show("steal", opt, experiments.Steal, experiments.FormatSteal)
 	case "scale":
-		pts, err := experiments.Scale(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatScale(pts))
+		show("scale", opt, experiments.Scale, experiments.FormatScale)
 	case "ext":
-		rh, err := experiments.Hints(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatHints(rh))
+		show("hints", opt, experiments.Hints, experiments.FormatHints)
 		fmt.Println()
-		rc, err := experiments.Chain(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatChain(rc))
+		show("chain", opt, experiments.Chain, experiments.FormatChain)
 		fmt.Println()
-		rb, err := experiments.HybridCompare(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatHybridCompare(rb))
+		show("hybrid", opt, experiments.HybridCompare, experiments.FormatHybridCompare)
 		fmt.Println()
-		ra, err := experiments.Adaptive(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatAdaptive(ra))
+		show("adaptive", opt, experiments.Adaptive, experiments.FormatAdaptive)
 		fmt.Println()
-		rv, err := experiments.ArrivalSensitivity(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatArrivals(rv))
+		show("arrivals", opt, experiments.ArrivalSensitivity, experiments.FormatArrivals)
 		fmt.Println()
-		rs, err := experiments.Steal(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatSteal(rs))
+		show("steal", opt, experiments.Steal, experiments.FormatSteal)
 		fmt.Println()
-		rsc, err := experiments.Scale(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatScale(rsc))
+		show("scale", opt, experiments.Scale, experiments.FormatScale)
 	case "all":
 		runFig456()
-		r7, err := experiments.Fig7(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatFig7(r7))
+		show("fig7", opt, experiments.Fig7, experiments.FormatFig7)
 		fmt.Println()
-		sc, err := experiments.Scarce(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatScarce(sc))
+		show("scarce", opt, experiments.Scarce, experiments.FormatScarce)
 		fmt.Println()
-		h, err := experiments.Headline(opt)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(experiments.FormatHeadline(h))
+		show("headline", opt, experiments.Headline, experiments.FormatHeadline)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+	if pool != nil {
+		runs, hits := pool.Stats()
+		fmt.Printf("(%d simulations run, %d answered from cache, %d workers, %v wall clock)\n",
+			runs, hits, pool.Workers(), time.Since(wallStart).Round(time.Millisecond))
+	}
+}
+
+// show runs one experiment, prints its formatted report, and reports the
+// wall-clock time it took.
+func show[T any](name string, opt experiments.Options, run func(experiments.Options) (T, error), format func(T) string) {
+	start := time.Now()
+	r, err := run(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(format(r))
+	fmt.Printf("(%s finished in %v wall clock)\n", name, time.Since(start).Round(time.Millisecond))
 }
 
 func writeCSV(path string, points []experiments.MixPoint) error {

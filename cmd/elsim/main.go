@@ -7,6 +7,7 @@
 //	elsim -init cfg.json          write the default configuration and exit
 //	elsim -config cfg.json        run a configuration file
 //	elsim -mode fw -gens 123      run ad hoc, overriding the defaults
+//	elsim -seeds 8 -parallel 4    fan one configuration across 8 seeds
 //
 // The default configuration is the paper's 5%-mix EL run at its measured
 // minimum generation sizes (18+16 blocks, recirculation off).
@@ -18,9 +19,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ellog/internal/config"
 	"ellog/internal/harness"
+	"ellog/internal/runner"
 	"ellog/internal/sim"
 	"ellog/internal/trace"
 )
@@ -38,6 +41,8 @@ func main() {
 		flushMS    = flag.Int64("flush-ms", 0, "override: per-object flush transfer time in ms")
 		verbose    = flag.Bool("v", false, "also print workload statistics")
 		traceN     = flag.Int("trace", 0, "dump the last N logging-manager trace events")
+		seeds      = flag.Int("seeds", 1, "fan the configuration across this many consecutive seeds")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations when -seeds > 1 (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -94,6 +99,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *seeds > 1 {
+		if *traceN > 0 {
+			fatal(fmt.Errorf("-trace needs a single run; drop -seeds"))
+		}
+		runSeeds(cfg, hcfg, *seeds, *parallel, *verbose)
+		return
+	}
 	fmt.Printf("running %s, generations %v (recirculation %v), %s, seed %d\n",
 		strings.ToUpper(cfg.Mode), cfg.Generations, cfg.Recirculate,
 		sim.Time(cfg.RuntimeS*float64(sim.Second)), cfg.Seed)
@@ -125,6 +137,50 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println("verdict: disk space sufficient (no transactions killed)")
+}
+
+// runSeeds fans one configuration across n consecutive seeds through a
+// worker pool and prints a per-seed summary line in seed order. Each
+// simulation stays single-threaded and deterministic; only whole runs fan
+// out, so every line is the same one a sequential loop would print.
+func runSeeds(cfg config.SimConfig, base harness.Config, n, parallel int, verbose bool) {
+	fmt.Printf("running %s, generations %v (recirculation %v), %s, seeds %d..%d\n",
+		strings.ToUpper(cfg.Mode), cfg.Generations, cfg.Recirculate,
+		sim.Time(cfg.RuntimeS*float64(sim.Second)), base.Seed, base.Seed+uint64(n)-1)
+	cfgs := make([]harness.Config, n)
+	for i := range cfgs {
+		cfgs[i] = base
+		cfgs[i].Seed = base.Seed + uint64(i)
+	}
+	pool := runner.New(parallel)
+	start := time.Now()
+	results, err := pool.RunAll(cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	insufficient := 0
+	for i, res := range results {
+		verdict := "sufficient"
+		if res.Insufficient() {
+			verdict = "INSUFFICIENT"
+			insufficient++
+		}
+		fmt.Printf("seed %-4d %-12s killed=%d emergency=%d stalls=%d writes/s=%.3f\n",
+			cfgs[i].Seed, verdict, res.Workload.Killed,
+			res.LM.EmergencyBlocks, res.LM.RefugeeStalls, res.LM.TotalBandwidth)
+		if verbose {
+			ws := res.Workload
+			fmt.Printf("  %d started, %d committed; end-to-end mean %.3fs p99 %.3fs\n",
+				ws.Started, ws.Committed, ws.EndToEndMean, ws.EndToEndP99)
+		}
+	}
+	fmt.Printf("(%d runs on %d workers in %v wall clock)\n",
+		n, pool.Workers(), time.Since(start).Round(time.Millisecond))
+	if insufficient > 0 {
+		fmt.Printf("verdict: INSUFFICIENT disk space for %d of %d seeds\n", insufficient, n)
+		os.Exit(2)
+	}
+	fmt.Println("verdict: disk space sufficient for every seed")
 }
 
 func fatal(err error) {

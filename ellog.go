@@ -137,17 +137,21 @@ func NewSetup(seed uint64, p Params, fc FlushConfig) (*Setup, error) {
 }
 
 // MinFirewall finds the minimum single-queue FW size for a configuration.
-func MinFirewall(base Config, hi int) (int, Result, error) { return search.MinFirewall(base, hi) }
+// The facade searches sequentially; pass a runner.Pool to the internal
+// search package directly to fan probes out.
+func MinFirewall(base Config, hi int) (int, Result, error) {
+	return search.MinFirewall(nil, base, hi)
+}
 
 // MinTwoGen finds the minimum-total two-generation EL configuration.
 func MinTwoGen(base Config, recirc bool) (TwoGenResult, error) {
-	return search.MinTwoGen(base, recirc, 0, 0)
+	return search.MinTwoGen(nil, base, recirc, 0, 0)
 }
 
 // MinLastGen finds the minimum last-generation size given fixed younger
 // generations.
 func MinLastGen(base Config, mode Mode, fixed []int, recirc bool, hi int) (int, Result, error) {
-	return search.MinLastGen(base, mode, fixed, recirc, hi)
+	return search.MinLastGen(nil, base, mode, fixed, recirc, hi)
 }
 
 // Recover performs single-pass redo recovery from a crash image.

@@ -30,6 +30,14 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 	if c.rec.Size > m.p.BlockPayload {
 		panic(fmt.Sprintf("core: record of %d bytes exceeds block payload %d", c.rec.Size, m.p.BlockPayload))
 	}
+	if origin == nil {
+		// Count new records on entry, before the space-making below: its
+		// cascade can kill the very transaction being appended, whose
+		// records are then all counted as garbage — including this one.
+		// Counting only survivors would leave appended != garbaged + live.
+		m.appendedRecs.Inc()
+		m.appendedBytes.Addn(uint64(c.rec.Size))
+	}
 	var b *buffer
 	if m.usesPend(g) {
 		if g.pend != nil && c.rec.Size > g.pend.free {
@@ -76,8 +84,6 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 		b.origins = append(b.origins, origin)
 		return
 	}
-	m.appendedRecs.Inc()
-	m.appendedBytes.Addn(uint64(c.rec.Size))
 	m.emit(trace.Event{Kind: trace.EvAppend, Gen: gi, Tx: c.rec.Tx, Obj: c.rec.Obj, LSN: c.rec.LSN})
 	if c.rec.Kind == logrec.KindCommit {
 		b.commits = append(b.commits, c.tx)
@@ -454,9 +460,8 @@ func (m *Manager) Flushed(req flushdisk.Request) {
 	// The flushed version now anchors recovery even without version
 	// timestamps: every retained older version becomes garbage.
 	for _, old := range le.superseded {
-		if old.inList {
-			m.unlink(old)
-		}
+		// A superseded cell caught detached mid-move still becomes garbage.
+		m.unlink(old)
 		delete(old.tx.oids, req.Obj)
 		m.maybeRetire(old.tx)
 	}
@@ -511,9 +516,16 @@ func (m *Manager) maybeRetire(e *lttEntry) {
 }
 
 func (m *Manager) retire(e *lttEntry) {
-	if e.txCell.inList {
-		m.unlink(e.txCell)
+	// Force flushing a transaction's updates can retire the entry from
+	// inside the (synchronous) flush completion; the caller's own retire
+	// then sees a committed entry with no oids left. Guard on LTT
+	// membership so the tx record is counted as garbage exactly once.
+	if cur, ok := m.ltt.Get(uint64(e.tid)); !ok || cur != e {
+		return
 	}
+	// Unlink unconditionally: the tx record is garbage even if its cell is
+	// momentarily detached from the generation lists.
+	m.unlink(e.txCell)
 	m.ltt.Delete(uint64(e.tid))
 	m.touchMem()
 }

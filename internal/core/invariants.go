@@ -231,5 +231,15 @@ func (m *Manager) CheckInvariants() error {
 		return fmt.Errorf("%d cells listed but %d reachable from LOT (%d) + LTT (%d)",
 			total, lotCells+lttCells, lotCells, lttCells)
 	}
+
+	// 6. Record conservation: every record that ever entered the log is
+	// either live (a cell reachable from LOT/LTT, listed or momentarily
+	// detached in an unwritten buffer) or was counted as garbage — the
+	// balance behind the Garbage/AppendedRecs bandwidth accounting.
+	live := uint64(len(reachable))
+	if m.appendedRecs.Count() != m.garbaged.Count()+live {
+		return fmt.Errorf("record accounting drifted: %d appended != %d garbage + %d live",
+			m.appendedRecs.Count(), m.garbaged.Count(), live)
+	}
 	return nil
 }

@@ -234,8 +234,11 @@ func (m *Manager) Commit(tid logrec.TxID, onDurable func()) {
 		g := m.gens[c.gen]
 		g.list.remove(c)
 		g.noteAge(m.now() - c.arrived)
-		m.garbaged.Inc() // the superseded BEGIN record
 	}
+	// The superseded BEGIN record is garbage whether its cell is listed or
+	// still riding detached in an unwritten buffer; counting only the
+	// listed case would leave appended != garbaged + live.
+	m.garbaged.Inc()
 	c.rec = rec
 	c.slot = nil
 	m.appendTail(e.startGen, c, nil)
@@ -300,9 +303,9 @@ func (m *Manager) dropTx(e *lttEntry, killed bool) {
 		}
 	}
 	e.oids = make(map[logrec.OID]struct{})
-	if e.txCell.inList {
-		m.unlink(e.txCell)
-	}
+	// The tx record is garbage even when its cell is detached (killed by
+	// the space-making cascade of its own append, or mid-move).
+	m.unlink(e.txCell)
 	m.ltt.Delete(uint64(e.tid))
 	if killed {
 		m.killedTxs.Inc()

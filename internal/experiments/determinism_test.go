@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"ellog/internal/runner"
+	"ellog/internal/sim"
+)
+
+// TestFig456ParallelMatchesSequential is the experiment layer's parallelism
+// contract: fanning the mixes and searches across a pool must produce a
+// formatted report byte-identical to the strictly sequential run. The pool
+// may only schedule simulations, never perturb them.
+func TestFig456ParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		o := Options{
+			Seed:       seed,
+			Runtime:    15 * sim.Second,
+			NumObjects: 200_000,
+			Mixes:      []float64{0.05, 0.30},
+		}
+		o.Parallel = -1 // strictly sequential, no pool
+		seqPts, err := Fig456(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Parallel = 0
+		o.Pool = runner.New(4)
+		parPts, err := Fig456(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, par := FormatFig456(seqPts), FormatFig456(parPts)
+		if par != seq {
+			t.Fatalf("seed %d: parallel report diverged\n--- sequential ---\n%s--- parallel ---\n%s", seed, seq, par)
+		}
+		if runs, _ := o.Pool.Stats(); runs == 0 {
+			t.Fatalf("seed %d: pool executed no runs", seed)
+		}
+	}
+}

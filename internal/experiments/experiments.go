@@ -27,6 +27,7 @@ import (
 	"ellog/internal/core"
 	"ellog/internal/harness"
 	"ellog/internal/metrics"
+	"ellog/internal/runner"
 	"ellog/internal/search"
 	"ellog/internal/sim"
 )
@@ -39,6 +40,15 @@ type Options struct {
 	Mixes      []float64
 	// FlushTransfer overrides the per-object flush time (default 25 ms).
 	FlushTransfer sim.Time
+	// Parallel bounds how many simulations run concurrently: 0 selects
+	// GOMAXPROCS, negative forces strictly sequential execution. Results
+	// are byte-identical either way — each simulation is single-threaded
+	// and seeded; parallelism only schedules whole runs.
+	Parallel int
+	// Pool, when set, overrides Parallel and lets several experiments
+	// share one worker pool and probe cache (the figures share many
+	// search points, so a shared cache skips whole simulations).
+	Pool *runner.Pool
 }
 
 // WithDefaults fills in the paper's frame.
@@ -59,6 +69,19 @@ func (o Options) WithDefaults() Options {
 		o.FlushTransfer = 25 * sim.Millisecond
 	}
 	return o
+}
+
+// pool materializes the configured concurrency. Each call builds a fresh
+// pool unless the caller pinned one in o.Pool, so cross-experiment cache
+// sharing is opt-in.
+func (o Options) pool() *runner.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	if o.Parallel < 0 {
+		return nil
+	}
+	return runner.New(o.Parallel)
 }
 
 func (o Options) base(fracLong float64) harness.Config {
@@ -90,20 +113,37 @@ type MixPoint struct {
 // generations with recirculation disabled, exactly as in the paper's
 // Figure 4 ("recirculation in the last generation is disabled for EL, so
 // that we can assess the effect of simply segmenting the log").
+// Fig456 fans the per-mix searches across the pool: every mix column is
+// independent, and within a column the FW and EL searches are too. Results
+// land in mix order regardless of which finishes first.
 func Fig456(o Options) ([]MixPoint, error) {
 	o = o.WithDefaults()
-	var out []MixPoint
-	for _, mix := range o.Mixes {
+	p := o.pool()
+	out := make([]MixPoint, len(o.Mixes))
+	err := p.ForEach(len(o.Mixes), func(i int) error {
+		mix := o.Mixes[i]
 		base := o.base(mix)
-		fwSize, fwRun, err := search.MinFirewall(base, 192)
-		if err != nil {
-			return nil, fmt.Errorf("fig4 FW at mix %.2f: %w", mix, err)
+		var (
+			fwSize       int
+			fwRun        harness.Result
+			el           search.TwoGenResult
+			fwErr, elErr error
+		)
+		_ = p.ForEach(2, func(j int) error {
+			if j == 0 {
+				fwSize, fwRun, fwErr = search.MinFirewall(p, base, 192)
+				return fwErr
+			}
+			el, elErr = search.MinTwoGen(p, base, false, 0, 0)
+			return elErr
+		})
+		if fwErr != nil {
+			return fmt.Errorf("fig4 FW at mix %.2f: %w", mix, fwErr)
 		}
-		el, err := search.MinTwoGen(base, false, 0, 0)
-		if err != nil {
-			return nil, fmt.Errorf("fig4 EL at mix %.2f: %w", mix, err)
+		if elErr != nil {
+			return fmt.Errorf("fig4 EL at mix %.2f: %w", mix, elErr)
 		}
-		out = append(out, MixPoint{
+		out[i] = MixPoint{
 			FracLong:  mix,
 			FWBlocks:  fwSize,
 			FWBW:      fwRun.LM.TotalBandwidth,
@@ -113,7 +153,11 @@ func Fig456(o Options) ([]MixPoint, error) {
 			ELBlocks:  el.Total,
 			ELBW:      el.Run.LM.TotalBandwidth,
 			ELMemPeak: el.Run.LM.MemPeakBytes,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -171,16 +215,30 @@ type Fig7Result struct {
 // as recirculation does more work.
 func Fig7(o Options) (Fig7Result, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	mix := o.Mixes[0] // the paper uses the 5% mix
 	base := o.base(mix)
 
-	el, err := search.MinTwoGen(base, false, 0, 0)
-	if err != nil {
-		return Fig7Result{}, fmt.Errorf("fig7 baseline search: %w", err)
+	// The EL baseline and the FW reference are independent searches.
+	var (
+		el           search.TwoGenResult
+		fwSize       int
+		fwRun        harness.Result
+		elErr, fwErr error
+	)
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			el, elErr = search.MinTwoGen(p, base, false, 0, 0)
+			return elErr
+		}
+		fwSize, fwRun, fwErr = search.MinFirewall(p, base, 192)
+		return fwErr
+	})
+	if elErr != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 baseline search: %w", elErr)
 	}
-	fwSize, fwRun, err := search.MinFirewall(base, 192)
-	if err != nil {
-		return Fig7Result{}, fmt.Errorf("fig7 FW reference: %w", err)
+	if fwErr != nil {
+		return Fig7Result{}, fmt.Errorf("fig7 FW reference: %w", fwErr)
 	}
 	res := Fig7Result{
 		Gen0:       el.Gen0,
@@ -188,25 +246,44 @@ func Fig7(o Options) (Fig7Result, error) {
 		FWBlocks:   fwSize,
 		FWBW:       fwRun.LM.TotalBandwidth,
 	}
-	minG1, _, err := search.MinLastGen(base, core.ModeEphemeral, []int{el.Gen0}, true, el.Gen1+2)
+	minG1, _, err := search.MinLastGen(p, base, core.ModeEphemeral, []int{el.Gen0}, true, el.Gen1+2)
 	if err != nil {
 		return res, fmt.Errorf("fig7 recirculation minimum: %w", err)
 	}
 	res.MinRecircG1 = minG1
-	for g1 := el.Gen1; g1 >= minG1; g1-- {
-		ok, run, err := search.Probe(base, core.ModeEphemeral, []int{el.Gen0, g1}, true)
-		if err != nil {
-			return res, err
+	// Sweep the last generation downward. The points are independent runs,
+	// so probe them all concurrently and fold in descending-size order,
+	// truncating at the first insufficient point exactly like the
+	// sequential sweep would.
+	n := res.NoRecircG1 - minG1 + 1
+	if n < 0 {
+		n = 0
+	}
+	type sweep struct {
+		ok  bool
+		run harness.Result
+		err error
+	}
+	outs := make([]sweep, n)
+	_ = p.ForEach(n, func(i int) error {
+		g1 := res.NoRecircG1 - i
+		outs[i].ok, outs[i].run, outs[i].err = search.Probe(p, base, core.ModeEphemeral, []int{el.Gen0, g1}, true)
+		return outs[i].err
+	})
+	for i := 0; i < n; i++ {
+		if outs[i].err != nil {
+			return res, outs[i].err
 		}
-		if !ok {
+		if !outs[i].ok {
 			break
 		}
+		g1 := res.NoRecircG1 - i
 		res.Points = append(res.Points, Fig7Point{
 			Gen1:    g1,
 			Total:   el.Gen0 + g1,
-			Gen1BW:  run.LM.Gens[1].Bandwidth,
-			TotalBW: run.LM.TotalBandwidth,
-			Recirc:  run.LM.Recirculated,
+			Gen1BW:  outs[i].run.LM.Gens[1].Bandwidth,
+			TotalBW: outs[i].run.LM.TotalBandwidth,
+			Recirc:  outs[i].run.LM.Recirculated,
 		})
 	}
 	return res, nil
@@ -251,14 +328,17 @@ type ScarceResult struct {
 // distance drops — the paper reports 109,000 vs 235,000).
 func Scarce(o Options) (ScarceResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	mix := o.Mixes[0]
 
 	// Baseline locality at the default transfer on a sufficient recirc
-	// configuration.
+	// configuration. The scarce search is anchored at the baseline's
+	// split, so the two stages are inherently sequential; the searches
+	// themselves still fan probes across the pool.
 	baseOpt := o
 	baseOpt.FlushTransfer = 25 * sim.Millisecond
 	baseCfg := baseOpt.base(mix)
-	baseEL, err := search.MinTwoGen(baseCfg, false, 0, 0)
+	baseEL, err := search.MinTwoGen(p, baseCfg, false, 0, 0)
 	if err != nil {
 		return ScarceResult{}, fmt.Errorf("scarce baseline: %w", err)
 	}
@@ -266,7 +346,7 @@ func Scarce(o Options) (ScarceResult, error) {
 	scarceOpt := o
 	scarceOpt.FlushTransfer = 45 * sim.Millisecond
 	cfg := scarceOpt.base(mix)
-	g1, run, err := search.MinLastGen(cfg, core.ModeEphemeral, []int{baseEL.Gen0}, true, baseEL.Gen1+16)
+	g1, run, err := search.MinLastGen(p, cfg, core.ModeEphemeral, []int{baseEL.Gen0}, true, baseEL.Gen1+16)
 	if err != nil {
 		return ScarceResult{}, fmt.Errorf("scarce search: %w", err)
 	}
@@ -319,16 +399,29 @@ type HeadlineResult struct {
 // increase in bandwidth" (with recirculation), at the 5% mix.
 func Headline(o Options) (HeadlineResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	base := o.base(o.Mixes[0])
-	fwSize, fwRun, err := search.MinFirewall(base, 192)
-	if err != nil {
-		return HeadlineResult{}, err
+	var (
+		fwSize       int
+		fwRun        harness.Result
+		el           search.TwoGenResult
+		fwErr, elErr error
+	)
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			fwSize, fwRun, fwErr = search.MinFirewall(p, base, 192)
+			return fwErr
+		}
+		el, elErr = search.MinTwoGen(p, base, false, 0, 0)
+		return elErr
+	})
+	if fwErr != nil {
+		return HeadlineResult{}, fwErr
 	}
-	el, err := search.MinTwoGen(base, false, 0, 0)
-	if err != nil {
-		return HeadlineResult{}, err
+	if elErr != nil {
+		return HeadlineResult{}, elErr
 	}
-	g1, recircRun, err := search.MinLastGen(base, core.ModeEphemeral, []int{el.Gen0}, true, el.Gen1+2)
+	g1, recircRun, err := search.MinLastGen(p, base, core.ModeEphemeral, []int{el.Gen0}, true, el.Gen1+2)
 	if err != nil {
 		return HeadlineResult{}, err
 	}

@@ -15,6 +15,7 @@ import (
 	"ellog/internal/harness"
 	"ellog/internal/hybrid"
 	"ellog/internal/multilog"
+	"ellog/internal/runner"
 	"ellog/internal/search"
 	"ellog/internal/sim"
 	"ellog/internal/workload"
@@ -44,13 +45,14 @@ type HintsResult struct {
 // huge recirculating queue, which is not the configuration of interest).
 func Hints(o Options) (HintsResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	base := o.base(o.Mixes[0])
 
-	elNR, err := search.MinTwoGen(base, false, 0, 0)
+	elNR, err := search.MinTwoGen(p, base, false, 0, 0)
 	if err != nil {
 		return HintsResult{}, err
 	}
-	g1, _, err := search.MinLastGen(base, core.ModeEphemeral, []int{elNR.Gen0}, true, elNR.Gen1+2)
+	g1, _, err := search.MinLastGen(p, base, core.ModeEphemeral, []int{elNR.Gen0}, true, elNR.Gen1+2)
 	if err != nil {
 		return HintsResult{}, err
 	}
@@ -70,15 +72,22 @@ func Hints(o Options) (HintsResult, error) {
 			cfg.LM.GroupCommitTimeout = 100 * sim.Millisecond
 			cfg.Workload.Hints = true
 		}
-		return harness.Run(cfg)
+		return p.Run(cfg)
 	}
-	baseRun, err := run(false, gen0)
-	if err != nil {
-		return r, err
-	}
-	hintRun, err := run(true, gen0)
-	if err != nil {
-		return r, err
+	var baseRun, hintRun harness.Result
+	errs := [2]error{}
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			baseRun, errs[0] = run(false, gen0)
+			return errs[0]
+		}
+		hintRun, errs[1] = run(true, gen0)
+		return errs[1]
+	})
+	for _, err := range errs {
+		if err != nil {
+			return r, err
+		}
 	}
 	r.BaseBW = baseRun.LM.TotalBandwidth
 	r.HintBW = hintRun.LM.TotalBandwidth
@@ -131,6 +140,7 @@ type ChainResult struct {
 // motivates ("transactions of widely varying lifetimes").
 func Chain(o Options) (ChainResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	mix := workload.Mix{
 		{Name: "short-1s", Prob: 0.90, Lifetime: sim.Second, NumRecords: 2, RecordSize: 100},
 		{Name: "medium-10s", Prob: 0.08, Lifetime: 10 * sim.Second, NumRecords: 4, RecordSize: 100},
@@ -140,26 +150,39 @@ func Chain(o Options) (ChainResult, error) {
 	base.Workload.Mix = mix
 
 	r := ChainResult{Mix: mix}
-	fwSize, fwRun, err := search.MinFirewall(base, 1024)
-	if err != nil {
-		return r, err
+	// The FW reference and the two-generation baseline are independent.
+	var (
+		fwSize        int
+		fwRun         harness.Result
+		twoNR         search.TwoGenResult
+		fwErr, twoErr error
+	)
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			fwSize, fwRun, fwErr = search.MinFirewall(p, base, 1024)
+			return fwErr
+		}
+		// The paper's method: fix generation 0 at the no-recirculation
+		// minimum, then let recirculation shrink the last generation.
+		twoNR, twoErr = search.MinTwoGen(p, base, false, 0, 0)
+		return twoErr
+	})
+	if fwErr != nil {
+		return r, fwErr
+	}
+	if twoErr != nil {
+		return r, twoErr
 	}
 	r.FWBlocks = fwSize
 	r.FWBW = fwRun.LM.TotalBandwidth
 
-	// The paper's method: fix generation 0 at the no-recirculation
-	// minimum, then let recirculation shrink the last generation.
-	twoNR, err := search.MinTwoGen(base, false, 0, 0)
-	if err != nil {
-		return r, err
-	}
-	g1, twoRun, err := search.MinLastGen(base, core.ModeEphemeral, []int{twoNR.Gen0}, true, twoNR.Gen1+2)
+	g1, twoRun, err := search.MinLastGen(p, base, core.ModeEphemeral, []int{twoNR.Gen0}, true, twoNR.Gen1+2)
 	if err != nil {
 		return r, err
 	}
 	r.Two = search.TwoGenResult{Gen0: twoNR.Gen0, Gen1: g1, Total: twoNR.Gen0 + g1, Run: twoRun}
 
-	three, threeRun, err := minChainGuided(base, true,
+	three, threeRun, err := minChainGuided(p, base, true,
 		[]int{twoNR.Gen0, twoNR.Gen1, twoNR.Gen1})
 	if err != nil {
 		return r, err
@@ -174,22 +197,31 @@ func Chain(o Options) (ChainResult, error) {
 // economics, avoiding the degenerate basins plain local search falls
 // into), then polishing the candidate with search.MinChain's unit-step
 // descent. The start must be feasible or near-feasible.
-func minChainGuided(base harness.Config, recirc bool, start []int) ([]int, harness.Result, error) {
-	cfg := base
-	cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: start, Recirculate: recirc}
-	live, err := harness.Build(cfg)
+func minChainGuided(p *runner.Pool, base harness.Config, recirc bool, start []int) ([]int, harness.Result, error) {
+	var cand []int
+	// The adaptive pilot is a live (uncached) run; Do keeps it under the
+	// pool's concurrency bound alongside regular probes.
+	err := p.Do(func() error {
+		cfg := base
+		cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: start, Recirculate: recirc}
+		live, err := harness.Build(cfg)
+		if err != nil {
+			return err
+		}
+		ctl := adaptive.Attach(live.Setup.Eng, live.Setup.LM, adaptive.Config{})
+		live.Setup.Eng.Run(cfg.Workload.Runtime)
+		cand = ctl.Sizes()
+		return nil
+	})
 	if err != nil {
 		return nil, harness.Result{}, err
 	}
-	ctl := adaptive.Attach(live.Setup.Eng, live.Setup.LM, adaptive.Config{})
-	live.Setup.Eng.Run(cfg.Workload.Runtime)
-	cand := ctl.Sizes()
 	// Two blocks of headroom per generation: the controller's converged
 	// sizes reflect a run that includes its own convergence turbulence.
 	for i := range cand {
 		cand[i] += 2
 	}
-	return search.MinChain(base, recirc, cand)
+	return search.MinChain(p, base, recirc, cand)
 }
 
 // FormatChain renders the generation-depth comparison.
@@ -223,6 +255,7 @@ type HybridCompareResult struct {
 // HybridCompare runs the three techniques on an update-heavy mix.
 func HybridCompare(o Options) (HybridCompareResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	mix := workload.Mix{
 		{Name: "short", Prob: 0.8, Lifetime: sim.Second, NumRecords: 2, RecordSize: 100},
 		{Name: "update-heavy", Prob: 0.2, Lifetime: 10 * sim.Second, NumRecords: 10, RecordSize: 100},
@@ -232,48 +265,63 @@ func HybridCompare(o Options) (HybridCompareResult, error) {
 
 	var r HybridCompareResult
 
-	fwSize, fwRun, err := search.MinFirewall(base, 512)
-	if err != nil {
-		return r, err
+	var (
+		fwSize       int
+		fwRun        harness.Result
+		el           search.TwoGenResult
+		fwErr, elErr error
+	)
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			fwSize, fwRun, fwErr = search.MinFirewall(p, base, 512)
+			return fwErr
+		}
+		el, elErr = search.MinTwoGen(p, base, true, 0, 0)
+		return elErr
+	})
+	if fwErr != nil {
+		return r, fwErr
+	}
+	if elErr != nil {
+		return r, elErr
 	}
 	r.Blocks[0] = fwSize
 	r.Bandwidth[0] = fwRun.LM.TotalBandwidth
 	r.MemPeak[0] = fwRun.LM.MemPeakBytes
-
-	el, err := search.MinTwoGen(base, true, 0, 0)
-	if err != nil {
-		return r, err
-	}
 	r.Blocks[1] = el.Total
 	r.Bandwidth[1] = el.Run.LM.TotalBandwidth
 	r.MemPeak[1] = el.Run.LM.MemPeakBytes
 
-	// Hybrid at the same budget split as EL.
-	eng := sim.NewEngine(base.Seed, base.Seed^0x9e3779b97f4a7c15)
-	hs, err := hybrid.NewSetup(eng, hybrid.Params{
-		QueueSizes:         []int{el.Gen0, el.Gen1},
-		Recirculate:        true,
-		GroupCommitTimeout: 100 * sim.Millisecond,
-	}, hybrid.FlushConfig{
-		Drives:     base.Flush.Drives,
-		Transfer:   base.Flush.Transfer,
-		NumObjects: base.Flush.NumObjects,
+	// Hybrid at the same budget split as EL — a live run outside the
+	// harness, so it goes through Do rather than the cache.
+	err := p.Do(func() error {
+		eng := sim.NewEngine(base.Seed, base.Seed^0x9e3779b97f4a7c15)
+		hs, err := hybrid.NewSetup(eng, hybrid.Params{
+			QueueSizes:         []int{el.Gen0, el.Gen1},
+			Recirculate:        true,
+			GroupCommitTimeout: 100 * sim.Millisecond,
+		}, hybrid.FlushConfig{
+			Drives:     base.Flush.Drives,
+			Transfer:   base.Flush.Transfer,
+			NumObjects: base.Flush.NumObjects,
+		})
+		if err != nil {
+			return err
+		}
+		gen, err := workload.New(eng, hs.LM, base.Workload)
+		if err != nil {
+			return err
+		}
+		gen.Start()
+		eng.Run(base.Workload.Runtime)
+		hst := hs.LM.Stats()
+		r.Blocks[2] = hst.TotalBlocks
+		r.Bandwidth[2] = hst.TotalBandwidth
+		r.MemPeak[2] = hst.MemPeakBytes
+		r.HybridRegens = hst.Regenerated
+		return nil
 	})
-	if err != nil {
-		return r, err
-	}
-	gen, err := workload.New(eng, hs.LM, base.Workload)
-	if err != nil {
-		return r, err
-	}
-	gen.Start()
-	eng.Run(base.Workload.Runtime)
-	hst := hs.LM.Stats()
-	r.Blocks[2] = hst.TotalBlocks
-	r.Bandwidth[2] = hst.TotalBandwidth
-	r.MemPeak[2] = hst.MemPeakBytes
-	r.HybridRegens = hst.Regenerated
-	return r, nil
+	return r, err
 }
 
 // FormatHybridCompare renders the three-technique comparison.
@@ -304,31 +352,48 @@ type AdaptiveResult struct {
 // compares the result with the offline search minimum.
 func Adaptive(o Options) (AdaptiveResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	base := o.base(o.Mixes[0])
 
 	r := AdaptiveResult{StartSizes: []int{6, 6}}
-	off, err := search.MinTwoGen(base, false, 0, 0)
-	if err != nil {
-		return r, err
+	// The offline reference search and the live adaptive run are
+	// independent; run them side by side.
+	errs := [2]error{}
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			off, err := search.MinTwoGen(p, base, false, 0, 0)
+			if err == nil {
+				r.OfflineMin = off.Total
+			}
+			errs[0] = err
+			return err
+		}
+		errs[1] = p.Do(func() error {
+			cfg := base
+			cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: r.StartSizes, Recirculate: false}
+			live, err := harness.Build(cfg)
+			if err != nil {
+				return err
+			}
+			ctl := adaptive.Attach(live.Setup.Eng, live.Setup.LM, adaptive.Config{})
+			threeQuarters := cfg.Workload.Runtime / 4 * 3
+			live.Setup.Eng.Run(threeQuarters)
+			killsAt75 := live.Gen.Stats().Killed
+			live.Setup.Eng.Run(cfg.Workload.Runtime)
+			r.Kills = live.Gen.Stats().Killed
+			r.LateKills = r.Kills - killsAt75
+			r.FinalSizes = ctl.Sizes()
+			r.Grown = ctl.Grown()
+			r.Shrunk = ctl.Shrunk()
+			return nil
+		})
+		return errs[1]
+	})
+	for _, err := range errs {
+		if err != nil {
+			return r, err
+		}
 	}
-	r.OfflineMin = off.Total
-
-	cfg := base
-	cfg.LM = core.Params{Mode: core.ModeEphemeral, GenSizes: r.StartSizes, Recirculate: false}
-	live, err := harness.Build(cfg)
-	if err != nil {
-		return r, err
-	}
-	ctl := adaptive.Attach(live.Setup.Eng, live.Setup.LM, adaptive.Config{})
-	threeQuarters := cfg.Workload.Runtime / 4 * 3
-	live.Setup.Eng.Run(threeQuarters)
-	killsAt75 := live.Gen.Stats().Killed
-	live.Setup.Eng.Run(cfg.Workload.Runtime)
-	r.Kills = live.Gen.Stats().Killed
-	r.LateKills = r.Kills - killsAt75
-	r.FinalSizes = ctl.Sizes()
-	r.Grown = ctl.Grown()
-	r.Shrunk = ctl.Shrunk()
 	return r, nil
 }
 
@@ -363,27 +428,45 @@ type ArrivalPoint struct {
 // techniques — because minimum space is set by peak, not mean, backlog.
 func ArrivalSensitivity(o Options) ([]ArrivalPoint, error) {
 	o = o.WithDefaults()
-	var out []ArrivalPoint
-	for _, proc := range []workload.Arrival{
+	p := o.pool()
+	procs := []workload.Arrival{
 		workload.ArrivalDeterministic, workload.ArrivalPoisson, workload.ArrivalBursty,
-	} {
+	}
+	out := make([]ArrivalPoint, len(procs))
+	err := p.ForEach(len(procs), func(i int) error {
+		proc := procs[i]
 		base := o.base(o.Mixes[0])
 		base.Workload.Arrival = proc
-		fwSize, _, err := search.MinFirewall(base, 256)
-		if err != nil {
-			return nil, fmt.Errorf("arrivals %v: %w", proc, err)
+		var (
+			fwSize       int
+			el           search.TwoGenResult
+			fwErr, elErr error
+		)
+		_ = p.ForEach(2, func(j int) error {
+			if j == 0 {
+				fwSize, _, fwErr = search.MinFirewall(p, base, 256)
+				return fwErr
+			}
+			el, elErr = search.MinTwoGen(p, base, false, 0, 0)
+			return elErr
+		})
+		if fwErr != nil {
+			return fmt.Errorf("arrivals %v: %w", proc, fwErr)
 		}
-		el, err := search.MinTwoGen(base, false, 0, 0)
-		if err != nil {
-			return nil, fmt.Errorf("arrivals %v: %w", proc, err)
+		if elErr != nil {
+			return fmt.Errorf("arrivals %v: %w", proc, elErr)
 		}
-		out = append(out, ArrivalPoint{
+		out[i] = ArrivalPoint{
 			Process:  proc,
 			FWBlocks: fwSize,
 			ELGen0:   el.Gen0,
 			ELGen1:   el.Gen1,
 			ELBlocks: el.Total,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -419,13 +502,32 @@ type StealResult struct {
 // keeps stolen records non-garbage until cleaned.
 func Steal(o Options) (StealResult, error) {
 	o = o.WithDefaults()
+	p := o.pool()
 	base := o.base(o.Mixes[0])
+	stealBase := base
+	stealBase.LM.Steal = true
 
-	elNR, err := search.MinTwoGen(base, false, 0, 0)
-	if err != nil {
-		return StealResult{}, err
+	// The two minimum searches (without and with steal) are independent.
+	var (
+		elNR, elS      search.TwoGenResult
+		nrErr, stemErr error
+	)
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			elNR, nrErr = search.MinTwoGen(p, base, false, 0, 0)
+			return nrErr
+		}
+		elS, stemErr = search.MinTwoGen(p, stealBase, false, 0, 0)
+		return stemErr
+	})
+	if nrErr != nil {
+		return StealResult{}, nrErr
 	}
 	r := StealResult{Sizes: []int{elNR.Gen0, elNR.Gen1}, MinTotalNS: elNR.Total}
+	if stemErr != nil {
+		return r, stemErr
+	}
+	r.MinTotalS = elS.Total
 
 	run := func(steal bool) (harness.Result, error) {
 		cfg := base
@@ -434,15 +536,22 @@ func Steal(o Options) (StealResult, error) {
 			GenSizes: []int{elNR.Gen0, elNR.Gen1},
 			Steal:    steal,
 		}
-		return harness.Run(cfg)
+		return p.Run(cfg)
 	}
-	ns, err := run(false)
-	if err != nil {
-		return r, err
-	}
-	st, err := run(true)
-	if err != nil {
-		return r, err
+	var ns, st harness.Result
+	errs := [2]error{}
+	_ = p.ForEach(2, func(j int) error {
+		if j == 0 {
+			ns, errs[0] = run(false)
+			return errs[0]
+		}
+		st, errs[1] = run(true)
+		return errs[1]
+	})
+	for _, err := range errs {
+		if err != nil {
+			return r, err
+		}
 	}
 	r.NoStealBW = ns.LM.TotalBandwidth
 	r.StealBW = st.LM.TotalBandwidth
@@ -450,14 +559,6 @@ func Steal(o Options) (StealResult, error) {
 	r.StealFlush = st.LM.Flush.Flushes + st.LM.Flush.Forced
 	r.NoStealMem = ns.LM.MemPeakBytes
 	r.StealMem = st.LM.MemPeakBytes
-
-	stealBase := base
-	stealBase.LM.Steal = true
-	elS, err := search.MinTwoGen(stealBase, false, 0, 0)
-	if err != nil {
-		return r, err
-	}
-	r.MinTotalS = elS.Total
 	return r, nil
 }
 
@@ -492,58 +593,69 @@ type ScalePoint struct {
 // small log, in parallel).
 func Scale(o Options) ([]ScalePoint, error) {
 	o = o.WithDefaults()
-	var out []ScalePoint
-	for _, parts := range []int{1, 2, 4, 8} {
-		eng := sim.NewEngine(o.Seed, o.Seed^0xabcdef)
-		perPart := o.NumObjects / 8 // keep total object count comparable
-		if perPart%10 != 0 {
-			perPart -= perPart % 10
-		}
-		sys, err := multilog.New(eng, parts, core.Params{
-			Mode: core.ModeEphemeral, GenSizes: []int{20, 16}, Recirculate: true,
-		}, core.FlushConfig{Drives: 10, Transfer: 25 * sim.Millisecond, NumObjects: perPart})
-		if err != nil {
-			return nil, err
-		}
-		var gens []*workload.Generator
-		for i := 0; i < parts; i++ {
-			g, err := workload.New(eng, sys.Sink(i), workload.Config{
-				Mix:         workload.PaperMix(0.05),
-				ArrivalRate: 100,
-				Runtime:     o.Runtime,
-				NumObjects:  perPart,
-				OIDBase:     uint64(i) * perPart,
-				TidBase:     uint64(i) << 32,
-			})
-			if err != nil {
-				return nil, err
+	p := o.pool()
+	partCounts := []int{1, 2, 4, 8}
+	out := make([]ScalePoint, len(partCounts))
+	err := p.ForEach(len(partCounts), func(idx int) error {
+		parts := partCounts[idx]
+		// A whole multi-partition system is one live simulation; Do keeps
+		// the four systems within the pool's concurrency bound.
+		return p.Do(func() error {
+			eng := sim.NewEngine(o.Seed, o.Seed^0xabcdef)
+			perPart := o.NumObjects / 8 // keep total object count comparable
+			if perPart%10 != 0 {
+				perPart -= perPart % 10
 			}
-			g.Start()
-			gens = append(gens, g)
-		}
-		eng.Run(o.Runtime)
-		var committed uint64
-		for _, g := range gens {
-			committed += g.Stats().Committed
-		}
-		st := sys.Stats()
-		_, results, parTime, err := sys.RecoverAll(0)
-		if err != nil {
-			return nil, err
-		}
-		var serTime sim.Time
-		for _, r := range results {
-			serTime += r.EstimatedTime
-		}
-		out = append(out, ScalePoint{
-			Partitions:   parts,
-			TPS:          float64(committed) / o.Runtime.Seconds(),
-			Bandwidth:    st.Bandwidth,
-			Blocks:       st.TotalBlocks,
-			RecoveryPar:  parTime,
-			RecoverySer:  serTime,
-			Insufficient: sys.Insufficient(),
+			sys, err := multilog.New(eng, parts, core.Params{
+				Mode: core.ModeEphemeral, GenSizes: []int{20, 16}, Recirculate: true,
+			}, core.FlushConfig{Drives: 10, Transfer: 25 * sim.Millisecond, NumObjects: perPart})
+			if err != nil {
+				return err
+			}
+			var gens []*workload.Generator
+			for i := 0; i < parts; i++ {
+				g, err := workload.New(eng, sys.Sink(i), workload.Config{
+					Mix:         workload.PaperMix(0.05),
+					ArrivalRate: 100,
+					Runtime:     o.Runtime,
+					NumObjects:  perPart,
+					OIDBase:     uint64(i) * perPart,
+					TidBase:     uint64(i) << 32,
+				})
+				if err != nil {
+					return err
+				}
+				g.Start()
+				gens = append(gens, g)
+			}
+			eng.Run(o.Runtime)
+			var committed uint64
+			for _, g := range gens {
+				committed += g.Stats().Committed
+			}
+			st := sys.Stats()
+			_, results, parTime, err := sys.RecoverAll(0)
+			if err != nil {
+				return err
+			}
+			var serTime sim.Time
+			for _, r := range results {
+				serTime += r.EstimatedTime
+			}
+			out[idx] = ScalePoint{
+				Partitions:   parts,
+				TPS:          float64(committed) / o.Runtime.Seconds(),
+				Bandwidth:    st.Bandwidth,
+				Blocks:       st.TotalBlocks,
+				RecoveryPar:  parTime,
+				RecoverySer:  serTime,
+				Insufficient: sys.Insufficient(),
+			}
+			return nil
 		})
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -47,19 +47,25 @@ func (g *Gauge) Value() float64 { return g.cur }
 // Peak returns the highest level ever set.
 func (g *Gauge) Peak() float64 { return g.peak }
 
-// TimeAvg returns the time-weighted average level over [first Set, end].
+// TimeAvg returns the time-weighted average level over [0, end]. Gauges in
+// this model all start at t=0 with their initial Set, so the average is the
+// integral so far divided by end. Sampling exactly at the last update —
+// the end-of-run pattern in core.Stats — must use the accumulated
+// integral, not the level the gauge happens to sit at after that update.
 func (g *Gauge) TimeAvg(end sim.Time) float64 {
-	if !g.started || end <= g.lastAt {
-		if g.started {
-			return g.cur
-		}
+	if !g.started {
 		return 0
 	}
-	total := g.integral + g.cur*(end-g.lastAt).Seconds()
-	// Average over the full span from time zero; gauges in this model all
-	// start at t=0 with their initial Set.
+	if end < g.lastAt {
+		// The gauge cannot un-integrate; clamp to the span it has seen.
+		end = g.lastAt
+	}
 	if end.Seconds() == 0 {
 		return g.cur
+	}
+	total := g.integral
+	if end > g.lastAt {
+		total += g.cur * (end - g.lastAt).Seconds()
 	}
 	return total / end.Seconds()
 }

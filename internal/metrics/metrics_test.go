@@ -43,6 +43,23 @@ func TestGaugeEmpty(t *testing.T) {
 	}
 }
 
+// TestGaugeAvgAtLastUpdate: sampling TimeAvg exactly at the time of the
+// final Set — how core.Stats reads every gauge at end of run — must return
+// the time-weighted average, not the post-update level.
+func TestGaugeAvgAtLastUpdate(t *testing.T) {
+	var g Gauge
+	g.Set(0, 10)
+	g.Set(5*sim.Second, 0) // 10 held over [0, 5s), 0 from t=5s
+	if got := g.TimeAvg(5 * sim.Second); got != 10 {
+		t.Fatalf("TimeAvg(5s) = %v, want 10 (time-weighted average, not current level)", got)
+	}
+	// A query before the last update clamps to the integrated span rather
+	// than inventing negative time.
+	if got := g.TimeAvg(2 * sim.Second); got != 10 {
+		t.Fatalf("TimeAvg(2s) = %v, want 10 (clamped to [0, lastAt])", got)
+	}
+}
+
 func TestGaugeAvgBeforeAnyTimePasses(t *testing.T) {
 	var g Gauge
 	g.Set(0, 7)

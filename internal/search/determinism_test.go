@@ -1,0 +1,57 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/runner"
+	"ellog/internal/sim"
+)
+
+// TestMinTwoGenParallelMatchesSequential is the package's parallelism
+// contract: for the same seed, fanning probes across a pool must yield a
+// byte-identical result to the strictly sequential nil-pool search — the
+// pool may only schedule, never perturb.
+func TestMinTwoGenParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		base := shortBase(0.05, 20*sim.Second)
+		base.Seed = seed
+		seq, err := MinTwoGen(nil, base, false, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := runner.New(4)
+		par, err := MinTwoGen(pool, base, false, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%#v", par) != fmt.Sprintf("%#v", seq) {
+			t.Fatalf("seed %d: parallel result diverged\n seq %d+%d=%d\n par %d+%d=%d",
+				seed, seq.Gen0, seq.Gen1, seq.Total, par.Gen0, par.Gen1, par.Total)
+		}
+		// Within one search every probe point is distinct (the cache pays
+		// off across experiments sharing points), so just pin that the
+		// probes actually went through the pool.
+		if runs, _ := pool.Stats(); runs == 0 {
+			t.Fatalf("seed %d: pool executed no runs", seed)
+		}
+	}
+}
+
+// TestMinLastGenParallelMatchesSequential pins the bracket search the same
+// way, FW single-queue flavour.
+func TestMinLastGenParallelMatchesSequential(t *testing.T) {
+	base := shortBase(0.05, 20*sim.Second)
+	seqSize, seqRes, err := MinLastGen(nil, base, core.ModeFirewall, nil, false, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSize, parRes, err := MinLastGen(runner.New(4), base, core.ModeFirewall, nil, false, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parSize != seqSize || fmt.Sprintf("%#v", parRes) != fmt.Sprintf("%#v", seqRes) {
+		t.Fatalf("bracket search diverged: sequential %d, parallel %d", seqSize, parSize)
+	}
+}

@@ -19,14 +19,14 @@ func shortBase(fracLong float64, runtime sim.Time) harness.Config {
 
 func TestProbeSufficientAndNot(t *testing.T) {
 	base := shortBase(0.05, 30*sim.Second)
-	ok, res, err := Probe(base, core.ModeFirewall, []int{200}, false)
+	ok, res, err := Probe(nil, base, core.ModeFirewall, []int{200}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Fatalf("200-block FW insufficient:\n%s", res.LM)
 	}
-	ok, res, err = Probe(base, core.ModeFirewall, []int{10}, false)
+	ok, res, err = Probe(nil, base, core.ModeFirewall, []int{10}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestProbeSufficientAndNot(t *testing.T) {
 
 func TestMinFirewallFindsBoundary(t *testing.T) {
 	base := shortBase(0.05, 30*sim.Second)
-	size, res, err := MinFirewall(base, 256)
+	size, res, err := MinFirewall(nil, base, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestMinFirewallFindsBoundary(t *testing.T) {
 		t.Fatal("returned run insufficient")
 	}
 	// The boundary is real: one block less must fail.
-	ok, _, err := Probe(base, core.ModeFirewall, []int{size - 1}, false)
+	ok, _, err := Probe(nil, base, core.ModeFirewall, []int{size - 1}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestMinFirewallFindsBoundary(t *testing.T) {
 func TestMinFirewallGrowsUpperBound(t *testing.T) {
 	base := shortBase(0.05, 30*sim.Second)
 	// Deliberately low initial hi: the search must expand it.
-	size, _, err := MinFirewall(base, 8)
+	size, _, err := MinFirewall(nil, base, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +76,11 @@ func TestMinFirewallGrowsUpperBound(t *testing.T) {
 
 func TestMinTwoGenBeatsFirewall(t *testing.T) {
 	base := shortBase(0.05, 30*sim.Second)
-	two, err := MinTwoGen(base, false, 0, 0)
+	two, err := MinTwoGen(nil, base, false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw, _, err := MinFirewall(base, 256)
+	fw, _, err := MinFirewall(nil, base, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +95,12 @@ func TestMinTwoGenBeatsFirewall(t *testing.T) {
 
 func TestRecirculationReducesLastGeneration(t *testing.T) {
 	base := shortBase(0.05, 30*sim.Second)
-	two, err := MinTwoGen(base, false, 0, 0)
+	two, err := MinTwoGen(nil, base, false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g1NoRecirc := two.Gen1
-	g1Recirc, res, err := MinLastGen(base, core.ModeEphemeral, []int{two.Gen0}, true, g1NoRecirc+2)
+	g1Recirc, res, err := MinLastGen(nil, base, core.ModeEphemeral, []int{two.Gen0}, true, g1NoRecirc+2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestRecirculationReducesLastGeneration(t *testing.T) {
 
 func TestMinChainThreeGenerations(t *testing.T) {
 	base := shortBase(0.05, 30*sim.Second)
-	sizes, res, err := MinChain(base, true, []int{24, 24, 24})
+	sizes, res, err := MinChain(nil, base, true, []int{24, 24, 24})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestMinChainThreeGenerations(t *testing.T) {
 		}
 		work := append([]int(nil), sizes...)
 		work[i]--
-		ok, _, err := Probe(base, core.ModeEphemeral, work, true)
+		ok, _, err := Probe(nil, base, core.ModeEphemeral, work, true)
 		if err != nil {
 			t.Fatal(err)
 		}

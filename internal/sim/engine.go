@@ -97,7 +97,9 @@ func (e *Engine) Stop() { e.stopped = true }
 // Run dispatches events in timestamp order (FIFO among equal timestamps)
 // until the queue empties or the next event would fire strictly after the
 // until time. The clock is left at the later of the last fired event and
-// until.
+// until — unless Stop() fired mid-run, in which case the clock stays at
+// the stopping event's time so crash-injection callers read a truthful
+// crash time instead of the run's nominal horizon.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
@@ -111,7 +113,7 @@ func (e *Engine) Run(until Time) {
 		e.fired++
 		next.fn()
 	}
-	if e.now < until {
+	if !e.stopped && e.now < until {
 		e.now = until
 	}
 }

@@ -167,6 +167,25 @@ func TestStop(t *testing.T) {
 	}
 }
 
+// TestStopLeavesClockAtLastEvent: a stopped run must not advance the clock
+// to the nominal horizon — a recovery drill that crashes via Stop() at
+// t=10 really crashed at t=10, not at Run's until argument.
+func TestStopLeavesClockAtLastEvent(t *testing.T) {
+	e := NewEngine(1, 2)
+	e.At(10, func() { e.Stop() })
+	e.At(20, func() {})
+	e.Run(100)
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v after Stop at t=10, want 10", e.Now())
+	}
+	// A fresh Run resumes from where the stop left off and, undisturbed,
+	// advances to its horizon as usual.
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v after resumed Run(100), want 100", e.Now())
+	}
+}
+
 func TestStep(t *testing.T) {
 	e := NewEngine(1, 2)
 	fired := 0

@@ -22,10 +22,11 @@ const (
 	// mean rate: memoryless arrivals, the classic open-system model.
 	ArrivalPoisson
 	// ArrivalBursty is a two-state Markov-modulated process: an "on" state
-	// arriving at twice the mean rate and an "off" state at ~zero,
-	// alternating with exponentially distributed sojourns. Mean rate
-	// matches the configured rate, but arrivals clump — the hardest case
-	// for a fixed disk budget.
+	// arriving at 1.9x the mean rate and an "off" state trickling at 0.1x,
+	// alternating with exponentially distributed sojourns of equal mean.
+	// The factors average to one, so the long-run mean rate matches the
+	// configured rate, but arrivals clump — the hardest case for a fixed
+	// disk budget.
 	ArrivalBursty
 )
 
@@ -43,8 +44,17 @@ func (a Arrival) String() string {
 	}
 }
 
-// burstySojourn is the mean sojourn time in each modulation state.
-const burstySojourn = 2 * sim.Second
+// burstySojourn is the mean sojourn time in each modulation state. The
+// on/off rate factors must average to one across the (equal-sojourn)
+// states so the long-run mean arrival rate equals the configured rate;
+// the off state cannot be fully silent or the process could starve for
+// arbitrarily long, so it trickles at a tenth of the rate and the on
+// state burns at 1.9x rather than 2x.
+const (
+	burstySojourn   = 2 * sim.Second
+	burstyOnFactor  = 1.9
+	burstyOffFactor = 0.1
+)
 
 // nextGap returns the next inter-arrival gap for the configured process.
 func (g *Generator) nextGap() sim.Time {
@@ -53,17 +63,30 @@ func (g *Generator) nextGap() sim.Time {
 	case ArrivalPoisson:
 		return expGap(g, float64(mean))
 	case ArrivalBursty:
-		// Flip modulation state when its sojourn expires.
-		for g.eng.Now() >= g.burstUntil {
-			g.burstOn = !g.burstOn
-			g.burstUntil += expGap(g, float64(burstySojourn))
+		// Within each modulation state arrivals are Poisson at that
+		// state's rate. A gap that would cross the state boundary is
+		// re-drawn from the boundary at the new state's rate — the
+		// exponential is memoryless, so this samples the modulated process
+		// exactly. (Letting a slow off-state gap overrun into the on state
+		// would silently shave ~4% off the long-run rate.)
+		start := g.eng.Now()
+		t := start
+		for {
+			// Flip modulation state when its sojourn expires.
+			for t >= g.burstUntil {
+				g.burstOn = !g.burstOn
+				g.burstUntil += expGap(g, float64(burstySojourn))
+			}
+			factor := burstyOffFactor
+			if g.burstOn {
+				factor = burstyOnFactor
+			}
+			gap := expGap(g, float64(mean)/factor)
+			if t+gap <= g.burstUntil {
+				return t + gap - start
+			}
+			t = g.burstUntil
 		}
-		if g.burstOn {
-			return expGap(g, float64(mean)/2)
-		}
-		// The off state still trickles at a tenth of the rate so the
-		// process cannot starve forever.
-		return expGap(g, float64(mean)*10)
 	default:
 		return mean
 	}

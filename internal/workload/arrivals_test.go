@@ -87,6 +87,34 @@ func TestArrivalVariability(t *testing.T) {
 	}
 }
 
+// TestBurstyLongRunMeanRate measures the bursty process's long-run mean
+// over a horizon long enough that modulation noise is ~1%: the unbalanced
+// 2x/0.1x rates this replaced ran ≈5% hot, which a ±3% bound catches. The
+// gap process is driven directly (one event per arrival, no transaction
+// machinery) so a long horizon stays cheap.
+func TestBurstyLongRunMeanRate(t *testing.T) {
+	const rate = 100.0
+	const horizon = 40_000 * sim.Second
+	eng := sim.NewEngine(5, 7)
+	g := &Generator{eng: eng, cfg: Config{ArrivalRate: rate, Arrival: ArrivalBursty}}
+	n := 0
+	var step func()
+	step = func() {
+		if eng.Now() >= horizon {
+			return
+		}
+		n++
+		eng.After(g.nextGap(), step)
+	}
+	eng.At(0, step)
+	eng.Run(horizon + sim.Second)
+	want := rate * horizon.Seconds()
+	if ratio := float64(n) / want; ratio < 0.97 || ratio > 1.03 {
+		t.Fatalf("bursty long-run rate %.3fx configured (%d arrivals over %v), want 1.00±0.03",
+			ratio, n, horizon)
+	}
+}
+
 func TestBurstyNeverStalls(t *testing.T) {
 	// The off state trickles rather than stopping; the engine must never
 	// run out of arrivals mid-runtime.
