@@ -7,12 +7,21 @@
 //	elbench -exp fig4            one experiment (fig4 = fig5 = fig6 data)
 //	elbench -runtime 60 -objects 1000000   scaled-down quick pass
 //	elbench -csv results.csv     also dump the Figure 4-6 data as CSV
+//	elbench -json BENCH.json     also emit a machine-readable perf report
+//	elbench -cpuprofile cpu.pprof   profile the run for go tool pprof
 //
 // Full fidelity (500 simulated seconds, 10^7 objects, five mixes) takes a
 // few minutes of wall time; the searches alone run hundreds of complete
 // simulations, mirroring the paper's method of "continu[ing] to run
 // simulations and reduce the disk space until we observed transactions
 // being killed".
+//
+// The -json report follows internal/perf's schema (suite → metric → value
+// with seed and frame metadata): each experiment that runs contributes a
+// suite, and an "engine" suite with the event-arena micro-benchmark is
+// always included. CI compares such a report against the committed
+// baseline (results/BENCH_2.json) with cmd/perfdiff; see README.md for
+// how to refresh the baseline.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"time"
 
 	"ellog/internal/experiments"
+	"ellog/internal/perf"
 	"ellog/internal/runner"
 	"ellog/internal/sim"
 )
@@ -35,9 +45,24 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		mixes    = flag.String("mixes", "", "comma-separated long-transaction fractions (default 0.05,0.1,0.2,0.3,0.4)")
 		csvPath  = flag.String("csv", "", "write Figure 4-6 data as CSV to this path")
+		jsonPath = flag.String("json", "", "write a machine-readable benchmark report (internal/perf schema) to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+		heapProf = flag.String("heapprofile", "", "write a heap profile (after the run) to this path")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, negative = strictly sequential)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := perf.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	opt := experiments.Options{
 		Seed:       *seed,
@@ -65,6 +90,15 @@ func main() {
 		}
 	}
 
+	var rep *perf.Report
+	if *jsonPath != "" {
+		rep = perf.NewReport(*seed, perf.Frame{
+			RuntimeSeconds: *runtime,
+			Objects:        *objects,
+			Mixes:          opt.Mixes,
+		})
+	}
+
 	runFig456 := func() {
 		start := time.Now()
 		points, err := experiments.Fig456(opt)
@@ -79,52 +113,55 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *csvPath)
 		}
+		if rep != nil {
+			addFig456(rep, points)
+		}
 	}
 
 	switch *exp {
 	case "fig4", "fig5", "fig6":
 		runFig456()
 	case "fig7":
-		show("fig7", opt, experiments.Fig7, experiments.FormatFig7)
+		show("fig7", opt, experiments.Fig7, experiments.FormatFig7, collectFig7(rep))
 	case "scarce":
-		show("scarce", opt, experiments.Scarce, experiments.FormatScarce)
+		show("scarce", opt, experiments.Scarce, experiments.FormatScarce, collectScarce(rep))
 	case "headline":
-		show("headline", opt, experiments.Headline, experiments.FormatHeadline)
+		show("headline", opt, experiments.Headline, experiments.FormatHeadline, collectHeadline(rep))
 	case "hints":
-		show("hints", opt, experiments.Hints, experiments.FormatHints)
+		show("hints", opt, experiments.Hints, experiments.FormatHints, nil)
 	case "chain":
-		show("chain", opt, experiments.Chain, experiments.FormatChain)
+		show("chain", opt, experiments.Chain, experiments.FormatChain, nil)
 	case "hybrid":
-		show("hybrid", opt, experiments.HybridCompare, experiments.FormatHybridCompare)
+		show("hybrid", opt, experiments.HybridCompare, experiments.FormatHybridCompare, nil)
 	case "adaptive":
-		show("adaptive", opt, experiments.Adaptive, experiments.FormatAdaptive)
+		show("adaptive", opt, experiments.Adaptive, experiments.FormatAdaptive, nil)
 	case "arrivals":
-		show("arrivals", opt, experiments.ArrivalSensitivity, experiments.FormatArrivals)
+		show("arrivals", opt, experiments.ArrivalSensitivity, experiments.FormatArrivals, nil)
 	case "steal":
-		show("steal", opt, experiments.Steal, experiments.FormatSteal)
+		show("steal", opt, experiments.Steal, experiments.FormatSteal, nil)
 	case "scale":
-		show("scale", opt, experiments.Scale, experiments.FormatScale)
+		show("scale", opt, experiments.Scale, experiments.FormatScale, nil)
 	case "ext":
-		show("hints", opt, experiments.Hints, experiments.FormatHints)
+		show("hints", opt, experiments.Hints, experiments.FormatHints, nil)
 		fmt.Println()
-		show("chain", opt, experiments.Chain, experiments.FormatChain)
+		show("chain", opt, experiments.Chain, experiments.FormatChain, nil)
 		fmt.Println()
-		show("hybrid", opt, experiments.HybridCompare, experiments.FormatHybridCompare)
+		show("hybrid", opt, experiments.HybridCompare, experiments.FormatHybridCompare, nil)
 		fmt.Println()
-		show("adaptive", opt, experiments.Adaptive, experiments.FormatAdaptive)
+		show("adaptive", opt, experiments.Adaptive, experiments.FormatAdaptive, nil)
 		fmt.Println()
-		show("arrivals", opt, experiments.ArrivalSensitivity, experiments.FormatArrivals)
+		show("arrivals", opt, experiments.ArrivalSensitivity, experiments.FormatArrivals, nil)
 		fmt.Println()
-		show("steal", opt, experiments.Steal, experiments.FormatSteal)
+		show("steal", opt, experiments.Steal, experiments.FormatSteal, nil)
 		fmt.Println()
-		show("scale", opt, experiments.Scale, experiments.FormatScale)
+		show("scale", opt, experiments.Scale, experiments.FormatScale, nil)
 	case "all":
 		runFig456()
-		show("fig7", opt, experiments.Fig7, experiments.FormatFig7)
+		show("fig7", opt, experiments.Fig7, experiments.FormatFig7, collectFig7(rep))
 		fmt.Println()
-		show("scarce", opt, experiments.Scarce, experiments.FormatScarce)
+		show("scarce", opt, experiments.Scarce, experiments.FormatScarce, collectScarce(rep))
 		fmt.Println()
-		show("headline", opt, experiments.Headline, experiments.FormatHeadline)
+		show("headline", opt, experiments.Headline, experiments.FormatHeadline, collectHeadline(rep))
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
@@ -132,12 +169,32 @@ func main() {
 		runs, hits := pool.Stats()
 		fmt.Printf("(%d simulations run, %d answered from cache, %d workers, %v wall clock)\n",
 			runs, hits, pool.Workers(), time.Since(wallStart).Round(time.Millisecond))
+		if rep != nil {
+			rep.SetInformational("harness", "simulations_run", float64(runs))
+			rep.SetInformational("harness", "cache_hits", float64(hits))
+		}
+	}
+	if rep != nil {
+		fmt.Println("measuring engine hot path...")
+		perf.MeasureEngine().AddTo(rep)
+		rep.SetInformational("harness", "wall_seconds", time.Since(wallStart).Seconds())
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *heapProf != "" {
+		if err := perf.WriteHeapProfile(*heapProf); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *heapProf)
 	}
 }
 
-// show runs one experiment, prints its formatted report, and reports the
-// wall-clock time it took.
-func show[T any](name string, opt experiments.Options, run func(experiments.Options) (T, error), format func(T) string) {
+// show runs one experiment, prints its formatted report, reports the
+// wall-clock time it took, and hands the result to collect (if non-nil)
+// for the -json perf report.
+func show[T any](name string, opt experiments.Options, run func(experiments.Options) (T, error), format func(T) string, collect func(T)) {
 	start := time.Now()
 	r, err := run(opt)
 	if err != nil {
@@ -145,6 +202,72 @@ func show[T any](name string, opt experiments.Options, run func(experiments.Opti
 	}
 	fmt.Print(format(r))
 	fmt.Printf("(%s finished in %v wall clock)\n", name, time.Since(start).Round(time.Millisecond))
+	if collect != nil {
+		collect(r)
+	}
+}
+
+// mixKey renders a mix fraction as a metric-name suffix ("0.05" → "5pct").
+func mixKey(frac float64) string {
+	return fmt.Sprintf("%gpct", frac*100)
+}
+
+// addFig456 records the Figure 4-6 data: all values are deterministic
+// simulation outputs, so every metric is gated.
+func addFig456(rep *perf.Report, points []experiments.MixPoint) {
+	for _, p := range points {
+		k := mixKey(p.FracLong)
+		rep.Set("fig456", "fw_blocks_"+k, float64(p.FWBlocks))
+		rep.Set("fig456", "el_blocks_"+k, float64(p.ELBlocks))
+		rep.Set("fig456", "el_gen0_"+k, float64(p.ELGen0))
+		rep.Set("fig456", "el_gen1_"+k, float64(p.ELGen1))
+		rep.Set("fig456", "fw_writes_per_s_"+k, p.FWBW)
+		rep.Set("fig456", "el_writes_per_s_"+k, p.ELBW)
+		rep.Set("fig456", "fw_mem_bytes_"+k, p.FWMemPeak)
+		rep.Set("fig456", "el_mem_bytes_"+k, p.ELMemPeak)
+	}
+}
+
+func collectFig7(rep *perf.Report) func(experiments.Fig7Result) {
+	if rep == nil {
+		return nil
+	}
+	return func(r experiments.Fig7Result) {
+		rep.Set("fig7", "gen0_blocks", float64(r.Gen0))
+		rep.Set("fig7", "gen1_max_blocks", float64(r.NoRecircG1))
+		rep.Set("fig7", "gen1_min_blocks", float64(r.MinRecircG1))
+		if len(r.Points) > 0 {
+			rep.Set("fig7", "writes_per_s_max_space", r.Points[0].TotalBW)
+			rep.Set("fig7", "writes_per_s_min_space", r.Points[len(r.Points)-1].TotalBW)
+		}
+	}
+}
+
+func collectScarce(rep *perf.Report) func(experiments.ScarceResult) {
+	if rep == nil {
+		return nil
+	}
+	return func(r experiments.ScarceResult) {
+		rep.Set("scarce", "total_blocks", float64(r.TotalBlocks))
+		rep.Set("scarce", "writes_per_s", r.TotalBW)
+		rep.Set("scarce", "flush_oid_dist", r.AvgDist)
+		rep.Set("scarce", "flush_oid_dist_25ms", r.BaselineDist)
+	}
+}
+
+func collectHeadline(rep *perf.Report) func(experiments.HeadlineResult) {
+	if rep == nil {
+		return nil
+	}
+	return func(h experiments.HeadlineResult) {
+		rep.Set("headline", "fw_blocks", float64(h.FWBlocks))
+		rep.Set("headline", "el_blocks_norecirc", float64(h.ELNoRecirc))
+		rep.Set("headline", "el_blocks_recirc", float64(h.ELRecirc))
+		rep.Set("headline", "space_factor_norecirc", h.SpaceFactorNR)
+		rep.Set("headline", "space_factor_recirc", h.SpaceFactorR)
+		rep.Set("headline", "bw_increase_pct_norecirc", h.BWIncreaseNR)
+		rep.Set("headline", "bw_increase_pct_recirc", h.BWIncreaseR)
+	}
 }
 
 func writeCSV(path string, points []experiments.MixPoint) error {

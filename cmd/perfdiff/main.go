@@ -1,0 +1,70 @@
+// Command perfdiff compares two machine-readable benchmark reports
+// (written by `elbench -json`, internal/perf schema) and exits nonzero if
+// any gated metric moved past the tolerance — the benchmark-regression
+// gate CI runs against the committed baseline.
+//
+// Usage:
+//
+//	perfdiff -base results/BENCH_2.json -new BENCH_new.json [-tol 0.15] [-v]
+//
+// Exit status: 0 all gated metrics within tolerance, 1 regression (or a
+// gated metric vanished), 2 usage or frame mismatch. Metrics listed in the
+// reports' "informational" set (wall-clock timings, events/s) are printed
+// but never gate. A change past tolerance fails in either direction: the
+// gated values are deterministic simulation outputs, so a surprise
+// improvement also means the baseline no longer describes the code —
+// refresh it (see README.md) with the change that explains the move.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ellog/internal/perf"
+)
+
+func main() {
+	var (
+		basePath = flag.String("base", "", "baseline report (committed BENCH_*.json)")
+		newPath  = flag.String("new", "", "freshly measured report to compare")
+		tol      = flag.Float64("tol", 0.15, "relative tolerance per gated metric (0.15 = ±15%)")
+		verbose  = flag.Bool("v", false, "list within-tolerance metrics too")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "perfdiff: -base and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol < 0 {
+		fmt.Fprintln(os.Stderr, "perfdiff: negative -tol")
+		os.Exit(2)
+	}
+	base, err := perf.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := perf.ReadFile(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if !perf.SameFrame(base, cur) {
+		fmt.Fprintf(os.Stderr, "perfdiff: frame mismatch — base seed=%d frame=%+v, new seed=%d frame=%+v\n"+
+			"reports are only comparable at one seed and frame; re-measure with the baseline's flags\n",
+			base.Seed, base.Frame, cur.Seed, cur.Frame)
+		os.Exit(2)
+	}
+	deltas, regressed := perf.Diff(base, cur, *tol)
+	fmt.Print(perf.FormatDeltas(deltas, *tol, *verbose))
+	if regressed {
+		fmt.Println("FAIL: gated metric(s) moved past tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("OK: all gated metrics within tolerance")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfdiff:", err)
+	os.Exit(2)
+}

@@ -12,9 +12,16 @@ package container
 // when the load factor exceeds 4 and shrink when it falls below 1/8, so the
 // table tracks the highly dynamic membership the paper describes without
 // retaining peak-sized storage forever.
+// Deleted nodes are kept on a free list and reused by later inserts: the
+// LM's tables see constant entry churn (every transaction and every logged
+// object comes and goes), and recycling nodes keeps the steady-state append
+// path allocation-free. The free list is bounded by the table's peak
+// membership and is dropped whenever the bucket array shrinks, so memory
+// still falls after a burst.
 type Table[V any] struct {
 	buckets []*tableNode[V]
 	n       int
+	free    *tableNode[V] // recycled nodes, reused LIFO
 }
 
 type tableNode[V any] struct {
@@ -73,7 +80,13 @@ func (t *Table[V]) Put(key uint64, val V) bool {
 			return false
 		}
 	}
-	t.buckets[b] = &tableNode[V]{key: key, val: val, next: t.buckets[b]}
+	if n := t.free; n != nil {
+		t.free = n.next
+		n.key, n.val, n.next = key, val, t.buckets[b]
+		t.buckets[b] = n
+	} else {
+		t.buckets[b] = &tableNode[V]{key: key, val: val, next: t.buckets[b]}
+	}
 	t.n++
 	if t.n > tableMaxLoad*len(t.buckets) {
 		t.resize(len(t.buckets) * 2)
@@ -89,6 +102,10 @@ func (t *Table[V]) Delete(key uint64) bool {
 		if n.key == key {
 			*prev = n.next
 			t.n--
+			var zero V
+			n.key, n.val = 0, zero // do not retain the evicted value
+			n.next = t.free
+			t.free = n
 			if len(t.buckets) > tableMinBuckets && t.n*tableMinLoad < len(t.buckets) {
 				t.resize(len(t.buckets) / 2)
 			}
@@ -120,6 +137,9 @@ func (t *Table[V]) Keys() []uint64 {
 
 func (t *Table[V]) resize(size int) {
 	old := t.buckets
+	if size < len(old) {
+		t.free = nil // shrinking: let burst-peak nodes go back to the GC
+	}
 	t.buckets = make([]*tableNode[V], size)
 	for _, head := range old {
 		for n := head; n != nil; {

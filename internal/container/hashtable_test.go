@@ -169,3 +169,59 @@ func BenchmarkTablePutGetDelete(b *testing.B) {
 		}
 	}
 }
+
+// TestTableChurnReusesNodes is the allocation regression gate for the node
+// free list: steady-state delete/insert churn — the LM's per-transaction
+// and per-object table traffic — must not allocate once the table has seen
+// its peak membership.
+func TestTableChurnReusesNodes(t *testing.T) {
+	tb := NewTable[int]()
+	for i := 0; i < 1024; i++ {
+		tb.Put(uint64(i), i)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			if !tb.Delete(uint64(i)) {
+				t.Fatal("delete of present key failed")
+			}
+			if !tb.Put(uint64(i), i) {
+				t.Fatal("reinsert reported existing key")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state churn allocates %v allocs/run, want 0", avg)
+	}
+	if tb.Len() != 1024 {
+		t.Fatalf("Len = %d after balanced churn, want 1024", tb.Len())
+	}
+	for i := 0; i < 1024; i++ {
+		if v, ok := tb.Get(uint64(i)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v after churn", i, v, ok)
+		}
+	}
+}
+
+// TestTableShrinkDropsFreeList checks memory actually falls after a burst:
+// shrinking the bucket array releases the recycled nodes too.
+func TestTableShrinkDropsFreeList(t *testing.T) {
+	tb := NewTable[int]()
+	for i := 0; i < 4096; i++ {
+		tb.Put(uint64(i), i)
+	}
+	for i := 0; i < 4096; i++ {
+		tb.Delete(uint64(i))
+	}
+	// Each resize-down drops the list; only nodes deleted after the final
+	// shrink (buckets already at minimum) may linger.
+	nfree := 0
+	for n := tb.free; n != nil; n = n.next {
+		nfree++
+	}
+	if nfree > 4 {
+		t.Fatalf("free list holds %d nodes after draining a 4096-entry burst, want the shrinks to have dropped it", nfree)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tb.Len())
+	}
+}

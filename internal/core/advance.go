@@ -20,7 +20,8 @@ func (m *Manager) advanceHead(g *generation) bool {
 	if s == nil || s.state != slotDurable {
 		return false
 	}
-	cells := g.list.oldestInSlot(s)
+	cells := g.list.oldestInSlot(s, m.takeCells())
+	defer m.putCells(cells)
 	if len(cells) == 0 {
 		// Every record in the head block is garbage: conceptually thrown
 		// in the garbage pail, physically just passed over.
@@ -59,12 +60,15 @@ func (m *Manager) forwardBatch(g *generation, s *slot, cells []*cell) {
 	// Top off the outgoing buffer from the blocks now at the head, freeing
 	// any block drained completely.
 	tg := m.gens[target]
+	buf := m.takeCells()
+	defer func() { m.putCells(buf) }()
 	for m.tailFree(tg) > 0 && g.used > 0 {
 		s2 := g.headSlot()
 		if s2.state != slotDurable {
 			break
 		}
-		cs := g.list.oldestInSlot(s2)
+		cs := g.list.oldestInSlot(s2, buf)
+		buf = cs
 		moved := 0
 		for _, c := range cs {
 			if c.rec.Size > m.tailFree(tg) {
@@ -113,8 +117,11 @@ func (m *Manager) recirculateHead(g *generation, s *slot, cells []*cell) {
 // falls back to other victims.
 func (m *Manager) clearLastHead(g *generation) bool {
 	s := g.headSlot()
+	buf := m.takeCells()
+	defer func() { m.putCells(buf) }()
 	for {
-		cs := g.list.oldestInSlot(s)
+		cs := g.list.oldestInSlot(s, buf)
+		buf = cs
 		if len(cs) == 0 {
 			g.freeHeadSlot()
 			m.usedGauges[g.idx].Set(m.now(), float64(g.used))
@@ -198,7 +205,8 @@ func (m *Manager) forceFlushCell(c *cell) {
 // forceFlushTx flushes every remaining update of a committed transaction,
 // retiring its LTT entry.
 func (m *Manager) forceFlushTx(e *lttEntry) {
-	for _, oid := range sortedOids(e.oids) {
+	oids := m.sortedOids(e.oids)
+	for _, oid := range oids {
 		le, ok := m.lot.Get(uint64(oid))
 		if !ok || le.committed == nil || le.committed.tx != e {
 			// The version tracked for this oid is not e's; e's update was
@@ -208,5 +216,6 @@ func (m *Manager) forceFlushTx(e *lttEntry) {
 		}
 		m.forceFlushCell(le.committed)
 	}
+	m.releaseOids(oids)
 	m.maybeRetire(e)
 }

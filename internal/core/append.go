@@ -45,7 +45,7 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 		}
 		if g.pend == nil {
 			m.takeToken(g)
-			g.pend = &buffer{free: m.p.BlockPayload}
+			g.pend = m.newBuffer(nil)
 		}
 		b = g.pend
 	} else {
@@ -119,12 +119,16 @@ func (m *Manager) cellDead(c *cell) bool {
 
 // armGroupCommitTimeout bounds how long a COMMIT may wait for its buffer
 // to fill (disabled, per the paper, unless Params.GroupCommitTimeout > 0).
+// The timeout remembers the buffer's epoch: buffers are pooled, so by the
+// time it fires, b may already be serving a different block, and sealing
+// that one early would change behavior.
 func (m *Manager) armGroupCommitTimeout(g *generation, b *buffer) {
 	if m.p.GroupCommitTimeout <= 0 {
 		return
 	}
+	epoch := b.epoch
 	m.eng.After(m.p.GroupCommitTimeout, func() {
-		if b.sealed {
+		if b.sealed || b.epoch != epoch {
 			return
 		}
 		if g.fill == b {
@@ -140,7 +144,7 @@ func (m *Manager) openFill(g *generation) {
 	s := m.claimGuarded(g)
 	s.state = slotFilling
 	m.takeToken(g)
-	g.fill = &buffer{slot: s, free: m.p.BlockPayload}
+	g.fill = m.newBuffer(s)
 }
 
 // sealFill writes out the current fill buffer, if any.
@@ -220,8 +224,11 @@ func (m *Manager) writeOut(g *generation, b *buffer) {
 	s.state = slotInFlight
 	b.sealed = true
 	m.emit(trace.Event{Kind: trace.EvSeal, Gen: g.idx, N: len(b.recs)})
-	data := logrec.EncodeBlock(b.recs)
-	m.dev.Write(s.id, data, func() {
+	// The device copies the bytes synchronously (it must, to hold the
+	// durable crash image), so one manager-wide encode buffer can be reused
+	// for every block write.
+	m.encBuf = logrec.AppendBlock(m.encBuf[:0], b.recs)
+	m.dev.Write(s.id, m.encBuf, func() {
 		s.state = slotDurable
 		m.emit(trace.Event{Kind: trace.EvDurable, Gen: g.idx, N: len(b.recs)})
 		m.putToken(g)
@@ -234,6 +241,7 @@ func (m *Manager) writeOut(g *generation, b *buffer) {
 		for _, tx := range b.commits {
 			m.commitDurable(tx)
 		}
+		m.recycleBuffer(b)
 	})
 }
 
@@ -349,7 +357,8 @@ func (m *Manager) commitDurable(e *lttEntry) {
 		// bookkeeping is charged — an omission the paper notes favours
 		// FW). The stable database is still updated via the flush array so
 		// the two techniques impose the same flush load.
-		for _, oid := range sortedOids(e.oids) {
+		oids := m.sortedOids(e.oids)
+		for _, oid := range oids {
 			le, ok := m.lot.Get(uint64(oid))
 			if !ok {
 				continue
@@ -363,10 +372,12 @@ func (m *Manager) commitDurable(e *lttEntry) {
 				m.lot.Delete(uint64(oid))
 			}
 		}
-		e.oids = make(map[logrec.OID]struct{})
+		m.releaseOids(oids)
+		clear(e.oids)
 		m.retire(e)
 	} else {
-		for _, oid := range sortedOids(e.oids) {
+		oids := m.sortedOids(e.oids)
+		for _, oid := range oids {
 			le, ok := m.lot.Get(uint64(oid))
 			if !ok {
 				panic(fmt.Sprintf("core: committed oid %d missing from LOT", oid))
@@ -402,6 +413,7 @@ func (m *Manager) commitDurable(e *lttEntry) {
 				m.flush.Enqueue(flushdisk.Request{Obj: oid, LSN: c.rec.LSN, Val: c.rec.Val, Tx: c.rec.Tx})
 			}
 		}
+		m.releaseOids(oids)
 		if len(e.oids) == 0 {
 			m.retire(e) // read-only transaction
 		}
@@ -475,14 +487,24 @@ func (m *Manager) Flushed(req flushdisk.Request) {
 // sortedOids returns a set's oids in ascending order. Flush requests are
 // enqueued in this order so that runs are bit-for-bit deterministic; Go's
 // map iteration order would otherwise leak into the flush schedule.
-func sortedOids(set map[logrec.OID]struct{}) []logrec.OID {
-	out := make([]logrec.OID, 0, len(set))
+//
+// The returned slice borrows the manager's scratch buffer; callers hand it
+// back with releaseOids when done iterating. The scratch is nilled out
+// while borrowed, so a nested call (none exists in the current call graph,
+// but the flush paths are synchronous and intricate) falls back to a fresh
+// allocation instead of corrupting the outer iteration.
+func (m *Manager) sortedOids(set map[logrec.OID]struct{}) []logrec.OID {
+	out := m.oidScratch[:0]
+	m.oidScratch = nil
 	for oid := range set {
 		out = append(out, oid)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// releaseOids returns a sortedOids snapshot to the scratch slot.
+func (m *Manager) releaseOids(s []logrec.OID) { m.oidScratch = s }
 
 // stealFlushDurable enqueues stolen flushes for the still-uncommitted data
 // records of a buffer that just became durable — the write-ahead rule: the

@@ -92,10 +92,12 @@ func (l *cellList) oldest() *cell { return l.h }
 func (l *cellList) len() int { return l.n }
 
 // oldestInSlot collects, oldest first, the consecutive head-side cells
-// residing in the given slot. Records enter a generation in block order,
-// so a block's cells are contiguous at the old end of the list.
-func (l *cellList) oldestInSlot(s *slot) []*cell {
-	var out []*cell
+// residing in the given slot, appending onto dst (pass a pooled scratch —
+// see Manager.takeCells — to keep the advance path allocation-free).
+// Records enter a generation in block order, so a block's cells are
+// contiguous at the old end of the list.
+func (l *cellList) oldestInSlot(s *slot, dst []*cell) []*cell {
+	out := dst[:0]
 	c := l.h
 	for i := 0; i < l.n; i++ {
 		if c.slot != s {

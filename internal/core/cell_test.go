@@ -107,17 +107,17 @@ func TestOldestInSlot(t *testing.T) {
 	for _, x := range []*cell{a, b, c, d} {
 		l.pushNewest(x)
 	}
-	got := l.oldestInSlot(s1)
+	got := l.oldestInSlot(s1, nil)
 	if len(got) != 2 || got[0] != a || got[1] != b {
 		t.Fatalf("oldestInSlot(s1) = %v", got)
 	}
 	// s2's cells are not at the old end, so the head-side scan sees none.
-	if got := l.oldestInSlot(s2); len(got) != 0 {
+	if got := l.oldestInSlot(s2, nil); len(got) != 0 {
 		t.Fatalf("oldestInSlot(s2) = %d cells, want 0 (not at head)", len(got))
 	}
 	l.remove(a)
 	l.remove(b)
-	if got := l.oldestInSlot(s2); len(got) != 2 {
+	if got := l.oldestInSlot(s2, nil); len(got) != 2 {
 		t.Fatalf("oldestInSlot(s2) after s1 drained = %d cells, want 2", len(got))
 	}
 }

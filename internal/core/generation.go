@@ -60,6 +60,7 @@ type buffer struct {
 	origins []*slot     // refugee accounting: one entry per drained record
 	commits []*lttEntry // transactions whose COMMIT record rides in this buffer
 	sealed  bool
+	epoch   uint64 // bumped on recycle; guards stale group-commit timeouts
 }
 
 // generation is one fixed-size queue of the log chain: a circular array of

@@ -40,6 +40,14 @@ type Manager struct {
 	// transaction died; the completion is rolled back on arrival.
 	pendingReverts map[logrec.OID]pendingRevert
 
+	// Hot-path scratch, reused call after call (the engine is
+	// single-threaded, so reuse needs no locking — only care about
+	// re-entrancy, which each helper below handles):
+	encBuf     []byte       // block wire-encoding buffer (writeOut)
+	oidScratch []logrec.OID // sortedOids snapshot; nil while one is in use
+	cellBufs   [][]*cell    // pool of head-cell snapshots (advanceHead recurses)
+	bufPool    []*buffer    // retired block buffers, reused LIFO
+
 	// counters and gauges (see Stats)
 	begins, commits, aborts, killedTxs  metrics.Counter
 	appendedRecs, appendedBytes         metrics.Counter
@@ -272,6 +280,51 @@ func (m *Manager) lotFor(oid logrec.OID) *lotEntry {
 	return le
 }
 
+// takeCells borrows a cell-snapshot buffer from the pool (empty, capacity
+// preserved). advanceHead can re-enter itself through appendTail's
+// space-making cascade, so a single scratch slice would be clobbered
+// mid-iteration; the pool gives every nesting level its own buffer.
+func (m *Manager) takeCells() []*cell {
+	if n := len(m.cellBufs); n > 0 {
+		s := m.cellBufs[n-1]
+		m.cellBufs = m.cellBufs[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+// putCells returns a snapshot buffer to the pool once its caller is done
+// iterating it.
+func (m *Manager) putCells(s []*cell) { m.cellBufs = append(m.cellBufs, s) }
+
+// newBuffer takes a block buffer off the pool (or builds one) with the full
+// payload free and the given slot.
+func (m *Manager) newBuffer(s *slot) *buffer {
+	if n := len(m.bufPool); n > 0 {
+		b := m.bufPool[n-1]
+		m.bufPool = m.bufPool[:n-1]
+		b.slot = s
+		b.free = m.p.BlockPayload
+		b.sealed = false
+		return b
+	}
+	return &buffer{slot: s, free: m.p.BlockPayload, epoch: 1}
+}
+
+// recycleBuffer retires a buffer whose write completed. The epoch bump
+// invalidates any group-commit timeout still holding the pointer; clearing
+// the slices keeps the pool from pinning dead records and cells.
+func (m *Manager) recycleBuffer(b *buffer) {
+	b.epoch++
+	b.slot = nil
+	clear(b.recs)
+	clear(b.cells)
+	clear(b.origins)
+	clear(b.commits)
+	b.recs, b.cells, b.origins, b.commits = b.recs[:0], b.cells[:0], b.origins[:0], b.commits[:0]
+	m.bufPool = append(m.bufPool, b)
+}
+
 // unlink disposes a cell: its record is now garbage.
 func (m *Manager) unlink(c *cell) {
 	if c.inList {
@@ -302,7 +355,7 @@ func (m *Manager) dropTx(e *lttEntry, killed bool) {
 			m.lot.Delete(uint64(oid))
 		}
 	}
-	e.oids = make(map[logrec.OID]struct{})
+	clear(e.oids)
 	// The tx record is garbage even when its cell is detached (killed by
 	// the space-making cascade of its own append, or mid-move).
 	m.unlink(e.txCell)

@@ -11,6 +11,9 @@ import (
 // contract: fanning the mixes and searches across a pool must produce a
 // formatted report byte-identical to the strictly sequential run. The pool
 // may only schedule simulations, never perturb them.
+//
+// Deliberately NOT gated on testing.Short(): this is the goroutine-bearing
+// test the `-race -short` CI job exists to exercise.
 func TestFig456ParallelMatchesSequential(t *testing.T) {
 	for _, seed := range []uint64{1, 7} {
 		o := Options{

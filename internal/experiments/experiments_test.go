@@ -19,6 +19,9 @@ func quick() Options {
 }
 
 func TestFig456Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	points, err := Fig456(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +84,9 @@ func TestFig456Shapes(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := quick()
 	o.Mixes = []float64{0.05}
 	r, err := Fig7(o)
@@ -115,6 +121,9 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestScarceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := quick()
 	o.Mixes = []float64{0.05}
 	r, err := Scarce(o)
@@ -143,6 +152,9 @@ func TestScarceShapes(t *testing.T) {
 }
 
 func TestHeadlineRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := quick()
 	o.Mixes = []float64{0.05}
 	h, err := Headline(o)

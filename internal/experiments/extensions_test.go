@@ -8,6 +8,9 @@ import (
 )
 
 func TestHintsReduceForwarding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := quick()
 	o.Mixes = []float64{0.05}
 	r, err := Hints(o)
@@ -26,6 +29,9 @@ func TestHintsReduceForwarding(t *testing.T) {
 }
 
 func TestChainDepthPaysOffOnWideLifetimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := Options{Seed: 1, Runtime: 120 * sim.Second, NumObjects: 1_000_000}
 	r, err := Chain(o)
 	if err != nil {
@@ -55,6 +61,9 @@ func TestChainDepthPaysOffOnWideLifetimes(t *testing.T) {
 }
 
 func TestHybridCompareShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := Options{Seed: 1, Runtime: 50 * sim.Second, NumObjects: 1_000_000, Mixes: []float64{0.05}}
 	r, err := HybridCompare(o)
 	if err != nil {
@@ -79,6 +88,9 @@ func TestHybridCompareShape(t *testing.T) {
 }
 
 func TestAdaptiveExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := Options{Seed: 1, Runtime: 200 * sim.Second, NumObjects: 1_000_000, Mixes: []float64{0.05}}
 	r, err := Adaptive(o)
 	if err != nil {
@@ -100,6 +112,9 @@ func TestAdaptiveExperiment(t *testing.T) {
 }
 
 func TestArrivalSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := quick()
 	o.Mixes = []float64{0.05}
 	points, err := ArrivalSensitivity(o)
@@ -133,6 +148,9 @@ func TestArrivalSensitivity(t *testing.T) {
 }
 
 func TestStealAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full scaled-down experiments; skipped with -short (the race job)")
+	}
 	o := quick()
 	o.Mixes = []float64{0.05}
 	r, err := Steal(o)

@@ -163,15 +163,25 @@ func Decode(buf []byte) (*Record, []byte, error) {
 	return r, buf[encodedLen:], nil
 }
 
+// AppendBlock appends a block's wire encoding — a count header followed by
+// the records back to back — onto dst and returns the extended slice. It is
+// the allocation-free sibling of EncodeBlock: callers on the append hot
+// path pass a scratch buffer (typically reset with dst[:0]) that is reused
+// write after write, so steady-state block encoding allocates nothing.
+func AppendBlock(dst []byte, recs []*Record) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(recs)))
+	dst = append(dst, hdr[:]...)
+	for _, r := range recs {
+		dst = r.Append(dst)
+	}
+	return dst
+}
+
 // EncodeBlock serializes a block's records: a count header followed by the
 // records back to back.
 func EncodeBlock(recs []*Record) []byte {
-	buf := make([]byte, 4, 4+len(recs)*encodedLen)
-	binary.LittleEndian.PutUint32(buf, uint32(len(recs)))
-	for _, r := range recs {
-		buf = r.Append(buf)
-	}
-	return buf
+	return AppendBlock(make([]byte, 0, 4+len(recs)*encodedLen), recs)
 }
 
 // DecodeBlock parses the output of EncodeBlock.

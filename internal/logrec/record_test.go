@@ -183,3 +183,44 @@ func BenchmarkEncodeBlock(b *testing.B) {
 		EncodeBlock(recs)
 	}
 }
+
+// TestAppendBlockMatchesEncodeBlock pins the scratch-buffer encoder to the
+// allocating one, including buffer reuse across calls.
+func TestAppendBlockMatchesEncodeBlock(t *testing.T) {
+	recs := []*Record{
+		NewTxRecord(1, 10, KindBegin, 7, 8),
+		NewDataRecord(2, 11, 7, 42, 100),
+		NewTxRecord(3, 12, KindCommit, 7, 8),
+	}
+	want := EncodeBlock(recs)
+	var buf []byte
+	for i := 0; i < 3; i++ { // reuse the same scratch repeatedly
+		buf = AppendBlock(buf[:0], recs)
+		if string(buf) != string(want) {
+			t.Fatalf("AppendBlock pass %d diverges from EncodeBlock", i)
+		}
+	}
+	got, err := DecodeBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+}
+
+// TestAppendBlockZeroAllocsOnReuse is the allocation regression gate for
+// the block encode path.
+func TestAppendBlockZeroAllocsOnReuse(t *testing.T) {
+	recs := make([]*Record, 20)
+	for i := range recs {
+		recs[i] = NewDataRecord(LSN(i+1), 5, 1, OID(i), 100)
+	}
+	buf := AppendBlock(nil, recs) // grow once
+	avg := testing.AllocsPerRun(200, func() {
+		buf = AppendBlock(buf[:0], recs)
+	})
+	if avg != 0 {
+		t.Fatalf("AppendBlock reuse allocates %v allocs/run, want 0", avg)
+	}
+}

@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"testing"
+
+	"ellog/internal/sim"
+)
+
+// EngineBench is the engine hot-path micro-benchmark result: the cost of
+// one schedule→fire cycle through the event arena.
+type EngineBench struct {
+	NsPerOp     float64 // wall time per scheduled+fired event (machine-dependent)
+	AllocsPerOp float64 // heap allocations per event (deterministic: must be 0)
+	BytesPerOp  float64 // heap bytes per event (deterministic: must be 0)
+	EventsPerS  float64 // events dispatched per wall second (machine-dependent)
+}
+
+// MeasureEngine benchmarks the arena engine's schedule/fire/cancel loop
+// using the testing package's benchmark driver (usable outside tests), so
+// elbench can emit the same ns/op + allocs/op numbers `go test -bench`
+// reports — but machine-readably.
+func MeasureEngine() EngineBench {
+	e := sim.NewEngine(1, 2)
+	nop := func() {}
+	// Warm the arena so the measurement sees steady state, not slab growth.
+	for i := 0; i < 1024; i++ {
+		e.After(sim.Time(i%97), nop)
+	}
+	e.Run(e.Now() + 1000)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.After(sim.Time(i%97), nop)
+			if i%16 == 15 {
+				id := e.After(200, nop)
+				e.Cancel(id)
+			}
+			if i%64 == 63 {
+				e.Run(e.Now() + 100)
+			}
+		}
+		e.Run(e.Now() + 1000)
+	})
+	ns := float64(r.NsPerOp())
+	out := EngineBench{
+		NsPerOp:     ns,
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+	if ns > 0 {
+		out.EventsPerS = 1e9 / ns
+	}
+	return out
+}
+
+// AddTo records the micro-benchmark into a report under the "engine" suite.
+// Allocation counts are deterministic and gated; timing is informational.
+func (eb EngineBench) AddTo(r *Report) {
+	r.Set("engine", "allocs_per_op", eb.AllocsPerOp)
+	r.Set("engine", "bytes_per_op", eb.BytesPerOp)
+	r.SetInformational("engine", "ns_per_op", eb.NsPerOp)
+	r.SetInformational("engine", "events_per_s", eb.EventsPerS)
+}

@@ -1,0 +1,127 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Delta is one metric's comparison between a baseline and a new report.
+type Delta struct {
+	Suite, Metric string
+	Base, New     float64
+	Rel           float64 // (New-Base)/Base; ±Inf when Base is 0 and New is not
+	Missing       bool    // metric present in the baseline, absent from the new report
+	Added         bool    // metric absent from the baseline, present in the new report
+	Informational bool    // excluded from gating (per either report)
+	Exceeds       bool    // gated metric moved past the tolerance (or went missing)
+}
+
+// Diff compares cur against base with a relative tolerance (0.15 = ±15%).
+// It returns every metric's delta, sorted by suite then metric, and whether
+// any gated metric regressed past tolerance. Any change past tolerance —
+// in either direction — fails the gate: these are deterministic simulation
+// metrics, so an unexplained improvement is as suspicious as a loss, and
+// either means the committed baseline no longer describes the code.
+func Diff(base, cur *Report, tol float64) ([]Delta, bool) {
+	var out []Delta
+	regressed := false
+	info := func(suite, metric string) bool {
+		return base.IsInformational(suite, metric) || cur.IsInformational(suite, metric)
+	}
+	for suite, bs := range base.Suites {
+		for metric, bv := range bs {
+			d := Delta{Suite: suite, Metric: metric, Base: bv, Informational: info(suite, metric)}
+			nv, ok := cur.Get(suite, metric)
+			if !ok {
+				d.Missing = true
+				d.Rel = math.NaN()
+				if !d.Informational {
+					d.Exceeds = true
+					regressed = true
+				}
+				out = append(out, d)
+				continue
+			}
+			d.New = nv
+			switch {
+			case bv == nv:
+				d.Rel = 0
+			case bv == 0:
+				d.Rel = math.Inf(sign(nv))
+			default:
+				d.Rel = (nv - bv) / math.Abs(bv)
+			}
+			if !d.Informational && math.Abs(d.Rel) > tol {
+				d.Exceeds = true
+				regressed = true
+			}
+			out = append(out, d)
+		}
+	}
+	for suite, cs := range cur.Suites {
+		for metric := range cs {
+			if _, ok := base.Get(suite, metric); ok {
+				continue
+			}
+			v, _ := cur.Get(suite, metric)
+			// New metrics never fail the gate; they start gating once the
+			// baseline is refreshed.
+			out = append(out, Delta{Suite: suite, Metric: metric, New: v, Added: true, Informational: info(suite, metric)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out, regressed
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// FormatDeltas renders a comparison as an aligned text table. With verbose
+// false, within-tolerance gated metrics are summarized rather than listed.
+func FormatDeltas(deltas []Delta, tol float64, verbose bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perfdiff (tolerance ±%.0f%%)\n", tol*100)
+	fmt.Fprintf(&b, "%-44s %14s %14s %9s\n", "suite/metric", "base", "new", "delta")
+	quiet := 0
+	for _, d := range deltas {
+		name := d.Suite + "/" + d.Metric
+		switch {
+		case d.Missing:
+			fmt.Fprintf(&b, "%-44s %14.4g %14s %9s  MISSING%s\n", name, d.Base, "-", "-", gateTag(d))
+		case d.Added:
+			fmt.Fprintf(&b, "%-44s %14s %14.4g %9s  new metric\n", name, "-", d.New, "-")
+		case !verbose && !d.Exceeds && !d.Informational:
+			quiet++
+		default:
+			tag := ""
+			if d.Informational {
+				tag = "  (informational)"
+			} else if d.Exceeds {
+				tag = "  REGRESSION"
+			}
+			fmt.Fprintf(&b, "%-44s %14.4g %14.4g %+8.1f%%%s\n", name, d.Base, d.New, d.Rel*100, tag)
+		}
+	}
+	if quiet > 0 {
+		fmt.Fprintf(&b, "(%d gated metrics within tolerance; -v lists them)\n", quiet)
+	}
+	return b.String()
+}
+
+func gateTag(d Delta) string {
+	if d.Informational {
+		return " (informational)"
+	}
+	return " REGRESSION"
+}

@@ -1,0 +1,206 @@
+package perf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport(1, Frame{RuntimeSeconds: 40, Objects: 1_000_000, Mixes: []float64{0.05, 0.4}})
+	r.Set("fig456", "fw_blocks_5pct", 123)
+	r.Set("fig456", "el_blocks_5pct", 34)
+	r.Set("engine", "allocs_per_op", 0)
+	r.SetInformational("engine", "ns_per_op", 45.2)
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameFrame(r, got) {
+		t.Fatal("frame did not round-trip")
+	}
+	if v, ok := got.Get("fig456", "fw_blocks_5pct"); !ok || v != 123 {
+		t.Fatalf("fw_blocks_5pct = %v,%v", v, ok)
+	}
+	if !got.IsInformational("engine", "ns_per_op") {
+		t.Fatal("informational flag did not round-trip")
+	}
+	if got.IsInformational("engine", "allocs_per_op") {
+		t.Fatal("allocs_per_op wrongly informational")
+	}
+}
+
+func TestReportEncodeStable(t *testing.T) {
+	a, _ := sampleReport().Encode()
+	b, _ := sampleReport().Encode()
+	if string(a) != string(b) {
+		t.Fatal("Encode is not deterministic for identical reports")
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/9","suites":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("ReadFile accepted a foreign schema")
+	}
+}
+
+func TestDiffWithinTolerance(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("fig456", "fw_blocks_5pct", 123*1.10) // +10% < 15%
+	deltas, regressed := Diff(base, cur, 0.15)
+	if regressed {
+		t.Fatal("10% move past a 15% tolerance flagged as regression")
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Metric == "fw_blocks_5pct" {
+			found = true
+			if math.Abs(d.Rel-0.10) > 1e-9 || d.Exceeds {
+				t.Fatalf("delta = %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("compared metric missing from deltas")
+	}
+}
+
+func TestDiffFlagsRegressionPastTolerance(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("fig456", "el_blocks_5pct", 34*1.30) // +30% > 15%
+	deltas, regressed := Diff(base, cur, 0.15)
+	if !regressed {
+		t.Fatal("30% move past a 15% tolerance not flagged")
+	}
+	for _, d := range deltas {
+		if d.Metric == "el_blocks_5pct" && !d.Exceeds {
+			t.Fatalf("delta not marked exceeding: %+v", d)
+		}
+	}
+	// Large *improvements* fail too: the baseline is stale either way.
+	cur2 := sampleReport()
+	cur2.Set("fig456", "el_blocks_5pct", 34*0.5)
+	if _, regressed := Diff(base, cur2, 0.15); !regressed {
+		t.Fatal("-50% move not flagged (baseline must be refreshed)")
+	}
+}
+
+func TestDiffInformationalNeverGates(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("engine", "ns_per_op", 45.2*10) // 10x slower, but informational
+	if _, regressed := Diff(base, cur, 0.15); regressed {
+		t.Fatal("informational metric gated the diff")
+	}
+}
+
+func TestDiffMissingGatedMetricRegresses(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	delete(cur.Suites["fig456"], "fw_blocks_5pct")
+	deltas, regressed := Diff(base, cur, 0.15)
+	if !regressed {
+		t.Fatal("vanished gated metric not flagged")
+	}
+	for _, d := range deltas {
+		if d.Metric == "fw_blocks_5pct" && (!d.Missing || !d.Exceeds) {
+			t.Fatalf("missing metric delta = %+v", d)
+		}
+	}
+}
+
+func TestDiffAddedMetricDoesNotGate(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("fig456", "brand_new_metric", 7)
+	deltas, regressed := Diff(base, cur, 0.15)
+	if regressed {
+		t.Fatal("new metric failed the gate")
+	}
+	found := false
+	for _, d := range deltas {
+		if d.Metric == "brand_new_metric" {
+			found = d.Added
+		}
+	}
+	if !found {
+		t.Fatal("added metric not reported")
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("engine", "allocs_per_op", 2) // 0 → 2: the zero-alloc gate
+	if _, regressed := Diff(base, cur, 0.15); !regressed {
+		t.Fatal("allocation creep from a zero baseline not flagged")
+	}
+	// 0 → 0 stays clean.
+	if _, regressed := Diff(base, sampleReport(), 0.15); regressed {
+		t.Fatal("identical reports flagged")
+	}
+}
+
+func TestFormatDeltas(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("fig456", "el_blocks_5pct", 50)
+	deltas, _ := Diff(base, cur, 0.15)
+	out := FormatDeltas(deltas, 0.15, false)
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "el_blocks_5pct") {
+		t.Fatalf("format output missing regression line:\n%s", out)
+	}
+}
+
+func TestMeasureEngineZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark; skipped with -short")
+	}
+	eb := MeasureEngine()
+	if eb.AllocsPerOp != 0 || eb.BytesPerOp != 0 {
+		t.Fatalf("engine hot path allocates: %v allocs/op, %v B/op", eb.AllocsPerOp, eb.BytesPerOp)
+	}
+	if eb.NsPerOp <= 0 || eb.EventsPerS <= 0 {
+		t.Fatalf("implausible timing: %+v", eb)
+	}
+	r := NewReport(1, Frame{})
+	eb.AddTo(r)
+	if !r.IsInformational("engine", "ns_per_op") || r.IsInformational("engine", "allocs_per_op") {
+		t.Fatal("AddTo gating flags wrong")
+	}
+}
+
+func TestCPUProfileHooks(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = i * i
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+}

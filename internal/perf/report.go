@@ -1,0 +1,162 @@
+// Package perf is the repository's performance-measurement harness: a
+// machine-readable benchmark result model (written by `elbench -json` as
+// BENCH_*.json), a comparator for gating CI on regressions (`perfdiff`),
+// a micro-benchmark of the simulation engine's hot path, and CPU/heap
+// profile hooks for finding the next allocation to eliminate.
+//
+// The paper's evaluation method — "continu[ing] to run simulations and
+// reduce the disk space until we observed transactions being killed" — is
+// throughput-bound: every data point costs hundreds of complete runs, so
+// simulator speed is the experiment budget. This package makes that speed
+// (and the allocation discipline behind it) a number that is recorded,
+// diffed, and enforced rather than remembered.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the report layout. Bump when the JSON shape
+// changes incompatibly; perfdiff refuses to compare different schemas.
+const SchemaVersion = "ellog-bench/1"
+
+// Suite maps metric name → value. Metric names use unit suffixes by
+// convention (_blocks, _per_s, _bytes, _ns, _allocs) so readers do not need
+// a side table.
+type Suite map[string]float64
+
+// Frame records the experiment frame a report was measured at. Reports are
+// only comparable within one frame: halving the simulated runtime halves
+// most counters legitimately.
+type Frame struct {
+	RuntimeSeconds float64   `json:"runtime_seconds"`
+	Objects        uint64    `json:"objects"`
+	Mixes          []float64 `json:"mixes,omitempty"`
+}
+
+// Report is the benchmark result model: suite → metric → value, plus the
+// seed and frame needed to reproduce it. Simulation-derived metrics are
+// deterministic for a given seed and frame; wall-clock-derived metrics are
+// not, and are listed in Informational so the comparator reports them
+// without gating on them.
+type Report struct {
+	Schema    string           `json:"schema"`
+	Seed      uint64           `json:"seed"`
+	Frame     Frame            `json:"frame"`
+	GoVersion string           `json:"go_version"`
+	Suites    map[string]Suite `json:"suites"`
+	// Informational lists "suite/metric" keys excluded from regression
+	// gating (timing-derived, machine-dependent values).
+	Informational []string `json:"informational,omitempty"`
+}
+
+// NewReport returns an empty report for the given seed and frame.
+func NewReport(seed uint64, frame Frame) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Seed:      seed,
+		Frame:     frame,
+		GoVersion: runtime.Version(),
+		Suites:    make(map[string]Suite),
+	}
+}
+
+// Set records one metric value.
+func (r *Report) Set(suite, metric string, value float64) {
+	s, ok := r.Suites[suite]
+	if !ok {
+		s = make(Suite)
+		r.Suites[suite] = s
+	}
+	s[metric] = value
+}
+
+// SetInformational records a metric and marks it excluded from gating.
+func (r *Report) SetInformational(suite, metric string, value float64) {
+	r.Set(suite, metric, value)
+	key := suite + "/" + metric
+	for _, k := range r.Informational {
+		if k == key {
+			return
+		}
+	}
+	r.Informational = append(r.Informational, key)
+	sort.Strings(r.Informational)
+}
+
+// Get looks up a metric value.
+func (r *Report) Get(suite, metric string) (float64, bool) {
+	s, ok := r.Suites[suite]
+	if !ok {
+		return 0, false
+	}
+	v, ok := s[metric]
+	return v, ok
+}
+
+// IsInformational reports whether suite/metric is excluded from gating.
+func (r *Report) IsInformational(suite, metric string) bool {
+	key := suite + "/" + metric
+	for _, k := range r.Informational {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode renders the report as indented, key-sorted JSON (stable for
+// committing as a baseline and diffing as text).
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile parses a report from path and validates its schema.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema %q, this binary speaks %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// SameFrame reports whether two reports were measured at a comparable
+// frame (seed, runtime, object count, mixes).
+func SameFrame(a, b *Report) bool {
+	if a.Seed != b.Seed || a.Frame.RuntimeSeconds != b.Frame.RuntimeSeconds || a.Frame.Objects != b.Frame.Objects {
+		return false
+	}
+	if len(a.Frame.Mixes) != len(b.Frame.Mixes) {
+		return false
+	}
+	for i := range a.Frame.Mixes {
+		if a.Frame.Mixes[i] != b.Frame.Mixes[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestCancelledIDNeverFiresAfterRecycle is the arena's central safety
+// property: once an EventID is cancelled (or has fired), it stays dead —
+// even after its slab slot is recycled by later events. A stale id must
+// neither cancel nor otherwise disturb the slot's new occupant; the
+// generation tag is what guarantees it.
+func TestCancelledIDNeverFiresAfterRecycle(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+		e := NewEngine(seed, 7)
+		firedByID := make(map[EventID]int)
+		dead := make(map[EventID]bool) // cancelled or already fired
+		var live []EventID
+
+		schedule := func() {
+			var id EventID
+			id = e.At(e.Now()+Time(rng.IntN(50)), func() { firedByID[id]++ })
+			if dead[id] {
+				t.Fatalf("seed %d: recycled slot reissued a dead EventID %d", seed, id)
+			}
+			firedByID[id] = 0
+			live = append(live, id)
+		}
+
+		for i := 0; i < 60; i++ {
+			schedule()
+		}
+		for round := 0; round < 8; round++ {
+			// Cancel a random half of the live set; record them dead.
+			for _, id := range live {
+				if rng.IntN(2) == 0 {
+					if !e.Cancel(id) {
+						return false // live id must be cancellable
+					}
+					dead[id] = true
+				}
+			}
+			// Re-cancelling any dead id must be a miss, even though many of
+			// their slots have been recycled by now.
+			for id := range dead {
+				if e.Cancel(id) {
+					return false
+				}
+			}
+			// Fire everything still pending; survivors become dead too.
+			e.Run(e.Now() + 100)
+			for _, id := range live {
+				if !dead[id] {
+					if firedByID[id] != 1 {
+						return false // a surviving event fires exactly once
+					}
+					dead[id] = true
+				}
+			}
+			live = live[:0]
+			// Recycle the freed slots with a fresh batch.
+			for i := 0; i < 60; i++ {
+				schedule()
+			}
+		}
+		e.Run(e.Now() + 1000)
+		// Final ledger: every cancelled id fired zero times, every other
+		// exactly once.
+		for id, n := range firedByID {
+			want := 1
+			if n != want && !dead[id] {
+				return false
+			}
+		}
+		for id := range dead {
+			if firedByID[id] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleIDDoesNotCancelNewOccupant pins the exact aliasing scenario the
+// generation tag exists for: cancel an event, let its slot be reissued, and
+// check the stale id cannot kill the new occupant.
+func TestStaleIDDoesNotCancelNewOccupant(t *testing.T) {
+	e := NewEngine(1, 2)
+	stale := e.At(10, func() { t.Error("cancelled event fired") })
+	if !e.Cancel(stale) {
+		t.Fatal("Cancel of a pending event returned false")
+	}
+	// The free list is LIFO, so the very next At reuses the slot.
+	fired := false
+	fresh := e.At(10, func() { fired = true })
+	if fresh == stale {
+		t.Fatal("recycled slot reissued the same EventID")
+	}
+	if e.Cancel(stale) {
+		t.Fatal("stale id cancelled the slot's new occupant")
+	}
+	e.Run(100)
+	if !fired {
+		t.Fatal("new occupant did not fire")
+	}
+	if e.Cancel(fresh) {
+		t.Fatal("Cancel returned true for a fired event")
+	}
+}
+
+// TestScheduleFireLoopZeroAllocs is the allocation regression gate for the
+// arena: once the slab has grown to the workload's peak pending count, the
+// schedule→fire→cancel loop must not allocate at all.
+func TestScheduleFireLoopZeroAllocs(t *testing.T) {
+	e := NewEngine(1, 2)
+	nop := func() {}
+	// Warm the arena past its steady-state size.
+	for i := 0; i < 512; i++ {
+		e.After(Time(i%64), nop)
+	}
+	e.Run(e.Now() + 1000)
+
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Time(i%8), nop)
+		}
+		id := e.After(5, nop)
+		if !e.Cancel(id) {
+			t.Fatal("Cancel of pending event failed")
+		}
+		e.Run(e.Now() + 16)
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/fire/cancel loop allocates %v allocs/run, want 0", avg)
+	}
+}
+
+// BenchmarkEngineScheduleFireCancel exercises the full arena cycle
+// including cancellation, for -benchmem tracking in CI.
+func BenchmarkEngineScheduleFireCancel(b *testing.B) {
+	e := NewEngine(1, 2)
+	nop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		keep := e.After(Time(i%100), nop)
+		drop := e.After(Time(i%100)+1, nop)
+		e.Cancel(drop)
+		_ = keep
+		if i%64 == 63 {
+			e.Run(e.Now() + 100)
+		}
+	}
+	e.Run(e.Now() + 1000)
+}

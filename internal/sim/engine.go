@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 )
 
@@ -11,26 +12,45 @@ type Handler func()
 
 // EventID identifies a scheduled event so that it can be cancelled.
 // The zero EventID is never issued.
+//
+// An EventID packs the event's slab index (low 32 bits, offset by one so
+// index 0 still yields a nonzero id) with the slot's generation tag (high
+// 32 bits). A slot's generation is bumped every time the slot is reissued,
+// so an id kept past its event's firing or cancellation can never alias a
+// later event that happens to reuse the same slot: Cancel on a stale id is
+// a constant-time miss, not a misfire. (A single slot would have to be
+// reused 2^32 times between a Cancel and its original schedule for a tag
+// to wrap into a false positive — beyond any simulation this repo runs.)
 type EventID uint64
 
+// event is one slab slot. Slots are reused through a LIFO free list rather
+// than a sync.Pool: the pool's per-P caches would make slot assignment — and
+// with it EventID values — scheduling-dependent, while the free list keeps
+// the engine bit-for-bit deterministic for a given seed.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among simultaneous events, for determinism
-	id   EventID
 	fn   Handler
-	heap int // index in the heap, -1 when popped/cancelled
+	gen  uint32 // generation tag; bumped on every (re)allocation of the slot
+	heap int32  // index in the heap, -1 when the slot is not pending
 }
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; the whole simulation is single-threaded, exactly like the
 // paper's C simulator, which makes runs bit-for-bit reproducible for a given
 // seed.
+//
+// Events live in an index-based arena: the slab holds the event records,
+// the heap orders slab indices by (time, seq), and the free list recycles
+// retired slots. Steady-state scheduling therefore performs zero heap
+// allocations — the only growth is the slab and heap backing arrays, which
+// amortize to nothing once the engine has seen its peak pending-event count.
 type Engine struct {
 	now     Time
-	events  []*event
-	byID    map[EventID]*event
+	slab    []event
+	heap    []int32 // slab indices ordered by (at, seq)
+	free    []int32 // retired slot indices, reused LIFO
 	nextSeq uint64
-	nextID  EventID
 	rng     *rand.Rand
 	fired   uint64
 	stopped bool
@@ -39,10 +59,7 @@ type Engine struct {
 // NewEngine returns an engine whose clock starts at 0 and whose random
 // number generator is seeded with the two given words (PCG).
 func NewEngine(seed1, seed2 uint64) *Engine {
-	return &Engine{
-		byID: make(map[EventID]*event),
-		rng:  rand.New(rand.NewPCG(seed1, seed2)),
-	}
+	return &Engine{rng: rand.New(rand.NewPCG(seed1, seed2))}
 }
 
 // Now returns the current simulated time.
@@ -55,7 +72,51 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// ArenaSlots reports the slab's current slot count — the peak number of
+// simultaneously pending events seen so far. Exposed for the perf harness
+// and allocation tests.
+func (e *Engine) ArenaSlots() int { return len(e.slab) }
+
+// alloc takes a slot off the free list (or grows the slab), stamps a fresh
+// generation, and returns its index.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	if len(e.slab) >= math.MaxUint32 {
+		panic("sim: event arena exhausted")
+	}
+	e.slab = append(e.slab, event{})
+	return int32(len(e.slab) - 1)
+}
+
+// release retires a slot: it drops the handler reference (so the arena
+// never pins caller closures) and pushes the index for LIFO reuse. The
+// generation tag is left in place — lookup rejects retired slots via
+// heap == -1 until the slot is reissued, at which point the bumped tag
+// rejects all ids from the slot's previous life.
+func (e *Engine) release(idx int32) {
+	e.slab[idx].fn = nil
+	e.free = append(e.free, idx)
+}
+
+// lookup resolves an EventID to its slab index, or -1 if the event already
+// fired, was cancelled, or the id is from a recycled slot's earlier life.
+func (e *Engine) lookup(id EventID) int32 {
+	slot := int64(uint32(id)) - 1
+	if slot < 0 || slot >= int64(len(e.slab)) {
+		return -1
+	}
+	ev := &e.slab[slot]
+	if ev.gen != uint32(id>>32) || ev.heap < 0 {
+		return -1
+	}
+	return int32(slot)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: the model must never travel backwards.
@@ -63,12 +124,17 @@ func (e *Engine) At(t Time, fn Handler) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	idx := e.alloc()
+	ev := &e.slab[idx]
 	e.nextSeq++
-	e.nextID++
-	ev := &event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
-	e.push(ev)
-	e.byID[ev.id] = ev
-	return ev.id
+	ev.at = t
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.gen++
+	ev.heap = int32(len(e.heap))
+	e.heap = append(e.heap, idx)
+	e.up(int(ev.heap))
+	return EventID(uint64(ev.gen)<<32 | uint64(idx+1))
 }
 
 // After schedules fn to run d after the current time.
@@ -82,17 +148,31 @@ func (e *Engine) After(d Time, fn Handler) EventID {
 // Cancel removes a scheduled event. It reports whether the event was still
 // pending (false if it already fired or was cancelled before).
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.byID[id]
-	if !ok {
+	idx := e.lookup(id)
+	if idx < 0 {
 		return false
 	}
-	delete(e.byID, ev.id)
-	e.remove(ev)
+	e.removeHeap(idx)
+	e.release(idx)
 	return true
 }
 
 // Stop makes Run return after the event currently being dispatched.
 func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch pops the minimum event, retires its slot, advances the clock,
+// and invokes the handler. The slot is retired before the handler runs, so
+// a handler cancelling its own id sees false, and a slot reused by a
+// handler's own scheduling gets a fresh generation tag.
+func (e *Engine) dispatch() {
+	idx := e.heap[0]
+	at, fn := e.slab[idx].at, e.slab[idx].fn
+	e.popHeap()
+	e.release(idx)
+	e.now = at
+	e.fired++
+	fn()
+}
 
 // Run dispatches events in timestamp order (FIFO among equal timestamps)
 // until the queue empties or the next event would fire strictly after the
@@ -102,16 +182,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // crash time instead of the run's nominal horizon.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > until {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.slab[e.heap[0]].at > until {
 			break
 		}
-		e.pop()
-		delete(e.byID, next.id)
-		e.now = next.at
-		e.fired++
-		next.fn()
+		e.dispatch()
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -121,22 +196,17 @@ func (e *Engine) Run(until Time) {
 // Step dispatches exactly one event, if any is pending, and reports whether
 // one fired. Useful in tests that need to observe intermediate states.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	next := e.events[0]
-	e.pop()
-	delete(e.byID, next.id)
-	e.now = next.at
-	e.fired++
-	next.fn()
+	e.dispatch()
 	return true
 }
 
-// --- binary heap ordered by (at, seq) ---------------------------------
+// --- binary heap of slab indices ordered by (at, seq) -----------------
 
 func (e *Engine) less(i, j int) bool {
-	a, b := e.events[i], e.events[j]
+	a, b := &e.slab[e.heap[i]], &e.slab[e.heap[j]]
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -144,42 +214,37 @@ func (e *Engine) less(i, j int) bool {
 }
 
 func (e *Engine) swap(i, j int) {
-	e.events[i], e.events[j] = e.events[j], e.events[i]
-	e.events[i].heap = i
-	e.events[j].heap = j
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.slab[e.heap[i]].heap = int32(i)
+	e.slab[e.heap[j]].heap = int32(j)
 }
 
-func (e *Engine) push(ev *event) {
-	ev.heap = len(e.events)
-	e.events = append(e.events, ev)
-	e.up(ev.heap)
-}
-
-func (e *Engine) pop() *event {
-	ev := e.events[0]
-	last := len(e.events) - 1
+// popHeap removes the minimum element and marks its slot off-heap.
+func (e *Engine) popHeap() {
+	idx := e.heap[0]
+	last := len(e.heap) - 1
 	e.swap(0, last)
-	e.events = e.events[:last]
+	e.heap = e.heap[:last]
 	if last > 0 {
 		e.down(0)
 	}
-	ev.heap = -1
-	return ev
+	e.slab[idx].heap = -1
 }
 
-func (e *Engine) remove(ev *event) {
-	i := ev.heap
+// removeHeap deletes an arbitrary pending slot from the heap.
+func (e *Engine) removeHeap(idx int32) {
+	i := int(e.slab[idx].heap)
 	if i < 0 {
 		return
 	}
-	last := len(e.events) - 1
+	last := len(e.heap) - 1
 	e.swap(i, last)
-	e.events = e.events[:last]
+	e.heap = e.heap[:last]
 	if i < last {
 		e.down(i)
 		e.up(i)
 	}
-	ev.heap = -1
+	e.slab[idx].heap = -1
 }
 
 func (e *Engine) up(i int) {
@@ -194,7 +259,7 @@ func (e *Engine) up(i int) {
 }
 
 func (e *Engine) down(i int) {
-	n := len(e.events)
+	n := len(e.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i

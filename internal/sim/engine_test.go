@@ -91,6 +91,81 @@ func TestCancelAfterFire(t *testing.T) {
 	}
 }
 
+// TestAtExactlyNowDuringDrain pins the boundary semantics the arena
+// rewrite must preserve: a handler scheduling At(Now()) mid-drain gets its
+// event dispatched in the same Run, even when Now() equals Run's horizon,
+// because Run only stops for events strictly after the horizon.
+func TestAtExactlyNowDuringDrain(t *testing.T) {
+	e := NewEngine(1, 2)
+	var order []string
+	e.At(10, func() {
+		order = append(order, "A")
+		e.At(e.Now(), func() { order = append(order, "C") })
+	})
+	e.At(10, func() { order = append(order, "B") })
+	e.Run(10) // horizon == the events' time: all three must fire
+	want := []string{"A", "B", "C"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v (FIFO among simultaneous, new arrivals last)", order, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+}
+
+// TestCancelSelfDuringDispatch pins that an event is already retired when
+// its handler runs: cancelling yourself reports false and has no effect.
+func TestCancelSelfDuringDispatch(t *testing.T) {
+	e := NewEngine(1, 2)
+	var id EventID
+	var got bool
+	id = e.At(10, func() { got = e.Cancel(id) })
+	e.Run(100)
+	if got {
+		t.Fatal("Cancel of the currently-dispatching event returned true")
+	}
+}
+
+// TestCancelSiblingDuringDispatch pins that a handler may cancel a
+// simultaneous event that has not yet been dispatched.
+func TestCancelSiblingDuringDispatch(t *testing.T) {
+	e := NewEngine(1, 2)
+	var bFired bool
+	var cancelled bool
+	var idB EventID
+	e.At(10, func() { cancelled = e.Cancel(idB) })
+	idB = e.At(10, func() { bFired = true })
+	e.Run(100)
+	if !cancelled {
+		t.Fatal("Cancel of a pending simultaneous event returned false")
+	}
+	if bFired {
+		t.Fatal("cancelled simultaneous event fired anyway")
+	}
+}
+
+// TestEventIDsNonZeroAndDistinct pins the documented EventID contract: the
+// zero id is never issued and live ids are unique.
+func TestEventIDsNonZeroAndDistinct(t *testing.T) {
+	e := NewEngine(1, 2)
+	seen := make(map[EventID]bool)
+	for i := 0; i < 1000; i++ {
+		id := e.At(Time(i), func() {})
+		if id == 0 {
+			t.Fatal("zero EventID issued")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate EventID %d among pending events", id)
+		}
+		seen[id] = true
+	}
+}
+
 func TestAfterSchedulesRelative(t *testing.T) {
 	e := NewEngine(1, 2)
 	var at Time
