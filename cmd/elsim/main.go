@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ellog/internal/config"
+	"ellog/internal/fault"
 	"ellog/internal/harness"
 	"ellog/internal/runner"
 	"ellog/internal/sim"
@@ -103,6 +104,9 @@ func main() {
 		if *traceN > 0 {
 			fatal(fmt.Errorf("-trace needs a single run; drop -seeds"))
 		}
+		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
+			fatal(fmt.Errorf("fault injection needs a single run; drop -seeds (or use elchaos)"))
+		}
 		runSeeds(cfg, hcfg, *seeds, *parallel, *verbose)
 		return
 	}
@@ -118,9 +122,31 @@ func main() {
 		ring = trace.NewRing(*traceN)
 		live.Setup.LM.SetTracer(ring)
 	}
+	// Arm the fault plan only when the configuration asks for one; a run
+	// with no (or an all-zero) faults section is byte-identical to a build
+	// without the fault package.
+	var plan *fault.Plan
+	if cfg.Faults != nil {
+		if fc := cfg.Faults.ToFault(); fc.Active() {
+			plan, err = fault.Attach(live.Setup, fc)
+			if err != nil {
+				fatal(err)
+			}
+			if ring != nil {
+				plan.SetTracer(ring)
+			}
+			fmt.Printf("fault plan armed: seed %d, write-fail %.3f, corrupt %.3f, slow %.3f, stall %.3f\n",
+				fc.Seed, fc.WriteFailProb, fc.CorruptProb, fc.SlowProb, fc.StallProb)
+		}
+	}
 	live.Setup.Eng.Run(hcfg.Workload.Runtime)
 	res := harness.Result{LM: live.Setup.LM.Stats(), Workload: live.Gen.Stats()}
 	fmt.Print(res.LM)
+	if plan != nil {
+		ps := plan.Stats()
+		fmt.Printf("faults injected: %d write failures, %d corruptions, %d slowdowns, %d stalls\n",
+			ps.WriteFails, ps.Corruptions, ps.Slowdowns, ps.Stalls)
+	}
 	if *verbose {
 		ws := res.Workload
 		fmt.Printf("workload: %d started, %d committed, %d killed; end-to-end mean %.3fs p99 %.3fs\n",

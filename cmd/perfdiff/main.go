@@ -58,7 +58,7 @@ func main() {
 	deltas, regressed := perf.Diff(base, cur, *tol)
 	fmt.Print(perf.FormatDeltas(deltas, *tol, *verbose))
 	if regressed {
-		fmt.Println("FAIL: gated metric(s) moved past tolerance")
+		fmt.Println(perf.FailureSummary(deltas))
 		os.Exit(1)
 	}
 	fmt.Println("OK: all gated metrics within tolerance")

@@ -11,7 +11,12 @@ func TestWriteBecomesDurableAfterLatency(t *testing.T) {
 	dev := New(eng, 15*sim.Millisecond)
 	id := dev.Alloc(0)
 	var doneAt sim.Time = -1
-	dev.Write(id, []byte("hello"), func() { doneAt = eng.Now() })
+	dev.Write(id, []byte("hello"), func(err error) {
+		if err != nil {
+			t.Errorf("clean write completed with error %v", err)
+		}
+		doneAt = eng.Now()
+	})
 
 	eng.Run(14 * sim.Millisecond)
 	if dev.Read(id) != nil {
@@ -161,6 +166,158 @@ func TestWriteCopiesCallerBuffer(t *testing.T) {
 	eng.Run(sim.Second)
 	if string(dev.Read(id)) != "original" {
 		t.Fatalf("device aliased caller buffer: %q", dev.Read(id))
+	}
+}
+
+// scriptedInjector replays a fixed list of verdicts, clean after that.
+type scriptedInjector struct {
+	faults []WriteFault
+	calls  int
+}
+
+func (s *scriptedInjector) BlockWriteFault(gen, size int) WriteFault {
+	s.calls++
+	if len(s.faults) == 0 {
+		return WriteFault{}
+	}
+	f := s.faults[0]
+	s.faults = s.faults[1:]
+	return f
+}
+
+func TestInjectedTransientFailure(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 10*sim.Millisecond)
+	dev.SetInjector(&scriptedInjector{faults: []WriteFault{{Fail: true}}})
+	id := dev.Alloc(0)
+	dev.Write(id, []byte("first"), nil)
+	eng.Run(sim.Millisecond)
+	dev.Write(dev.Alloc(0), []byte("x"), nil) // sanity: injector consulted per write
+
+	var gotErr error
+	calls := 0
+	id2 := dev.Alloc(0)
+	eng.Run(sim.Second)
+	dev.Write(id2, []byte("later"), func(err error) { gotErr = err; calls++ })
+	eng.Run(2 * sim.Second)
+
+	if dev.Read(id) != nil {
+		t.Fatalf("failed write left contents %q", dev.Read(id))
+	}
+	if gotErr != nil || calls != 1 {
+		t.Fatalf("post-fault write: err=%v calls=%d", gotErr, calls)
+	}
+	s := dev.Stats()
+	if s.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", s.Failed)
+	}
+	if s.Writes != 3 {
+		t.Fatalf("Writes = %d, want 3 (failed attempts count)", s.Writes)
+	}
+	if s.Bytes != 1+5 {
+		t.Fatalf("Bytes = %d, want 6 (only durable bytes)", s.Bytes)
+	}
+}
+
+func TestInjectedFailureReportsError(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 10*sim.Millisecond)
+	dev.SetInjector(&scriptedInjector{faults: []WriteFault{{Fail: true}}})
+	id := dev.Alloc(0)
+	var gotErr error
+	dev.Write(id, []byte("doomed"), func(err error) { gotErr = err })
+	eng.Run(sim.Second)
+	if gotErr != ErrWriteFault {
+		t.Fatalf("err = %v, want ErrWriteFault", gotErr)
+	}
+	// The block is reusable: a clean retry succeeds.
+	dev.Write(id, []byte("retry"), func(err error) { gotErr = err })
+	eng.Run(2 * sim.Second)
+	if gotErr != nil || string(dev.Read(id)) != "retry" {
+		t.Fatalf("retry: err=%v contents=%q", gotErr, dev.Read(id))
+	}
+}
+
+func TestInjectedLatencyInflation(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 10*sim.Millisecond)
+	dev.SetInjector(&scriptedInjector{faults: []WriteFault{{Extra: 35 * sim.Millisecond}}})
+	id := dev.Alloc(0)
+	var doneAt sim.Time = -1
+	dev.Write(id, []byte("slow"), func(error) { doneAt = eng.Now() })
+	eng.Run(sim.Second)
+	if doneAt != 45*sim.Millisecond {
+		t.Fatalf("slow write completed at %v, want 45ms", doneAt)
+	}
+}
+
+func TestInjectedSilentCorruption(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	dev.SetInjector(&scriptedInjector{faults: []WriteFault{{CorruptOff: 2, CorruptMask: 0xFF}}})
+	id := dev.Alloc(0)
+	var gotErr error = ErrWriteFault
+	dev.Write(id, []byte{1, 2, 3, 4}, func(err error) { gotErr = err })
+	eng.Run(sim.Second)
+	if gotErr != nil {
+		t.Fatalf("silent corruption surfaced an error: %v", gotErr)
+	}
+	want := []byte{1, 2, 3 ^ 0xFF, 4}
+	if got := dev.Read(id); string(got) != string(want) {
+		t.Fatalf("corrupted image %v, want %v", got, want)
+	}
+}
+
+func TestTearOldestInFlight(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 10*sim.Millisecond)
+	a, b := dev.Alloc(0), dev.Alloc(0)
+	// Give block a previous contents so the torn suffix has old bytes.
+	dev.Write(a, []byte("OLDOLDOLD!"), nil)
+	eng.Run(10 * sim.Millisecond)
+	dev.Write(a, []byte("newnewnew!"), nil) // oldest in flight
+	eng.Run(eng.Now() + sim.Millisecond)
+	dev.Write(b, []byte("second"), nil) // younger in flight
+
+	id, ok := dev.TearOldestInFlight(0.5)
+	if !ok || id != a {
+		t.Fatalf("tore block %d (ok=%v), want oldest %d", id, ok, a)
+	}
+	// 5 of 10 new bytes reach disk; the suffix keeps the old contents.
+	if got, want := string(dev.Read(a)), "newne"+"DOLD!"; got != want {
+		t.Fatalf("torn image %q, want %q", got, want)
+	}
+	if dev.Read(b) != nil {
+		t.Fatal("younger in-flight write leaked into the crash image")
+	}
+}
+
+func TestTearFullFraction(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, 10*sim.Millisecond)
+	id := dev.Alloc(0)
+	dev.Write(id, []byte("complete"), nil)
+	eng.Run(sim.Millisecond)
+	torn, ok := dev.TearOldestInFlight(1.0)
+	if !ok || torn != id {
+		t.Fatalf("tear: %d, %v", torn, ok)
+	}
+	if string(dev.Read(id)) != "complete" {
+		t.Fatalf("frac=1 image %q, want full contents", dev.Read(id))
+	}
+}
+
+func TestTearNothingInFlight(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	dev := New(eng, sim.Millisecond)
+	id := dev.Alloc(0)
+	dev.Write(id, []byte("x"), nil)
+	eng.Run(sim.Second)
+	if _, ok := dev.TearOldestInFlight(0.5); ok {
+		t.Fatal("tear succeeded with nothing in flight")
+	}
+	if dev.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", dev.InFlight())
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"ellog/internal/core"
+	"ellog/internal/fault"
 	"ellog/internal/harness"
 	"ellog/internal/sim"
 	"ellog/internal/workload"
@@ -50,6 +51,43 @@ type SimConfig struct {
 	// Flushing.
 	FlushDrives     int   `json:"flush_drives"`
 	FlushTransferMS int64 `json:"flush_transfer_ms"`
+
+	// Faults optionally arms the internal/fault injection plan. Omitted —
+	// or present with all probabilities zero — means faults-off, and the
+	// run is byte-identical to one with no plan attached at all. Fault
+	// parameters deliberately live outside the harness configuration so
+	// result-cache keys and seed fan-outs are unaffected by them.
+	Faults *FaultsJSON `json:"faults,omitempty"`
+}
+
+// FaultsJSON is the JSON form of a fault plan (durations in milliseconds).
+type FaultsJSON struct {
+	Seed          uint64  `json:"seed"`
+	WriteFailProb float64 `json:"write_fail_prob,omitempty"`
+	CorruptProb   float64 `json:"corrupt_prob,omitempty"`
+	SlowProb      float64 `json:"slow_prob,omitempty"`
+	SlowMaxMS     int64   `json:"slow_max_ms,omitempty"`
+	StallProb     float64 `json:"stall_prob,omitempty"`
+	StallMaxMS    int64   `json:"stall_max_ms,omitempty"`
+	// Retry policy for the logging manager under transient write errors
+	// (0 = package defaults: 3 retries, 1 ms initial backoff, doubling).
+	MaxRetries     int   `json:"max_retries,omitempty"`
+	RetryBackoffMS int64 `json:"retry_backoff_ms,omitempty"`
+}
+
+// ToFault converts to the fault package's native configuration.
+func (f FaultsJSON) ToFault() fault.Config {
+	return fault.Config{
+		Seed:          f.Seed,
+		WriteFailProb: f.WriteFailProb,
+		CorruptProb:   f.CorruptProb,
+		SlowProb:      f.SlowProb,
+		SlowMax:       sim.Time(f.SlowMaxMS) * sim.Millisecond,
+		StallProb:     f.StallProb,
+		StallMax:      sim.Time(f.StallMaxMS) * sim.Millisecond,
+		MaxRetries:    f.MaxRetries,
+		RetryBackoff:  sim.Time(f.RetryBackoffMS) * sim.Millisecond,
+	}
 }
 
 // Default returns the paper's 5%-mix EL configuration at its measured

@@ -46,6 +46,47 @@ func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
 
+func TestFaultsRoundTripAndConversion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := Default()
+	cfg.Faults = &FaultsJSON{
+		Seed: 7, WriteFailProb: 0.1, SlowProb: 0.2, SlowMaxMS: 10,
+		StallProb: 0.05, StallMaxMS: 20, MaxRetries: 4, RetryBackoffMS: 2,
+	}
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Faults == nil || *loaded.Faults != *cfg.Faults {
+		t.Fatalf("faults section lost in round trip: %+v", loaded.Faults)
+	}
+	fc := loaded.Faults.ToFault()
+	if fc.Seed != 7 || fc.WriteFailProb != 0.1 || fc.SlowMax != 10*sim.Millisecond ||
+		fc.StallMax != 20*sim.Millisecond || fc.MaxRetries != 4 || fc.RetryBackoff != 2*sim.Millisecond {
+		t.Fatalf("conversion wrong: %+v", fc)
+	}
+	if !fc.Active() {
+		t.Fatal("converted config should be active")
+	}
+
+	// A config with no faults section stays that way through a round trip.
+	plain := Default()
+	if err := plain.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Faults != nil {
+		t.Fatalf("faults section materialized from nothing: %+v", loaded.Faults)
+	}
+}
+
 func TestToHarnessConversion(t *testing.T) {
 	cfg := Default()
 	cfg.LifetimeHintsMS = []int64{2000}

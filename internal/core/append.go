@@ -66,10 +66,12 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 		c.slot = nil // belongs to whichever block is written at the tail
 	} else {
 		c.slot = b.slot
-		if m.p.Steal {
+		if m.p.Steal || m.faulty {
 			// The steal policy flushes uncommitted updates once their
 			// records are durable (write-ahead rule), so the buffer must
-			// remember its cells until the write completes.
+			// remember its cells until the write completes. Under fault
+			// injection the cells are also needed to resolve the buffer's
+			// records if the write is abandoned after exhausted retries.
 			b.cells = append(b.cells, c)
 		}
 	}
@@ -224,25 +226,98 @@ func (m *Manager) writeOut(g *generation, b *buffer) {
 	s.state = slotInFlight
 	b.sealed = true
 	m.emit(trace.Event{Kind: trace.EvSeal, Gen: g.idx, N: len(b.recs)})
-	// The device copies the bytes synchronously (it must, to hold the
-	// durable crash image), so one manager-wide encode buffer can be reused
-	// for every block write.
+	m.issueWrite(g, b, 1)
+}
+
+// issueWrite encodes a sealed buffer and issues its block write (attempt 1
+// is the original issue; higher attempts are fault retries). The device
+// copies the bytes synchronously (it must, to hold the durable crash
+// image), so one manager-wide encode buffer can be reused for every block
+// write — including retries, which re-encode because other writes borrow
+// the buffer during the backoff.
+func (m *Manager) issueWrite(g *generation, b *buffer, attempt int) {
 	m.encBuf = logrec.AppendBlock(m.encBuf[:0], b.recs)
-	m.dev.Write(s.id, m.encBuf, func() {
-		s.state = slotDurable
-		m.emit(trace.Event{Kind: trace.EvDurable, Gen: g.idx, N: len(b.recs)})
-		m.putToken(g)
-		for _, o := range b.origins {
-			o.refugees--
+	m.dev.Write(b.slot.id, m.encBuf, func(err error) {
+		if err != nil {
+			m.writeFailed(g, b, attempt)
+			return
 		}
-		if m.p.Steal {
-			m.stealFlushDurable(b)
-		}
-		for _, tx := range b.commits {
-			m.commitDurable(tx)
-		}
-		m.recycleBuffer(b)
+		m.writeDurable(g, b)
 	})
+}
+
+// writeDurable handles a completed block write: the slot becomes durable,
+// refugee counts drop, and any COMMIT records riding in the buffer make
+// their transactions durable — the group-commit acknowledgement at the
+// paper's time t4.
+func (m *Manager) writeDurable(g *generation, b *buffer) {
+	b.slot.state = slotDurable
+	m.emit(trace.Event{Kind: trace.EvDurable, Gen: g.idx, N: len(b.recs)})
+	m.putToken(g)
+	for _, o := range b.origins {
+		o.refugees--
+	}
+	if m.p.Steal {
+		m.stealFlushDurable(b)
+	}
+	for _, tx := range b.commits {
+		m.commitDurable(tx)
+	}
+	m.recycleBuffer(b)
+}
+
+// writeFailed handles a transient write error (fault injection): the block
+// is reissued after an exponential backoff until the retry budget runs out,
+// then abandoned. The failed attempt already counted against the disk's
+// bandwidth stats — the disk did the work.
+func (m *Manager) writeFailed(g *generation, b *buffer, attempt int) {
+	m.writeErrors.Inc()
+	if attempt <= m.maxRetries {
+		m.writeRetries.Inc()
+		m.emit(trace.Event{Kind: trace.EvRetry, Gen: g.idx, N: attempt})
+		m.eng.After(m.retryBackoff<<(attempt-1), func() {
+			m.issueWrite(g, b, attempt+1)
+		})
+		return
+	}
+	m.abandonWrite(g, b)
+}
+
+// abandonWrite gives up on a block whose write errored past the retry
+// budget. Every record riding in the buffer is resolved the way the
+// overflow paths resolve records that cannot stay in the log: active and
+// committing transactions are killed (a committing transaction's COMMIT
+// was in the dead block, so it never becomes durable), committed updates
+// are force flushed to the stable database, and committed transactions'
+// tx records are retired by flushing their remaining updates. Afterwards
+// nothing references the block, so its slot is reclaimable as all-garbage.
+func (m *Manager) abandonWrite(g *generation, b *buffer) {
+	m.abandonedWrites.Inc()
+	for _, c := range b.cells {
+		if !c.inList {
+			continue
+		}
+		switch {
+		case c.tx.state == txActive || c.tx.state == txCommitting:
+			m.dropTx(c.tx, true)
+		case c.rec.Kind == logrec.KindData && c.committed:
+			m.forceFlushCell(c)
+		case c.rec.Kind == logrec.KindCommit && c.tx.state == txCommitted:
+			m.forceFlushTx(c.tx)
+		}
+	}
+	// The old durable copies of any forwarded records just became garbage
+	// along with their cells, so their origin slots no longer shelter
+	// refugees.
+	for _, o := range b.origins {
+		o.refugees--
+	}
+	// The slot's durable contents are its previous bytes — stale records
+	// recovery discards — and no live cell points at it, so for the
+	// manager's accounting it is a durable all-garbage block.
+	b.slot.state = slotDurable
+	m.putToken(g)
+	m.recycleBuffer(b)
 }
 
 func (m *Manager) takeToken(g *generation) {

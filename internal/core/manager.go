@@ -36,6 +36,13 @@ type Manager struct {
 	onKill  func(logrec.TxID)
 	tracer  trace.Sink
 
+	// Fault-retry policy (EnableFaultRetries). faulty gates every hot-path
+	// divergence from the fault-free model: with it false the manager is
+	// byte-identical to a build without the fault subsystem.
+	faulty       bool
+	maxRetries   int
+	retryBackoff sim.Time
+
 	// pendingReverts tracks stolen flushes that were in service when their
 	// transaction died; the completion is rolled back on arrival.
 	pendingReverts map[logrec.OID]pendingRevert
@@ -54,6 +61,8 @@ type Manager struct {
 	forwardedRecs, recircRecs, garbaged metrics.Counter
 	emergencyBlocks, bufferStalls       metrics.Counter
 	refugeeStalls                       metrics.Counter
+	writeErrors, writeRetries           metrics.Counter
+	abandonedWrites                     metrics.Counter
 	lotGauge, lttGauge, memGauge        metrics.Gauge
 	usedGauges                          []metrics.Gauge
 	commitDelay                         metrics.Histogram
@@ -125,6 +134,23 @@ func NewSetup(eng *sim.Engine, p Params, fc FlushConfig) (*Setup, error) {
 // transaction for want of log space. The workload generator uses it to
 // stop issuing the victim's remaining records.
 func (m *Manager) SetKillHandler(fn func(logrec.TxID)) { m.onKill = fn }
+
+// EnableFaultRetries arms the bounded retry-with-backoff path for transient
+// block-write errors (fault injection): a failed write is reissued up to
+// maxRetries times, the k-th retry backoff<<(k-1) after the failure.
+// Exhausted retries abandon the block: active and committing transactions
+// with records aboard are killed like the overflow path, and committed
+// updates are force flushed so no acknowledged state depends on the dead
+// block. Never enabled in the fault-free model — fault.Attach calls it —
+// so ordinary runs take the historical code path bit for bit.
+func (m *Manager) EnableFaultRetries(maxRetries int, backoff sim.Time) {
+	if maxRetries < 0 || backoff < 0 {
+		panic("core: negative fault-retry policy")
+	}
+	m.faulty = true
+	m.maxRetries = maxRetries
+	m.retryBackoff = backoff
+}
 
 // SetTracer attaches a trace sink; nil detaches it. Tracing is off the
 // paper's measurement path and exists for observability and debugging.

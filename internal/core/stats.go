@@ -57,6 +57,11 @@ type Stats struct {
 	EmergencyBlocks uint64
 	BufferStalls    uint64
 	RefugeeStalls   uint64
+
+	// Fault injection (always zero in the fault-free model).
+	WriteErrors     uint64 // block-write attempts that returned a transient error
+	WriteRetries    uint64 // reissues of failed block writes
+	AbandonedWrites uint64 // blocks given up on after exhausting the retry budget
 }
 
 // Insufficient reports whether this run exceeded its disk budget: some
@@ -105,6 +110,10 @@ func (m *Manager) Stats() Stats {
 		EmergencyBlocks: m.emergencyBlocks.Count(),
 		BufferStalls:    m.bufferStalls.Count(),
 		RefugeeStalls:   m.refugeeStalls.Count(),
+
+		WriteErrors:     m.writeErrors.Count(),
+		WriteRetries:    m.writeRetries.Count(),
+		AbandonedWrites: m.abandonedWrites.Count(),
 	}
 	for i, g := range m.gens {
 		gs := GenStats{
@@ -142,6 +151,10 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "  commit delay: mean %.1f ms, p99 %.1f ms\n", s.CommitDelayMean*1e3, s.CommitDelayP99*1e3)
 	fmt.Fprintf(&b, "  flush: %d done (%d forced), avg oid distance %.0f, busy %.0f%%, backlog peak %d\n",
 		s.Flush.Flushes, s.Flush.Forced, s.Flush.AvgDistance, s.Flush.BusyFrac*100, s.Flush.MaxPending)
+	if s.WriteErrors > 0 || s.AbandonedWrites > 0 {
+		fmt.Fprintf(&b, "  faults: %d write errors, %d retries, %d writes abandoned\n",
+			s.WriteErrors, s.WriteRetries, s.AbandonedWrites)
+	}
 	if s.Insufficient() {
 		fmt.Fprintf(&b, "  INSUFFICIENT SPACE: killed=%d emergency=%d refugeeStalls=%d\n",
 			s.Killed, s.EmergencyBlocks, s.RefugeeStalls)

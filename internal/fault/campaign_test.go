@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"ellog/internal/runner"
+)
+
+func TestCampaignRejectsRecirculation(t *testing.T) {
+	cfg := CampaignConfig{Base: campaignBase(1)}
+	cfg.Base.LM.Recirculate = true
+	if _, err := RunCampaign(cfg, nil); err == nil {
+		t.Fatal("recirculating base accepted")
+	}
+}
+
+func TestCampaignRejectsBadFracs(t *testing.T) {
+	cfg := CampaignConfig{Base: campaignBase(1), TornFracs: []float64{1.5}}
+	if _, err := RunCampaign(cfg, nil); err == nil {
+		t.Fatal("torn fraction > 1 accepted")
+	}
+}
+
+// The tentpole property: at every crash point — after each block-write
+// completion and at torn boundaries inside each issued write — single-pass
+// recovery reconstructs exactly the acknowledged transactions (plus, at
+// torn points, commit-pending transactions whose COMMIT survived the
+// salvaged prefix).
+func TestCampaignPropertyHolds(t *testing.T) {
+	cfg := CampaignConfig{Base: campaignBase(23), TornFracs: []float64{0.25, 0.6, 1}}
+	res, err := RunCampaign(cfg, runner.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seals == 0 || res.Durables == 0 {
+		t.Fatalf("reference run wrote nothing: %+v", res)
+	}
+	if res.Points != res.Durables+3*res.Seals {
+		t.Fatalf("swept %d points, want %d clean + %d torn", res.Points, res.Durables, 3*res.Seals)
+	}
+	if res.TornDetected == 0 {
+		t.Fatal("no torn block was ever detected; the checksum path was not exercised")
+	}
+	if !res.Passed() {
+		t.Fatalf("recovery property violated:\n%v", res)
+	}
+}
+
+// A parallel campaign must be byte-identical to a sequential one: the pool
+// only schedules, it never reorders or perturbs results.
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps; skipped in -short")
+	}
+	cfg := CampaignConfig{Base: campaignBase(29), MaxPoints: 40}
+	seq, err := RunCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCampaign(cfg, runner.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel and sequential campaigns diverged:\n%+v\nvs\n%+v", seq, par)
+	}
+}
+
+// MaxPoints samples the sweep but still spans it: the last sampled point
+// must come from the tail of the full list.
+func TestCampaignMaxPointsSpansRun(t *testing.T) {
+	cfg := CampaignConfig{Base: campaignBase(31), MaxPoints: 10}
+	res, err := RunCampaign(cfg, runner.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points == 0 || res.Points > 10+1 {
+		t.Fatalf("sampled %d points, want <= ~10", res.Points)
+	}
+	if res.Clean == 0 || res.Torn == 0 {
+		t.Fatalf("sampling dropped a whole point kind: clean=%d torn=%d", res.Clean, res.Torn)
+	}
+	if !res.Passed() {
+		t.Fatalf("sampled campaign failed:\n%v", res)
+	}
+}

@@ -50,6 +50,7 @@ type Stats struct {
 }
 
 type drive struct {
+	idx      int
 	lo, span uint64
 	pending  *container.Treap[Request]
 	busy     bool
@@ -74,6 +75,12 @@ type Array struct {
 	forced     uint64
 	distSum    float64
 	distN      uint64
+
+	// stall, when set, is consulted at each service start and may return
+	// extra time the drive spends stalled before the transfer (fault
+	// injection: a drive hiccup). nil means no stalls — the fault-free
+	// model, byte for byte.
+	stall func(drive int) sim.Time
 }
 
 // New builds an array of numDrives drives, each needing transfer time per
@@ -98,6 +105,7 @@ func New(eng *sim.Engine, numDrives int, transfer sim.Time, numObjects uint64, o
 	}
 	for i := 0; i < numDrives; i++ {
 		a.drives = append(a.drives, &drive{
+			idx:     i,
 			lo:      uint64(i) * a.perDrive,
 			span:    a.perDrive,
 			pending: container.NewTreap[Request](uint64(i)*0x9e37 + 1),
@@ -171,6 +179,11 @@ func (a *Array) ForceFlush(req Request) {
 	a.onFlush(req)
 }
 
+// SetStall attaches a per-drive stall injector; nil detaches it. The
+// function receives the drive index and returns extra stall time charged at
+// the start of the next service on that drive (0 for no stall).
+func (a *Array) SetStall(fn func(drive int) sim.Time) { a.stall = fn }
+
 // kick starts service on an idle drive with work pending.
 func (a *Array) kick(d *drive) {
 	if d.busy || d.pending.Len() == 0 {
@@ -185,6 +198,9 @@ func (a *Array) kick(d *drive) {
 	d.busy = true
 	serviceTime := a.transfer + d.debt
 	d.debt = 0
+	if a.stall != nil {
+		serviceTime += a.stall(d.idx)
+	}
 	d.busySum += a.transfer
 	a.eng.After(serviceTime, func() {
 		if d.started {

@@ -278,6 +278,41 @@ func TestNearestIsTrueMinimum(t *testing.T) {
 	}
 }
 
+func TestStallDelaysService(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	a, got := collectorArray(eng, 2, 25*sim.Millisecond, 1000)
+	// Stall only drive 0, once.
+	stalls := 0
+	a.SetStall(func(drive int) sim.Time {
+		if drive == 0 && stalls == 0 {
+			stalls++
+			return 40 * sim.Millisecond
+		}
+		return 0
+	})
+	a.Enqueue(Request{Obj: 5, LSN: 1})   // drive 0: stalled, lands at 65 ms
+	a.Enqueue(Request{Obj: 600, LSN: 2}) // drive 1: clean, lands at 25 ms
+	eng.Run(25 * sim.Millisecond)
+	if len(*got) != 1 || (*got)[0].Obj != 600 {
+		t.Fatalf("at 25ms flushed %v, want only obj 600", *got)
+	}
+	eng.Run(64 * sim.Millisecond)
+	if len(*got) != 1 {
+		t.Fatal("stalled flush completed early")
+	}
+	eng.Run(65 * sim.Millisecond)
+	if len(*got) != 2 || (*got)[1].Obj != 5 {
+		t.Fatalf("at 65ms flushed %v, want obj 5 second", *got)
+	}
+	// Detach: subsequent service is clean again.
+	a.SetStall(nil)
+	a.Enqueue(Request{Obj: 6, LSN: 3})
+	eng.Run(90 * sim.Millisecond)
+	if len(*got) != 3 {
+		t.Fatalf("post-detach flush missing: %v", *got)
+	}
+}
+
 func TestStatsEmpty(t *testing.T) {
 	eng := sim.NewEngine(1, 2)
 	a, _ := collectorArray(eng, 2, sim.Millisecond, 1000)

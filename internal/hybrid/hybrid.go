@@ -402,7 +402,12 @@ func (m *Manager) seal(q *queue) {
 		}
 	}
 	b.sealed = true
-	m.dev.Write(s.id, logrec.EncodeBlock(b.recs), func() {
+	m.dev.Write(s.id, logrec.EncodeBlock(b.recs), func(err error) {
+		if err != nil {
+			// The hybrid manager has no retry path; fault plans target the
+			// core manager only.
+			panic("hybrid: injected write faults are not supported")
+		}
 		s.state = slotDurable
 		for _, e := range b.commits {
 			m.commitDurable(e)

@@ -1,0 +1,47 @@
+package logrec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBlock throws arbitrary bytes at the strict and salvaging block
+// decoders. Neither may panic or over-allocate, whatever the input claims
+// about itself; and on inputs that do verify, the two decoders must agree.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Add(EncodeBlock(nil))
+	f.Add(EncodeBlock([]*Record{NewDataRecord(1, 2, 3, 4, 100)}))
+	f.Add(EncodeBlock([]*Record{
+		NewTxRecord(1, 10, KindBegin, 7, 8),
+		NewDataRecord(2, 11, 7, 42, 100),
+		NewTxRecord(3, 12, KindCommit, 7, 8),
+	}))
+	torn := EncodeBlock([]*Record{NewDataRecord(9, 9, 9, 9, 100), NewDataRecord(10, 10, 9, 10, 100)})
+	f.Add(torn[:len(torn)-20])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeBlock(data)
+		salvaged, intact := SalvageBlock(data)
+		if err == nil {
+			// A strictly valid block must salvage as intact with the same
+			// records, byte for byte.
+			if !intact || len(salvaged) != len(recs) {
+				t.Fatalf("valid block: salvage intact=%v got %d records, strict got %d", intact, len(salvaged), len(recs))
+			}
+			reenc := EncodeBlock(recs)
+			if !bytes.Equal(reenc, data) {
+				t.Fatalf("re-encode of decoded block differs from input")
+			}
+		} else if intact {
+			t.Fatalf("SalvageBlock reports intact but DecodeBlock rejected: %v", err)
+		}
+		// The salvaged records must themselves be well formed.
+		for i, r := range salvaged {
+			if r.Kind < KindBegin || r.Kind > KindData {
+				t.Fatalf("salvaged record %d has invalid kind %d", i, r.Kind)
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"ellog/internal/sim"
 )
@@ -122,29 +123,52 @@ func (r *Record) String() string {
 // wire form is header-only and Size records the logical length.
 const encodedLen = 8 + 8 + 1 + 8 + 8 + 4 + 8 + 8 + 8 // LSN, Time, Kind, Tx, Obj, Size, Val, PrevLSN, PrevVal
 
-// Append encodes the record onto buf and returns the extended slice.
+// wireRecLen is encodedLen plus the per-record CRC32-C trailer. The
+// per-record checksum is what lets a torn block be salvaged record by
+// record: a write that only partially reached disk leaves a prefix of
+// intact records followed by a record whose trailer no longer matches.
+const wireRecLen = encodedLen + 4
+
+// blockHdrLen is the block header: record count plus a whole-block CRC32-C
+// over the record region — the fast-path integrity check.
+const blockHdrLen = 4 + 4
+
+// castagnoli is the CRC32-C polynomial table (iSCSI/ext4/LevelDB family),
+// the conventional choice for storage checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Append encodes the record onto buf — fixed header followed by a CRC32-C
+// of that header — and returns the extended slice. The record is encoded
+// in place (no stack temporary) so the append hot path stays
+// allocation-free when the destination has capacity.
 func (r *Record) Append(buf []byte) []byte {
-	var tmp [encodedLen]byte
-	binary.LittleEndian.PutUint64(tmp[0:], uint64(r.LSN))
-	binary.LittleEndian.PutUint64(tmp[8:], uint64(r.Time))
-	tmp[16] = byte(r.Kind)
-	binary.LittleEndian.PutUint64(tmp[17:], uint64(r.Tx))
-	binary.LittleEndian.PutUint64(tmp[25:], uint64(r.Obj))
-	binary.LittleEndian.PutUint32(tmp[33:], uint32(r.Size))
-	binary.LittleEndian.PutUint64(tmp[37:], r.Val)
-	binary.LittleEndian.PutUint64(tmp[45:], uint64(r.PrevLSN))
-	binary.LittleEndian.PutUint64(tmp[53:], r.PrevVal)
-	return append(buf, tmp[:]...)
+	base := len(buf)
+	buf = append(buf, make([]byte, wireRecLen)...)
+	w := buf[base:]
+	binary.LittleEndian.PutUint64(w[0:], uint64(r.LSN))
+	binary.LittleEndian.PutUint64(w[8:], uint64(r.Time))
+	w[16] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(w[17:], uint64(r.Tx))
+	binary.LittleEndian.PutUint64(w[25:], uint64(r.Obj))
+	binary.LittleEndian.PutUint32(w[33:], uint32(r.Size))
+	binary.LittleEndian.PutUint64(w[37:], r.Val)
+	binary.LittleEndian.PutUint64(w[45:], uint64(r.PrevLSN))
+	binary.LittleEndian.PutUint64(w[53:], r.PrevVal)
+	binary.LittleEndian.PutUint32(w[encodedLen:], crc32.Checksum(w[:encodedLen], castagnoli))
+	return buf
 }
 
 // ErrCorrupt is returned when decoding malformed bytes.
 var ErrCorrupt = errors.New("logrec: corrupt record encoding")
 
-// Decode parses one record from the front of buf and returns it along with
-// the remaining bytes.
+// Decode parses one record from the front of buf, verifying its CRC, and
+// returns it along with the remaining bytes.
 func Decode(buf []byte) (*Record, []byte, error) {
-	if len(buf) < encodedLen {
-		return nil, buf, fmt.Errorf("%w: %d bytes remaining, need %d", ErrCorrupt, len(buf), encodedLen)
+	if len(buf) < wireRecLen {
+		return nil, buf, fmt.Errorf("%w: %d bytes remaining, need %d", ErrCorrupt, len(buf), wireRecLen)
+	}
+	if got, want := crc32.Checksum(buf[:encodedLen], castagnoli), binary.LittleEndian.Uint32(buf[encodedLen:]); got != want {
+		return nil, buf, fmt.Errorf("%w: record CRC %08x, trailer %08x", ErrCorrupt, got, want)
 	}
 	r := &Record{
 		LSN:     LSN(binary.LittleEndian.Uint64(buf[0:])),
@@ -160,38 +184,53 @@ func Decode(buf []byte) (*Record, []byte, error) {
 	if r.Kind < KindBegin || r.Kind > KindData {
 		return nil, buf, fmt.Errorf("%w: kind %d", ErrCorrupt, r.Kind)
 	}
-	return r, buf[encodedLen:], nil
+	return r, buf[wireRecLen:], nil
 }
 
-// AppendBlock appends a block's wire encoding — a count header followed by
-// the records back to back — onto dst and returns the extended slice. It is
-// the allocation-free sibling of EncodeBlock: callers on the append hot
-// path pass a scratch buffer (typically reset with dst[:0]) that is reused
-// write after write, so steady-state block encoding allocates nothing.
+// AppendBlock appends a block's wire encoding — a count header and
+// whole-block CRC32-C, followed by the checksummed records back to back —
+// onto dst and returns the extended slice. It is the allocation-free
+// sibling of EncodeBlock: callers on the append hot path pass a scratch
+// buffer (typically reset with dst[:0]) that is reused write after write,
+// so steady-state block encoding allocates nothing.
 func AppendBlock(dst []byte, recs []*Record) []byte {
-	var hdr [4]byte
+	var hdr [blockHdrLen]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(recs)))
 	dst = append(dst, hdr[:]...)
+	base := len(dst)
 	for _, r := range recs {
 		dst = r.Append(dst)
 	}
+	binary.LittleEndian.PutUint32(dst[base-4:base], crc32.Checksum(dst[base:], castagnoli))
 	return dst
 }
 
-// EncodeBlock serializes a block's records: a count header followed by the
-// records back to back.
+// EncodeBlock serializes a block's records: a checksummed header followed
+// by the checksummed records back to back.
 func EncodeBlock(recs []*Record) []byte {
-	return AppendBlock(make([]byte, 0, 4+len(recs)*encodedLen), recs)
+	return AppendBlock(make([]byte, 0, blockHdrLen+len(recs)*wireRecLen), recs)
 }
 
-// DecodeBlock parses the output of EncodeBlock.
+// DecodeBlock parses the output of EncodeBlock strictly: the block CRC, the
+// record count and every record CRC must check out, with no trailing bytes.
+// Recovery uses SalvageBlock instead, which degrades gracefully on torn or
+// corrupted blocks.
 func DecodeBlock(buf []byte) ([]*Record, error) {
-	if len(buf) < 4 {
+	if len(buf) < blockHdrLen {
 		return nil, fmt.Errorf("%w: block shorter than header", ErrCorrupt)
 	}
 	n := binary.LittleEndian.Uint32(buf)
-	buf = buf[4:]
-	recs := make([]*Record, 0, n)
+	if got, want := crc32.Checksum(buf[blockHdrLen:], castagnoli), binary.LittleEndian.Uint32(buf[4:]); got != want {
+		return nil, fmt.Errorf("%w: block CRC %08x, header %08x", ErrCorrupt, got, want)
+	}
+	buf = buf[blockHdrLen:]
+	// Cap the preallocation by what the buffer could physically hold so a
+	// corrupted count header cannot force an unbounded allocation.
+	prealloc := int(n)
+	if max := len(buf) / wireRecLen; prealloc > max {
+		prealloc = max
+	}
+	recs := make([]*Record, 0, prealloc)
 	for i := uint32(0); i < n; i++ {
 		r, rest, err := Decode(buf)
 		if err != nil {
@@ -204,4 +243,38 @@ func DecodeBlock(buf []byte) ([]*Record, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
 	}
 	return recs, nil
+}
+
+// SalvageBlock decodes as much of a block as its checksums vouch for. An
+// intact block (block CRC matches) decodes fully, exactly like DecodeBlock.
+// Otherwise the block was torn mid-write or silently corrupted, and the
+// per-record CRCs take over: records are decoded front to back, stopping at
+// the first one whose trailer fails — the salvaged prefix is precisely the
+// part of the write that reached disk intact, so a torn write loses only
+// its suffix. SalvageBlock never fails; a hopeless block yields no records.
+// intact reports whether the whole block verified.
+func SalvageBlock(buf []byte) (recs []*Record, intact bool) {
+	if len(buf) < blockHdrLen {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	intact = crc32.Checksum(buf[blockHdrLen:], castagnoli) == binary.LittleEndian.Uint32(buf[4:])
+	body := buf[blockHdrLen:]
+	prealloc := int(n)
+	if max := len(body) / wireRecLen; prealloc > max {
+		prealloc = max
+	}
+	recs = make([]*Record, 0, prealloc)
+	for i := uint32(0); i < n; i++ {
+		r, rest, err := Decode(body)
+		if err != nil {
+			return recs, false
+		}
+		recs = append(recs, r)
+		body = rest
+	}
+	if intact && len(body) != 0 {
+		intact = false // count header inconsistent with the byte count
+	}
+	return recs, intact
 }

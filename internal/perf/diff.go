@@ -119,6 +119,29 @@ func FormatDeltas(deltas []Delta, tol float64, verbose bool) string {
 	return b.String()
 }
 
+// FailureSummary renders the single actionable line for a failed gate:
+// every offending metric by name with both values, so a CI log's last line
+// says exactly what moved without scrolling back through the table.
+// Returns "" when no gated metric exceeded tolerance.
+func FailureSummary(deltas []Delta) string {
+	var parts []string
+	for _, d := range deltas {
+		if !d.Exceeds {
+			continue
+		}
+		name := d.Suite + "/" + d.Metric
+		if d.Missing {
+			parts = append(parts, fmt.Sprintf("%s missing (base %.4g)", name, d.Base))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.4g -> %.4g (%+.1f%%)", name, d.Base, d.New, d.Rel*100))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("FAIL: %d gated metric(s) past tolerance: %s", len(parts), strings.Join(parts, ", "))
+}
+
 func gateTag(d Delta) string {
 	if d.Informational {
 		return " (informational)"

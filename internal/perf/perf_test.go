@@ -162,6 +162,39 @@ func TestFormatDeltas(t *testing.T) {
 	}
 }
 
+func TestFailureSummaryNamesOffendersWithBothValues(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Set("fig456", "el_blocks_5pct", 50) // 34 -> 50: +47%
+	deltas, regressed := Diff(base, cur, 0.15)
+	if !regressed {
+		t.Fatal("regression not flagged")
+	}
+	sum := FailureSummary(deltas)
+	for _, want := range []string{"FAIL: 1 gated metric(s)", "fig456/el_blocks_5pct", "34", "50", "+47.1%"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+	if strings.Contains(sum, "fw_blocks_5pct") {
+		t.Fatalf("summary %q names a within-tolerance metric", sum)
+	}
+
+	// A missing gated metric is named with its baseline value.
+	cur2 := sampleReport()
+	delete(cur2.Suites["fig456"], "el_blocks_5pct")
+	deltas2, _ := Diff(base, cur2, 0.15)
+	sum2 := FailureSummary(deltas2)
+	if !strings.Contains(sum2, "el_blocks_5pct missing (base 34)") {
+		t.Fatalf("missing-metric summary wrong: %q", sum2)
+	}
+
+	// No failures, no line.
+	clean, _ := Diff(base, sampleReport(), 0.15)
+	if s := FailureSummary(clean); s != "" {
+		t.Fatalf("clean diff produced a failure summary: %q", s)
+	}
+}
+
 func TestMeasureEngineZeroAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full benchmark; skipped with -short")

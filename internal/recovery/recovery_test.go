@@ -243,14 +243,123 @@ func crashAndRecoverBlocks(t *testing.T, sizes []int) Result {
 	return res
 }
 
-func TestCorruptBlockDetected(t *testing.T) {
+func TestCorruptBlockSkippedAndCounted(t *testing.T) {
 	eng := sim.NewEngine(1, 2)
 	dev := blockdev.New(eng, sim.Millisecond)
-	blk := dev.Alloc(0)
-	dev.Write(blk, []byte{1, 2, 3}, nil)
+	// One garbage block and one valid block: recovery must not abort on the
+	// checksum failure — it counts the block as torn, salvages nothing from
+	// it, and still recovers the valid block's committed update.
+	bad := dev.Alloc(0)
+	dev.Write(bad, []byte{1, 2, 3}, nil)
+	good := dev.Alloc(0)
+	recs := []*logrec.Record{
+		logrec.NewDataRecord(2, 1, 1, 100, 100),
+		logrec.NewTxRecord(3, 2, logrec.KindCommit, 1, 8),
+	}
+	dev.Write(good, logrec.EncodeBlock(recs), nil)
 	eng.Run(sim.Second)
-	if _, _, err := Recover(dev, statedb.New(), 0); err == nil {
-		t.Fatal("corrupt block not detected")
+	recovered, res, err := Recover(dev, statedb.New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TornBlocks != 1 || res.SalvagedRecs != 0 {
+		t.Fatalf("torn=%d salvaged=%d, want 1/0", res.TornBlocks, res.SalvagedRecs)
+	}
+	if _, ok := recovered.Get(100); !ok {
+		t.Fatal("valid block's update lost because a corrupt block was present")
+	}
+	if len(res.WinnerTxs) != 1 || res.WinnerTxs[0] != 1 {
+		t.Fatalf("WinnerTxs = %v, want [1]", res.WinnerTxs)
+	}
+}
+
+// A deliberately torn final block — a crash mid-write deposited only a
+// prefix of the new bytes — recovers to its salvaged prefix: transactions
+// whose COMMIT survived in the prefix win, a COMMIT in the lost suffix
+// loses, and a bit flip inside the prefix discards from that record on.
+func TestRecoveryOverTornFinalBlock(t *testing.T) {
+	mk := func() (*sim.Engine, *blockdev.Device, blockdev.BlockID, []byte) {
+		eng := sim.NewEngine(1, 2)
+		dev := blockdev.New(eng, sim.Millisecond)
+		blk := dev.Alloc(0)
+		full := logrec.EncodeBlock([]*logrec.Record{
+			logrec.NewDataRecord(2, 1, 1, 100, 100),
+			logrec.NewTxRecord(3, 2, logrec.KindCommit, 1, 8),
+			logrec.NewDataRecord(4, 3, 2, 200, 100),
+			logrec.NewTxRecord(5, 4, logrec.KindCommit, 2, 8),
+		})
+		return eng, dev, blk, full
+	}
+
+	// Tear between tx 1's COMMIT and tx 2's records: issue the write and
+	// tear it so only the first half reaches the platter.
+	eng, dev, blk, full := mk()
+	dev.Write(blk, full, nil)
+	// The wire layout is a fixed header followed by four equal-size records;
+	// cut mid-way through the third record so exactly tx 1's data and COMMIT
+	// survive in the prefix.
+	perRec := (len(full) - 8) / 4
+	cut := 8 + 2*perRec + perRec/2
+	frac := float64(cut) / float64(len(full))
+	if id, ok := dev.TearOldestInFlight(frac); !ok || id != blk {
+		t.Fatalf("tear failed: id=%d ok=%v", id, ok)
+	}
+	recovered, res, err := Recover(dev, statedb.New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TornBlocks != 1 {
+		t.Fatalf("TornBlocks = %d, want 1", res.TornBlocks)
+	}
+	if res.SalvagedRecs == 0 {
+		t.Fatal("nothing salvaged from the torn block's prefix")
+	}
+	if _, ok := recovered.Get(100); !ok {
+		t.Fatal("tx 1 committed in the salvaged prefix but its update was lost")
+	}
+	if _, ok := recovered.Get(200); ok {
+		t.Fatal("tx 2's COMMIT was in the lost suffix but its update leaked")
+	}
+	_ = eng
+
+	// A bit flip inside an otherwise-complete block: salvage stops at the
+	// flipped record; everything before it survives.
+	eng2, dev2, blk2, full2 := mk()
+	dev2.Write(blk2, full2, nil)
+	eng2.Run(sim.Second)
+	raw := dev2.Read(blk2)
+	raw[len(raw)-10] ^= 0x40 // clobber the last record
+	recovered2, res2, err := Recover(dev2, statedb.New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TornBlocks != 1 {
+		t.Fatalf("TornBlocks = %d, want 1", res2.TornBlocks)
+	}
+	if _, ok := recovered2.Get(100); !ok {
+		t.Fatal("corruption in a later record destroyed an earlier valid one")
+	}
+	if _, ok := recovered2.Get(200); ok {
+		t.Fatal("tx 2 won although its COMMIT record was corrupted")
+	}
+}
+
+func TestMismatchErrorFormatting(t *testing.T) {
+	cases := []struct {
+		err  *MismatchError
+		want string
+	}{
+		{&MismatchError{Obj: 7, Want: 12, Missing: true},
+			"recovery: committed update lost: object 7, want LSN 12"},
+		{&MismatchError{Obj: 8, Got: 33, Extra: true},
+			"recovery: uncommitted state leaked: object 8 at LSN 33"},
+		{&MismatchError{Obj: 9, Want: 5, Got: 4},
+			"recovery: object 9 recovered at LSN 4, committed LSN 5"},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
 	}
 }
 

@@ -41,6 +41,12 @@ const (
 	EvKill
 	// EvResize: a generation grew or shrank (adaptive or emergency).
 	EvResize
+	// EvFault: the fault plan injected a fault (N encodes the fault kind
+	// as internal/fault.FaultKind).
+	EvFault
+	// EvRetry: a failed block write is being retried (N is the attempt
+	// number that failed).
+	EvRetry
 )
 
 // String names the event kind.
@@ -68,6 +74,10 @@ func (k Kind) String() string {
 		return "kill"
 	case EvResize:
 		return "resize"
+	case EvFault:
+		return "fault"
+	case EvRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -115,7 +125,7 @@ type Ring struct {
 	next  int
 	total uint64
 	// KindCount tallies events by kind for assertions and summaries.
-	counts [EvResize + 1]uint64
+	counts [EvRetry + 1]uint64
 }
 
 // NewRing returns a sink retaining up to n events.

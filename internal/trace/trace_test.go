@@ -9,7 +9,8 @@ import (
 
 func TestKindString(t *testing.T) {
 	kinds := []Kind{EvAppend, EvSeal, EvDurable, EvForward, EvRecirculate,
-		EvDiscard, EvFlush, EvForceFlush, EvCommit, EvKill, EvResize}
+		EvDiscard, EvFlush, EvForceFlush, EvCommit, EvKill, EvResize,
+		EvFault, EvRetry}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -108,6 +109,48 @@ func TestFuncSink(t *testing.T) {
 	s.Emit(Event{Kind: EvSeal})
 	if len(got) != 1 || got[0].Kind != EvSeal {
 		t.Fatal("func sink did not receive the event")
+	}
+}
+
+// Interleaved fault and ordinary events across several wraparounds come
+// back from Tail in exact emission order, and the per-kind counts include
+// evicted events.
+func TestRingWraparoundPreservesOrderWithFaultEvents(t *testing.T) {
+	const capN = 5
+	r := NewRing(capN)
+	kinds := []Kind{EvSeal, EvFault, EvDurable, EvRetry, EvKill, EvFault, EvAppend}
+	total := 3*capN + 2 // several wraps, landing mid-buffer
+	for i := 0; i < total; i++ {
+		r.Emit(Event{Kind: kinds[i%len(kinds)], N: i})
+	}
+	if r.Total() != uint64(total) {
+		t.Fatalf("Total = %d, want %d", r.Total(), total)
+	}
+	tail := r.Tail(capN)
+	if len(tail) != capN {
+		t.Fatalf("Tail returned %d events", len(tail))
+	}
+	for i, e := range tail {
+		wantN := total - capN + i
+		if e.N != wantN || e.Kind != kinds[wantN%len(kinds)] {
+			t.Fatalf("tail[%d] = {kind %v, n %d}, want {kind %v, n %d}",
+				i, e.Kind, e.N, kinds[wantN%len(kinds)], wantN)
+		}
+	}
+	// Counts survive eviction: every emitted EvFault/EvRetry is tallied even
+	// though the ring retains only the last capN events.
+	var wantFault, wantRetry uint64
+	for i := 0; i < total; i++ {
+		switch kinds[i%len(kinds)] {
+		case EvFault:
+			wantFault++
+		case EvRetry:
+			wantRetry++
+		}
+	}
+	if r.Count(EvFault) != wantFault || r.Count(EvRetry) != wantRetry {
+		t.Fatalf("fault/retry counts = %d/%d, want %d/%d",
+			r.Count(EvFault), r.Count(EvRetry), wantFault, wantRetry)
 	}
 }
 

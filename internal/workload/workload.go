@@ -127,11 +127,12 @@ type Stats struct {
 }
 
 type txRun struct {
-	typ     *TxType
-	killed  bool
-	durable bool
-	began   sim.Time
-	writes  map[logrec.OID]logrec.LSN
+	typ          *TxType
+	killed       bool
+	commitIssued bool // COMMIT record handed to the log manager
+	durable      bool // group-commit acknowledgement received (t4)
+	began        sim.Time
+	writes       map[logrec.OID]logrec.LSN
 }
 
 // Generator initiates transactions against a LogManager on a simulation
@@ -273,6 +274,7 @@ func (g *Generator) commit(tid logrec.TxID) {
 	if run.killed {
 		return
 	}
+	run.commitIssued = true
 	g.lm.Commit(tid, func() {
 		run.durable = true
 		g.committed.Inc()
@@ -326,3 +328,30 @@ func (g *Generator) Oracle() map[logrec.OID]logrec.LSN { return g.oracle }
 // ActiveHeld reports how many objects are currently locked by active
 // transactions (used by tests of the paper's unique-oid draw).
 func (g *Generator) ActiveHeld() int { return len(g.held) }
+
+// TxInfo describes one transaction's progress at the time of the call —
+// crash-campaign harnesses use it to decide whether a transaction that
+// recovery reports as a winner was legitimately commit-pending at the
+// crash. The Writes map is live; callers must not mutate it.
+type TxInfo struct {
+	Known        bool
+	CommitIssued bool // COMMIT record handed to the log manager
+	Acked        bool // group-commit acknowledgement received (t4)
+	Killed       bool
+	Writes       map[logrec.OID]logrec.LSN
+}
+
+// TxInfo reports the progress of one transaction (zero value if unknown).
+func (g *Generator) TxInfo(tid logrec.TxID) TxInfo {
+	run, ok := g.txs[tid]
+	if !ok {
+		return TxInfo{}
+	}
+	return TxInfo{
+		Known:        true,
+		CommitIssued: run.commitIssued,
+		Acked:        run.durable,
+		Killed:       run.killed,
+		Writes:       run.writes,
+	}
+}
