@@ -35,9 +35,11 @@ import (
 	"ellog/internal/config"
 	"ellog/internal/fault"
 	"ellog/internal/harness"
+	"ellog/internal/obs"
 	"ellog/internal/recovery"
 	"ellog/internal/runner"
 	"ellog/internal/sim"
+	"ellog/internal/trace"
 )
 
 func main() {
@@ -149,6 +151,26 @@ func runChaos(cfg config.SimConfig, hcfg harness.Config, fc fault.Config, verbos
 	if err != nil {
 		fatal(err)
 	}
+	// Chaos runs are deliberately small, so recording the complete event
+	// stream is cheap; a failing run can then be dumped byte-for-byte and
+	// triaged offline with eltrace, instead of rerunning under a debugger.
+	ring := trace.NewRing(2048)
+	capture := &obs.Capture{}
+	sink := obs.Multi(ring, capture)
+	live.Setup.LM.SetTracer(sink)
+	plan.SetTracer(sink)
+	fail := func(format string, args ...any) {
+		fmt.Printf(format, args...)
+		fmt.Printf("--- last 40 trace events ---\n%s", ring.Dump(40))
+		path := fmt.Sprintf("elchaos-chaos-seed%d.jsonl", hcfg.Seed)
+		if werr := obs.WriteJSONLFile(path, capture.Events); werr != nil {
+			fmt.Fprintln(os.Stderr, "elchaos: writing trace dump:", werr)
+		} else {
+			fmt.Printf("full trace (%d events) written to %s (inspect with: go run ./cmd/eltrace -in %s)\n",
+				len(capture.Events), path, path)
+		}
+		os.Exit(1)
+	}
 	fmt.Printf("chaos: %s, generations %v, %s, seed %d; fault seed %d (write-fail %.3f, corrupt %.3f, slow %.3f, stall %.3f)\n",
 		strings.ToUpper(cfg.Mode), cfg.Generations,
 		sim.Time(cfg.RuntimeS*float64(sim.Second)), hcfg.Seed,
@@ -171,13 +193,11 @@ func runChaos(cfg config.SimConfig, hcfg harness.Config, fc fault.Config, verbos
 			ws.Started, ws.Committed, ws.Killed, ws.EndToEndMean, ws.EndToEndP99)
 	}
 	if err := live.Setup.LM.CheckInvariants(); err != nil {
-		fmt.Printf("verdict: FAIL — manager invariants violated after chaos: %v\n", err)
-		os.Exit(1)
+		fail("verdict: FAIL — manager invariants violated after chaos: %v\n", err)
 	}
 	recovered, rres, err := recovery.Recover(live.Setup.Dev, live.Setup.DB, 0)
 	if err != nil {
-		fmt.Printf("verdict: FAIL — recovery died on the chaos image: %v\n", err)
-		os.Exit(1)
+		fail("verdict: FAIL — recovery died on the chaos image: %v\n", err)
 	}
 	fmt.Printf("recovery: %d blocks read, %d torn/corrupt blocks detected, %d records salvaged, %d winners\n",
 		rres.BlocksRead, rres.TornBlocks, rres.SalvagedRecs, rres.Winners)
@@ -188,8 +208,7 @@ func runChaos(cfg config.SimConfig, hcfg harness.Config, fc fault.Config, verbos
 		return
 	}
 	if err := recovery.VerifyOracle(recovered, live.Gen.Oracle()); err != nil {
-		fmt.Printf("verdict: FAIL — acknowledged commit lost under chaos: %v\n", err)
-		os.Exit(1)
+		fail("verdict: FAIL — acknowledged commit lost under chaos: %v\n", err)
 	}
 	fmt.Printf("verdict: PASS — all %d acknowledged commits recovered exactly\n", ws.Committed)
 }
@@ -217,6 +236,20 @@ func runCampaign(hcfg harness.Config, tornFracs string, maxPoints, workers int) 
 	fmt.Print(res)
 	fmt.Printf("(%v wall clock)\n", time.Since(start).Round(time.Millisecond))
 	if !res.Passed() {
+		// A sweep keeps no traces — points are too numerous — so rerun the
+		// first failing point alone with a capture sink and dump its full
+		// event stream for eltrace.
+		f := res.Failures[0]
+		capture := &obs.Capture{}
+		path := fmt.Sprintf("elchaos-point%d.jsonl", f.Point.Index)
+		if _, _, rerr := fault.TracePoint(ccfg, f.Point, capture); rerr != nil {
+			fmt.Fprintln(os.Stderr, "elchaos: replaying failing point:", rerr)
+		} else if werr := obs.WriteJSONLFile(path, capture.Events); werr != nil {
+			fmt.Fprintln(os.Stderr, "elchaos: writing trace dump:", werr)
+		} else {
+			fmt.Printf("first failure (%v) replayed: %d events written to %s (inspect with: go run ./cmd/eltrace -in %s)\n",
+				f.Point, len(capture.Events), path, path)
+		}
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -24,6 +25,8 @@ import (
 	"ellog/internal/config"
 	"ellog/internal/fault"
 	"ellog/internal/harness"
+	"ellog/internal/metrics"
+	"ellog/internal/obs"
 	"ellog/internal/runner"
 	"ellog/internal/sim"
 	"ellog/internal/trace"
@@ -44,6 +47,11 @@ func main() {
 		traceN     = flag.Int("trace", 0, "dump the last N logging-manager trace events")
 		seeds      = flag.Int("seeds", 1, "fan the configuration across this many consecutive seeds")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations when -seeds > 1 (0 = GOMAXPROCS)")
+		traceOut   = flag.String("trace-out", "", "stream every trace event to this file (inspect with eltrace)")
+		traceFmt   = flag.String("trace-format", "", "trace-out format: jsonl (default) or binary")
+		probesOut  = flag.String("probes-out", "", "sample standard probes and write the series JSON to this file")
+		probeMS    = flag.Int64("probe-ms", 0, "probe sampling cadence in simulated ms (default 100)")
+		plot       = flag.String("plot", "", "after the run, ASCII-plot the first sampled series whose name contains this substring (needs -probes-out)")
 	)
 	flag.Parse()
 
@@ -96,6 +104,24 @@ func main() {
 		cfg.FlushTransferMS = *flushMS
 	}
 
+	// Observability: the config's section is the base; flags override.
+	var ocfg obs.Config
+	if cfg.Observability != nil {
+		ocfg = cfg.Observability.ToObs()
+	}
+	if *traceOut != "" {
+		ocfg.TracePath = *traceOut
+	}
+	if *traceFmt != "" {
+		ocfg.TraceFormat = *traceFmt
+	}
+	if *probesOut != "" {
+		ocfg.ProbesPath = *probesOut
+	}
+	if *probeMS > 0 {
+		ocfg.SampleInterval = sim.Time(*probeMS) * sim.Millisecond
+	}
+
 	hcfg, err := cfg.ToHarness()
 	if err != nil {
 		fatal(err)
@@ -103,6 +129,9 @@ func main() {
 	if *seeds > 1 {
 		if *traceN > 0 {
 			fatal(fmt.Errorf("-trace needs a single run; drop -seeds"))
+		}
+		if ocfg.Armed() {
+			fatal(fmt.Errorf("-trace-out/-probes-out need a single run; drop -seeds"))
 		}
 		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
 			fatal(fmt.Errorf("fault injection needs a single run; drop -seeds (or use elchaos)"))
@@ -117,10 +146,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	observer, err := obs.New(live.Setup, ocfg)
+	if err != nil {
+		fatal(err)
+	}
+	// One composed sink feeds both the flight-recorder ring and the
+	// streaming trace file; nil stays nil so an unobserved run keeps the
+	// manager's hot path gate closed. The ring only enters the composition
+	// when armed — a nil *Ring in a Sink slot would be a non-nil interface.
 	var ring *trace.Ring
+	var ringSink trace.Sink
 	if *traceN > 0 {
 		ring = trace.NewRing(*traceN)
-		live.Setup.LM.SetTracer(ring)
+		ringSink = ring
+	}
+	sink := obs.Multi(ringSink, observer.Sink())
+	if sink != nil {
+		live.Setup.LM.SetTracer(sink)
 	}
 	// Arm the fault plan only when the configuration asks for one; a run
 	// with no (or an all-zero) faults section is byte-identical to a build
@@ -132,8 +174,8 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if ring != nil {
-				plan.SetTracer(ring)
+			if sink != nil {
+				plan.SetTracer(sink)
 			}
 			fmt.Printf("fault plan armed: seed %d, write-fail %.3f, corrupt %.3f, slow %.3f, stall %.3f\n",
 				fc.Seed, fc.WriteFailProb, fc.CorruptProb, fc.SlowProb, fc.StallProb)
@@ -151,12 +193,39 @@ func main() {
 		ws := res.Workload
 		fmt.Printf("workload: %d started, %d committed, %d killed; end-to-end mean %.3fs p99 %.3fs\n",
 			ws.Started, ws.Committed, ws.Killed, ws.EndToEndMean, ws.EndToEndP99)
-		for name, n := range ws.PerType {
-			fmt.Printf("  %-12s %d\n", name, n)
+		names := make([]string, 0, len(ws.PerType))
+		for name := range ws.PerType {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-12s %d\n", name, ws.PerType[name])
 		}
 	}
 	if ring != nil {
 		fmt.Printf("--- last %d trace events ---\n%s", *traceN, ring.Dump(*traceN))
+	}
+	if s := observer.Sampler(); s != nil {
+		fmt.Printf("probes: %d series, %d ticks at %v cadence -> %s\n",
+			len(s.Series()), s.Ticks(), s.Interval(), ocfg.ProbesPath)
+		if *plot != "" {
+			if sr, ok := s.Find(*plot); ok {
+				pts := metrics.Series{Name: sr.Name}
+				for _, p := range sr.Points {
+					pts.Add(p.At.Seconds(), p.Mean)
+				}
+				fmt.Print(metrics.AsciiPlot(sr.Name, 72, 14, pts))
+			} else {
+				fmt.Printf("no sampled series matches %q\n", *plot)
+			}
+		}
+	}
+	if err := observer.Close(); err != nil {
+		fatal(err)
+	}
+	if ocfg.TracePath != "" {
+		fmt.Printf("trace streamed to %s (inspect with: go run ./cmd/eltrace -in %s)\n",
+			ocfg.TracePath, ocfg.TracePath)
 	}
 	if res.Insufficient() {
 		fmt.Println("verdict: INSUFFICIENT disk space for this workload")

@@ -178,6 +178,23 @@ func (c *Controller) tick() {
 	c.eng.After(c.cfg.Epoch, c.tick)
 }
 
+// ProbeRegistry is the subset of the observability sampler the
+// controller registers against — declared locally so this package does
+// not depend on the observability layer (*obs.Sampler satisfies it).
+type ProbeRegistry interface {
+	Register(name string, fn func() float64)
+}
+
+// RegisterProbes exposes the controller's activity as sampled series:
+// cumulative blocks grown/shrunk and the decision count, so a probe dump
+// shows *when* the controller resized, not just the end-of-run totals
+// (generation sizes themselves are standard probes already).
+func (c *Controller) RegisterProbes(r ProbeRegistry) {
+	r.Register("adaptive/grown_blocks", func() float64 { return float64(c.grownTotal) })
+	r.Register("adaptive/shrunk_blocks", func() float64 { return float64(c.shrunk) })
+	r.Register("adaptive/decisions", func() float64 { return float64(len(c.decisions)) })
+}
+
 // Decisions returns the resize history.
 func (c *Controller) Decisions() []Decision { return c.decisions }
 

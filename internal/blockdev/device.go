@@ -258,6 +258,10 @@ func (d *Device) InFlight() int {
 // NumBlocks reports how many blocks have been allocated.
 func (d *Device) NumBlocks() int { return len(d.blocks) }
 
+// Writes reports the attempted block writes so far. Unlike Stats it
+// allocates nothing, so probes can read it once per sample tick.
+func (d *Device) Writes() uint64 { return d.stats.Writes }
+
 // Stats returns a copy of the device counters.
 func (d *Device) Stats() Stats {
 	out := Stats{Writes: d.stats.Writes, Bytes: d.stats.Bytes, Failed: d.stats.Failed,

@@ -13,6 +13,7 @@ import (
 	"ellog/internal/core"
 	"ellog/internal/fault"
 	"ellog/internal/harness"
+	"ellog/internal/obs"
 	"ellog/internal/sim"
 	"ellog/internal/workload"
 )
@@ -58,6 +59,37 @@ type SimConfig struct {
 	// parameters deliberately live outside the harness configuration so
 	// result-cache keys and seed fan-outs are unaffected by them.
 	Faults *FaultsJSON `json:"faults,omitempty"`
+
+	// Observability optionally arms the internal/obs layer (probe sampler
+	// + streaming trace export). Like Faults it lives outside the harness
+	// configuration: sampling and streaming never change a run's results,
+	// so they must not change its cache identity either.
+	Observability *ObsJSON `json:"observability,omitempty"`
+}
+
+// ObsJSON is the JSON form of an observability configuration.
+type ObsJSON struct {
+	// SampleIntervalMS is the probe cadence (default 100 ms).
+	SampleIntervalMS int64 `json:"sample_interval_ms,omitempty"`
+	// MaxPoints bounds each sampled series (default 512).
+	MaxPoints int `json:"max_points,omitempty"`
+	// TracePath streams every trace event to this file.
+	TracePath string `json:"trace_path,omitempty"`
+	// TraceFormat is "jsonl" (default) or "binary".
+	TraceFormat string `json:"trace_format,omitempty"`
+	// ProbesPath writes the sampled series snapshot to this file.
+	ProbesPath string `json:"probes_path,omitempty"`
+}
+
+// ToObs converts to the obs package's native configuration.
+func (o ObsJSON) ToObs() obs.Config {
+	return obs.Config{
+		SampleInterval: sim.Time(o.SampleIntervalMS) * sim.Millisecond,
+		MaxPoints:      o.MaxPoints,
+		TracePath:      o.TracePath,
+		TraceFormat:    o.TraceFormat,
+		ProbesPath:     o.ProbesPath,
+	}
 }
 
 // FaultsJSON is the JSON form of a fault plan (durations in milliseconds).

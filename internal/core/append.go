@@ -77,6 +77,7 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 	}
 	b.free -= c.rec.Size
 	b.recs = append(b.recs, c.rec)
+	src := c.gen
 	c.gen = gi
 	c.arrived = m.now()
 	g.epochIn++
@@ -84,9 +85,14 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 	if origin != nil {
 		origin.refugees++
 		b.origins = append(b.origins, origin)
+		// Record-level move trail: Gen is where the record came from, N
+		// where it landed (equal for recirculation).
+		m.emit(trace.Event{Kind: trace.EvMove, Gen: src, Tx: c.rec.Tx, Obj: c.rec.Obj, LSN: c.rec.LSN, N: gi})
 		return
 	}
-	m.emit(trace.Event{Kind: trace.EvAppend, Gen: gi, Tx: c.rec.Tx, Obj: c.rec.Obj, LSN: c.rec.LSN})
+	// N carries the record kind so trace consumers can tell BEGIN/COMMIT
+	// appends from data appends without guessing from Obj (0 is a legal OID).
+	m.emit(trace.Event{Kind: trace.EvAppend, Gen: gi, Tx: c.rec.Tx, Obj: c.rec.Obj, LSN: c.rec.LSN, N: int(c.rec.Kind)})
 	if c.rec.Kind == logrec.KindCommit {
 		b.commits = append(b.commits, c.tx)
 		m.armGroupCommitTimeout(g, b)

@@ -135,6 +135,28 @@ func (m *Manager) Stats() Stats {
 	return s
 }
 
+// --- probe accessors ---------------------------------------------------
+//
+// Cheap O(1) reads for the observability sampler. Stats() allocates (it
+// copies device maps and builds slices), which is too heavy to call once
+// per sample tick; these read single fields instead.
+
+// GenUsed reports the blocks currently occupied in generation i.
+func (m *Manager) GenUsed(i int) int { return m.gens[i].used }
+
+// GenLiveCells reports the non-garbage records tracked in generation i.
+func (m *Manager) GenLiveCells(i int) int { return m.gens[i].list.len() }
+
+// LOTLen reports the current log object table occupancy.
+func (m *Manager) LOTLen() int { return m.lot.Len() }
+
+// LTTLen reports the current log transaction table occupancy.
+func (m *Manager) LTTLen() int { return m.ltt.Len() }
+
+// MemBytes reports the paper-model main memory in use right now
+// (MemPerTx per LTT entry plus MemPerObj per LOT entry).
+func (m *Manager) MemBytes() float64 { return m.memGauge.Value() }
+
 // String renders a compact human-readable report.
 func (s Stats) String() string {
 	var b strings.Builder

@@ -223,7 +223,7 @@ func RunCampaign(cfg CampaignConfig, pool *runner.Pool) (CampaignResult, error) 
 	outcomes := make([]outcome, len(points))
 	err = pool.ForEach(len(points), func(i int) error {
 		return pool.Do(func() error {
-			rres, verr, berr := runPoint(cfg, points[i])
+			rres, verr, berr := runPoint(cfg, points[i], nil)
 			if berr != nil {
 				return berr
 			}
@@ -256,10 +256,24 @@ func RunCampaign(cfg CampaignConfig, pool *runner.Pool) (CampaignResult, error) 
 	return res, nil
 }
 
+// TracePoint replays one crash point exactly as the campaign would,
+// streaming every trace event up to (and including) the crash trigger to
+// sink. A campaign run keeps no traces — points are too numerous — so
+// this is the diagnosis hook: rerun the one failing point and dump its
+// full event stream for eltrace. The returned triple matches runPoint.
+func TracePoint(cfg CampaignConfig, pt Point, sink trace.Sink) (recovery.Result, error, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return recovery.Result{}, nil, err
+	}
+	return runPoint(cfg, pt, sink)
+}
+
 // runPoint replays the base run, crashes it at the point, recovers, and
-// verifies. The returned error triple is (recovery result, property
-// violation, infrastructure error).
-func runPoint(cfg CampaignConfig, pt Point) (recovery.Result, error, error) {
+// verifies, forwarding events to sink when one is given. The returned
+// error triple is (recovery result, property violation, infrastructure
+// error).
+func runPoint(cfg CampaignConfig, pt Point, sink trace.Sink) (recovery.Result, error, error) {
 	live, err := harness.Build(cfg.Base)
 	if err != nil {
 		return recovery.Result{}, nil, err
@@ -270,6 +284,9 @@ func runPoint(cfg CampaignConfig, pt Point) (recovery.Result, error, error) {
 	}
 	n := 0
 	live.Setup.LM.SetTracer(trace.Func(func(e trace.Event) {
+		if sink != nil {
+			sink.Emit(e)
+		}
 		if e.Kind == trigger {
 			n++
 			if n == pt.K {

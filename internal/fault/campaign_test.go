@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ellog/internal/runner"
+	"ellog/internal/trace"
 )
 
 func TestCampaignRejectsRecirculation(t *testing.T) {
@@ -64,6 +65,42 @@ func TestCampaignParallelMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("parallel and sequential campaigns diverged:\n%+v\nvs\n%+v", seq, par)
+	}
+}
+
+// TracePoint replays one point with a sink attached: the sink must see
+// the event stream up to the crash, and the verdict must match the
+// campaign's own run of the same point.
+func TestTracePointStreamsEvents(t *testing.T) {
+	cfg := CampaignConfig{Base: campaignBase(23)}
+	var got []trace.Event
+	sink := trace.Func(func(e trace.Event) { got = append(got, e) })
+	rres, verr, berr := TracePoint(cfg, Point{Kind: PointClean, K: 3}, sink)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	if verr != nil {
+		t.Fatalf("clean point 3 violated the property: %v", verr)
+	}
+	if rres.BlocksRead == 0 {
+		t.Fatal("recovery read nothing")
+	}
+	durables, lastDur := 0, -1
+	for i, e := range got {
+		if e.Kind == trace.EvDurable {
+			durables++
+			lastDur = i
+		}
+	}
+	if durables != 3 {
+		t.Fatalf("sink saw %d durables, want exactly 3 (crash at the 3rd)", durables)
+	}
+	// Stop() fires inside the 3rd durable's dispatch, so anything after it
+	// is that event's synchronous effects (acks) at the same instant.
+	for _, e := range got[lastDur:] {
+		if e.At != got[lastDur].At {
+			t.Fatalf("event %v dispatched after the crash trigger", e)
+		}
 	}
 }
 

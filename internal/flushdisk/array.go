@@ -271,6 +271,12 @@ func circDist(a, b, lo, span uint64) uint64 {
 // PendingCount reports the current backlog across all drives.
 func (a *Array) PendingCount() int { return a.pendingNow }
 
+// Flushes reports scheduled flushes completed so far (cheap probe read).
+func (a *Array) Flushes() uint64 { return a.flushes }
+
+// Forced reports out-of-band force-flushes so far (cheap probe read).
+func (a *Array) Forced() uint64 { return a.forced }
+
 // Stats returns current aggregate statistics. elapsed must be the current
 // simulated time (used for utilization).
 func (a *Array) Stats(elapsed sim.Time) Stats {

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotPointlessSeries(t *testing.T) {
+	var s Series
+	s.Name = "nothing"
+	out := AsciiPlot("still empty", 40, 10, s)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("plot of pointless series = %q", out)
+	}
+}
+
+func TestAsciiPlotSingleSeries(t *testing.T) {
+	var s Series
+	s.Name = "ramp"
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	out := AsciiPlot("ramp test", 40, 10, s)
+	if !strings.Contains(out, "ramp test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* ramp") {
+		t.Fatalf("legend missing: %q", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data markers plotted")
+	}
+	// Axis labels span the data: y max is 81, x runs 0..9.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "9") {
+		t.Fatalf("x-axis labels missing: %q", out)
+	}
+	// Every grid row is framed by the axis gutter.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Fatalf("plot has %d grid rows, want 10", rows)
+	}
+}
+
+func TestAsciiPlotMultiSeriesMarkers(t *testing.T) {
+	var a, b Series
+	a.Name = "first"
+	b.Name = "second"
+	for i := 0; i < 5; i++ {
+		a.Add(float64(i), 1)
+		b.Add(float64(i), 2)
+	}
+	out := AsciiPlot("", 30, 8, a, b)
+	if !strings.Contains(out, "* first") || !strings.Contains(out, "o second") {
+		t.Fatalf("legend markers wrong: %q", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("second series marker not plotted")
+	}
+}
+
+func TestAsciiPlotOverlapMarker(t *testing.T) {
+	var a, b Series
+	a.Name = "x"
+	b.Name = "y"
+	a.Add(1, 1)
+	b.Add(1, 1)
+	out := AsciiPlot("", 20, 6, a, b)
+	if !strings.Contains(out, "&") {
+		t.Fatalf("overlapping points not marked with &: %q", out)
+	}
+}
+
+func TestAsciiPlotClampedDimensions(t *testing.T) {
+	var s Series
+	s.Name = "dot"
+	s.Add(3, 7)
+	// Tiny dimensions are clamped to the minimums (16x5).
+	out := AsciiPlot("tiny", 1, 1, s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows++
+		}
+	}
+	if rows != 5 {
+		t.Fatalf("clamped plot has %d rows, want 5", rows)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if got := trimFloat(3); got != "3" {
+		t.Fatalf("trimFloat(3) = %q", got)
+	}
+	if got := trimFloat(3.14159); got != "3.14" {
+		t.Fatalf("trimFloat(3.14159) = %q", got)
+	}
+	if got := trimFloat(2e12); got != "2e+12" {
+		t.Fatalf("trimFloat(2e12) = %q", got)
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramMergeBasic(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(3)
+	b.Observe(2)
+	b.Observe(4)
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", a.Count())
+	}
+	if a.Mean() != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", a.Mean())
+	}
+	if a.Max() != 4 {
+		t.Fatalf("Max = %v, want 4", a.Max())
+	}
+	// The source is untouched.
+	if b.Count() != 2 || b.Mean() != 3 {
+		t.Fatalf("source histogram mutated: count=%d mean=%v", b.Count(), b.Mean())
+	}
+}
+
+func TestHistogramMergeNilAndEmpty(t *testing.T) {
+	var a Histogram
+	a.Observe(5)
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatalf("merge of nil/empty changed the histogram: count=%d", a.Count())
+	}
+	// Merging into an empty histogram copies the source.
+	var dst Histogram
+	dst.Merge(&a)
+	if dst.Count() != 1 || dst.Max() != 5 {
+		t.Fatalf("merge into empty: count=%d max=%v", dst.Count(), dst.Max())
+	}
+}
+
+// Property: for any two sample sets, quantiles of the merged histogram
+// equal quantiles of a histogram observing the concatenation directly —
+// even when the operands were sorted (queried) before merging.
+func TestHistogramMergeQuantilesEqualConcat(t *testing.T) {
+	prop := func(xs, ys []float64, seed int64) bool {
+		var a, b, concat Histogram
+		// Fold generated values into a well-conditioned range: with raw
+		// ~1e308 magnitudes the concatenated sum overflows or cancels
+		// catastrophically, which tests float addition, not Merge.
+		for _, v := range xs {
+			v = math.Mod(v, 1e6)
+			a.Observe(v)
+			concat.Observe(v)
+		}
+		for _, v := range ys {
+			v = math.Mod(v, 1e6)
+			b.Observe(v)
+			concat.Observe(v)
+		}
+		// Query before merging so lazily-sorted internals are exercised.
+		rng := rand.New(rand.NewSource(seed))
+		if rng.Intn(2) == 0 {
+			a.Quantile(0.5)
+			b.Quantile(0.9)
+		}
+		a.Merge(&b)
+		if a.Count() != concat.Count() {
+			return false
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			if a.Quantile(q) != concat.Quantile(q) {
+				return false
+			}
+		}
+		// Means can differ by float association order (sum(xs)+sum(ys) vs
+		// one interleaved sum); quantiles are exact but the mean is only
+		// exact up to rounding.
+		am, cm := a.Mean(), concat.Mean()
+		if am == cm {
+			return true
+		}
+		diff := math.Abs(am - cm)
+		scale := math.Max(math.Abs(am), math.Abs(cm))
+		return diff <= 1e-9*scale
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

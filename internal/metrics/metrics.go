@@ -145,6 +145,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Max returns the largest sample (0 if empty).
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
+// Merge folds another histogram's samples into this one, so multi-seed
+// sweeps can aggregate per-run delay distributions. Quantiles of the
+// merged histogram equal quantiles over the concatenated sample sets.
+// The other histogram is left untouched.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+	h.sum += o.sum
+}
+
 // Point is one (x, y) pair of a figure's series.
 type Point struct {
 	X float64

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ellog/internal/logrec"
+	"ellog/internal/sim"
+	"ellog/internal/trace"
+)
+
+// Index is a queryable view over a recorded event stream: transactions
+// in order of appearance, with flush completions (which carry no TxID on
+// the wire) joined back to their transactions through the LSNs their
+// appends established.
+type Index struct {
+	Events  []trace.Event
+	TxOrder []logrec.TxID
+
+	byTx   map[logrec.TxID][]int
+	byObj  map[logrec.OID][]int
+	lsnTx  map[logrec.LSN]logrec.TxID
+	lsnObj map[logrec.LSN]logrec.OID
+}
+
+// BuildIndex scans a trace once and builds the lookup tables.
+func BuildIndex(events []trace.Event) *Index {
+	ix := &Index{
+		Events: events,
+		byTx:   make(map[logrec.TxID][]int),
+		byObj:  make(map[logrec.OID][]int),
+		lsnTx:  make(map[logrec.LSN]logrec.TxID),
+		lsnObj: make(map[logrec.LSN]logrec.OID),
+	}
+	for i, e := range events {
+		tx := e.Tx
+		if e.Kind == trace.EvAppend && e.LSN != 0 {
+			ix.lsnTx[e.LSN] = e.Tx
+			ix.lsnObj[e.LSN] = e.Obj
+		}
+		// Flush completions carry Obj+LSN but no Tx; join via the append.
+		if tx == 0 && (e.Kind == trace.EvFlush || e.Kind == trace.EvForceFlush) {
+			tx = ix.lsnTx[e.LSN]
+		}
+		if tx != 0 {
+			if _, seen := ix.byTx[tx]; !seen {
+				ix.TxOrder = append(ix.TxOrder, tx)
+			}
+			ix.byTx[tx] = append(ix.byTx[tx], i)
+		}
+		if e.Obj != 0 || e.Kind == trace.EvFlush || e.Kind == trace.EvForceFlush {
+			ix.byObj[e.Obj] = append(ix.byObj[e.Obj], i)
+		}
+	}
+	return ix
+}
+
+// NumTx reports how many distinct transactions appear in the trace.
+func (ix *Index) NumTx() int { return len(ix.TxOrder) }
+
+// Move is one record-level generation hop.
+type Move struct {
+	At       sim.Time
+	From, To int
+}
+
+// RecordLife reconstructs one data record's journey through the log.
+type RecordLife struct {
+	LSN      logrec.LSN
+	Obj      logrec.OID
+	AppendAt sim.Time
+	Gen      int // generation first appended into
+	Moves    []Move
+	Flushed  bool
+	Forced   bool // flushed out of band (random I/O at a head)
+	FlushAt  sim.Time
+}
+
+// TxLife is one transaction's reconstructed lifecycle in the paper's
+// epoch vocabulary: t1 BEGIN appended, t2 last data record appended, t3
+// COMMIT appended, t4 COMMIT durable (the commit point), t5 all updates
+// flushed to the stable database. Every epoch has a presence flag — t=0
+// is a legitimate simulated time, not a sentinel.
+type TxLife struct {
+	Tx                                logrec.TxID
+	T1, T2, T3, T4, T5                sim.Time
+	HasT1, HasT2, HasT3, HasT4, HasT5 bool
+	BeginGen                          int
+	Records                           []RecordLife
+	TxMoves                           []Move // moves of the BEGIN/COMMIT record
+	Killed                            bool
+	KilledAt                          sim.Time
+}
+
+// Tx reconstructs a transaction's lifecycle, reporting false if the
+// trace never mentions it.
+func (ix *Index) Tx(id logrec.TxID) (TxLife, bool) {
+	idxs, ok := ix.byTx[id]
+	if !ok {
+		return TxLife{}, false
+	}
+	life := TxLife{Tx: id}
+	// Indexes, not pointers: appending to life.Records may reallocate it.
+	recByLSN := make(map[logrec.LSN]int)
+	txLSNs := make(map[logrec.LSN]bool) // BEGIN/COMMIT record LSNs
+	for _, i := range idxs {
+		e := ix.Events[i]
+		switch e.Kind {
+		case trace.EvAppend:
+			switch logrec.Kind(e.N) {
+			case logrec.KindBegin:
+				life.T1, life.HasT1 = e.At, true
+				life.BeginGen = e.Gen
+				txLSNs[e.LSN] = true
+			case logrec.KindCommit:
+				life.T3, life.HasT3 = e.At, true
+				txLSNs[e.LSN] = true
+			default: // data
+				life.T2, life.HasT2 = e.At, true
+				life.Records = append(life.Records, RecordLife{
+					LSN: e.LSN, Obj: e.Obj, AppendAt: e.At, Gen: e.Gen,
+				})
+				recByLSN[e.LSN] = len(life.Records) - 1
+			}
+		case trace.EvMove:
+			mv := Move{At: e.At, From: e.Gen, To: e.N}
+			if ri, ok := recByLSN[e.LSN]; ok {
+				life.Records[ri].Moves = append(life.Records[ri].Moves, mv)
+			} else if txLSNs[e.LSN] {
+				life.TxMoves = append(life.TxMoves, mv)
+			}
+		case trace.EvCommit:
+			life.T4, life.HasT4 = e.At, true
+		case trace.EvFlush, trace.EvForceFlush:
+			if ri, ok := recByLSN[e.LSN]; ok {
+				r := &life.Records[ri]
+				r.Flushed = true
+				r.FlushAt = e.At
+				if e.Kind == trace.EvForceFlush {
+					r.Forced = true
+				}
+			}
+		case trace.EvKill:
+			life.Killed = true
+			life.KilledAt = e.At
+		}
+	}
+	// t5: the transaction is fully flushed once every update landed.
+	if life.HasT4 {
+		all := true
+		t5 := life.T4
+		for i := range life.Records {
+			r := &life.Records[i]
+			if !r.Flushed {
+				all = false
+				break
+			}
+			if r.FlushAt > t5 {
+				t5 = r.FlushAt
+			}
+		}
+		if all {
+			life.T5, life.HasT5 = t5, true
+		}
+	}
+	return life, true
+}
+
+// Lifetimes reconstructs every transaction in appearance order.
+func (ix *Index) Lifetimes() []TxLife {
+	out := make([]TxLife, 0, len(ix.TxOrder))
+	for _, id := range ix.TxOrder {
+		if life, ok := ix.Tx(id); ok {
+			out = append(out, life)
+		}
+	}
+	return out
+}
+
+func fmtDelta(d sim.Time) string { return fmt.Sprintf("+%v", d) }
+
+// FormatTx renders one transaction's lifecycle with derived latencies.
+func (ix *Index) FormatTx(id logrec.TxID) (string, bool) {
+	life, ok := ix.Tx(id)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	state := "incomplete"
+	switch {
+	case life.Killed:
+		state = fmt.Sprintf("KILLED at %v", life.KilledAt)
+	case life.HasT5:
+		state = "committed and fully flushed"
+	case life.HasT4:
+		state = "committed (updates not all flushed in trace)"
+	}
+	fmt.Fprintf(&b, "tx %d: %d data records, %s\n", life.Tx, len(life.Records), state)
+	if life.HasT1 {
+		fmt.Fprintf(&b, "  t1 BEGIN appended      %-12v gen %d\n", life.T1, life.BeginGen)
+	}
+	if life.HasT2 {
+		fmt.Fprintf(&b, "  t2 last data appended  %-12v", life.T2)
+		if life.HasT1 {
+			fmt.Fprintf(&b, " %s", fmtDelta(life.T2-life.T1))
+		}
+		b.WriteByte('\n')
+	}
+	if life.HasT3 {
+		fmt.Fprintf(&b, "  t3 COMMIT appended     %-12v", life.T3)
+		if life.HasT2 {
+			fmt.Fprintf(&b, " %s", fmtDelta(life.T3-life.T2))
+		} else if life.HasT1 {
+			fmt.Fprintf(&b, " %s", fmtDelta(life.T3-life.T1))
+		}
+		b.WriteByte('\n')
+	}
+	if life.HasT4 {
+		fmt.Fprintf(&b, "  t4 COMMIT durable      %-12v", life.T4)
+		if life.HasT3 {
+			fmt.Fprintf(&b, " %s group-commit delay", fmtDelta(life.T4-life.T3))
+		}
+		b.WriteByte('\n')
+	}
+	if life.HasT5 {
+		fmt.Fprintf(&b, "  t5 fully flushed       %-12v", life.T5)
+		if life.HasT4 {
+			fmt.Fprintf(&b, " %s", fmtDelta(life.T5-life.T4))
+		}
+		b.WriteByte('\n')
+	}
+	if life.HasT1 && life.HasT5 {
+		fmt.Fprintf(&b, "  total t1→t5            %v\n", life.T5-life.T1)
+	}
+	for _, mv := range life.TxMoves {
+		fmt.Fprintf(&b, "  tx record moved gen %d→%d at %v\n", mv.From, mv.To, mv.At)
+	}
+	for _, r := range life.Records {
+		fmt.Fprintf(&b, "  lsn %d obj %d: appended %v gen %d", r.LSN, r.Obj, r.AppendAt, r.Gen)
+		for _, mv := range r.Moves {
+			if mv.From == mv.To {
+				fmt.Fprintf(&b, ", recirc gen %d at %v", mv.From, mv.At)
+			} else {
+				fmt.Fprintf(&b, ", moved gen %d→%d at %v", mv.From, mv.To, mv.At)
+			}
+		}
+		switch {
+		case r.Forced:
+			fmt.Fprintf(&b, ", FORCE-flushed at %v", r.FlushAt)
+		case r.Flushed:
+			fmt.Fprintf(&b, ", flushed at %v", r.FlushAt)
+		default:
+			b.WriteString(", never flushed in trace")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), true
+}
+
+// FormatObj renders every recorded event touching one object, in order:
+// the object's version history as the log saw it.
+func (ix *Index) FormatObj(oid logrec.OID) (string, bool) {
+	idxs, ok := ix.byObj[oid]
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "obj %d: %d events\n", oid, len(idxs))
+	for _, i := range idxs {
+		e := ix.Events[i]
+		switch e.Kind {
+		case trace.EvAppend:
+			fmt.Fprintf(&b, "  %v append lsn %d by tx %d (gen %d)\n", e.At, e.LSN, e.Tx, e.Gen)
+		case trace.EvMove:
+			if e.Gen == e.N {
+				fmt.Fprintf(&b, "  %v recirc lsn %d in gen %d\n", e.At, e.LSN, e.Gen)
+			} else {
+				fmt.Fprintf(&b, "  %v move   lsn %d gen %d→%d\n", e.At, e.LSN, e.Gen, e.N)
+			}
+		case trace.EvFlush:
+			fmt.Fprintf(&b, "  %v flush  lsn %d (tx %d)\n", e.At, e.LSN, ix.lsnTx[e.LSN])
+		case trace.EvForceFlush:
+			fmt.Fprintf(&b, "  %v FORCE  lsn %d (tx %d)\n", e.At, e.LSN, ix.lsnTx[e.LSN])
+		default:
+			fmt.Fprintf(&b, "  %v\n", e)
+		}
+	}
+	return b.String(), true
+}
+
+// FormatSummary renders per-kind counts, the trace's time span, and
+// per-generation block-write activity.
+func FormatSummary(events []trace.Event) string {
+	if len(events) == 0 {
+		return "empty trace\n"
+	}
+	counts := make(map[trace.Kind]uint64)
+	sealsPerGen := make(map[int]uint64)
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Kind == trace.EvSeal {
+			sealsPerGen[e.Gen]++
+		}
+	}
+	first, last := events[0].At, events[len(events)-1].At
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events, %v – %v (span %v)\n", len(events), first, last, last-first)
+	for k := trace.EvAppend; k <= trace.EvMove; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s %10d", k, counts[k])
+		if span := last - first; span > 0 {
+			fmt.Fprintf(&b, "  (%.1f/s)", float64(counts[k])/span.Seconds())
+		}
+		b.WriteByte('\n')
+	}
+	gens := make([]int, 0, len(sealsPerGen))
+	for g := range sealsPerGen {
+		gens = append(gens, g)
+	}
+	sort.Ints(gens)
+	for _, g := range gens {
+		fmt.Fprintf(&b, "  gen %d: %d block writes\n", g, sealsPerGen[g])
+	}
+	return b.String()
+}

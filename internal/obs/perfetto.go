@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ellog/internal/logrec"
+	"ellog/internal/trace"
+)
+
+// PerfettoOptions tunes the export volume.
+type PerfettoOptions struct {
+	// MaxTx caps transaction lifecycle spans (first N transactions by
+	// appearance; 0 means the default 300). Perfetto handles large traces
+	// but tens of thousands of async spans drown the timeline.
+	MaxTx int
+	// MaxFlows caps record-move flow arrows (0 means the default 2000).
+	MaxFlows int
+}
+
+// PerfettoStats reports what the export contained — including what was
+// dropped by the volume caps, so truncation is never silent.
+type PerfettoStats struct {
+	Events       int // trace-event JSON objects written
+	WriteSpans   int // block-write b/e span pairs
+	TxSpans      int // transaction lifecycle spans
+	DroppedTx    int // transactions beyond MaxTx
+	Flows        int // record-move flow arrows
+	DroppedFlows int // moves beyond MaxFlows
+	Counters     int // counter sample events
+}
+
+// Process/track layout of the export. Chrome trace-event pids/tids are
+// arbitrary integers given names by metadata events.
+const (
+	pidLog = 1 // log device: one thread per generation + flush array
+	pidTx  = 2 // transaction lifecycle spans
+)
+
+// teEvent is one Chrome trace-event JSON object. Field order is fixed by
+// the struct, so output is deterministic.
+type teEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoWriter streams trace-event objects as a JSON array.
+type perfettoWriter struct {
+	w     *bufio.Writer
+	first bool
+	n     int
+	err   error
+}
+
+func newPerfettoWriter(w io.Writer) *perfettoWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	pw := &perfettoWriter{w: bw, first: true}
+	_, pw.err = bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return pw
+}
+
+func (pw *perfettoWriter) add(e teEvent) {
+	if pw.err != nil {
+		return
+	}
+	if !pw.first {
+		if pw.err = pw.w.WriteByte(','); pw.err != nil {
+			return
+		}
+	}
+	pw.first = false
+	var b []byte
+	b, pw.err = json.Marshal(e)
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = pw.w.Write(b)
+	pw.n++
+}
+
+func (pw *perfettoWriter) finish() error {
+	if pw.err != nil {
+		return pw.err
+	}
+	if _, err := pw.w.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return pw.w.Flush()
+}
+
+// WritePerfetto exports a recorded event stream (plus optional sampled
+// series rendered as counter tracks) as Chrome trace-event JSON that
+// Perfetto (ui.perfetto.dev) loads directly. Layout: one track per
+// generation carrying block-write spans and that generation's instants,
+// a flush-array track, flow arrows for record forwarding/recirculation,
+// and async spans on a second process for transaction lifetimes
+// (BEGIN → COMMIT-durable → fully-flushed, the paper's t1…t5).
+func WritePerfetto(w io.Writer, events []trace.Event, series []Series, opts PerfettoOptions) (PerfettoStats, error) {
+	if opts.MaxTx == 0 {
+		opts.MaxTx = 300
+	}
+	if opts.MaxFlows == 0 {
+		opts.MaxFlows = 2000
+	}
+	var st PerfettoStats
+	pw := newPerfettoWriter(w)
+
+	// Discover the generation count so tracks exist even for quiet gens.
+	numGens := 0
+	for _, e := range events {
+		if e.Gen+1 > numGens {
+			numGens = e.Gen + 1
+		}
+	}
+	tidFlush := numGens + 1
+	tidMgr := numGens + 2
+
+	// Track names. Metadata events carry ts 0.
+	meta := func(pid, tid int, key, name string) {
+		pw.add(teEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+	}
+	meta(pidLog, 0, "process_name", "log")
+	for g := 0; g < numGens; g++ {
+		meta(pidLog, g+1, "thread_name", fmt.Sprintf("gen %d", g))
+	}
+	meta(pidLog, tidFlush, "thread_name", "flush array")
+	meta(pidLog, tidMgr, "thread_name", "manager")
+	meta(pidTx, 0, "process_name", "transactions")
+	meta(pidTx, 1, "thread_name", "tx lifecycles")
+
+	// Transaction span bookkeeping: first MaxTx transactions by BEGIN
+	// appearance get a lifecycle span; everyone else is counted dropped.
+	txOpen := make(map[logrec.TxID]bool)
+	txSeen := make(map[logrec.TxID]bool)
+	txID := func(tx logrec.TxID) string { return fmt.Sprintf("tx%d", tx) }
+
+	// Block-write spans: seals and durables on one generation form a FIFO
+	// (the device completes same-latency writes in issue order), so match
+	// them with a per-gen sequence counter.
+	sealSeq := make([]int, numGens)
+	durSeq := make([]int, numGens)
+
+	instant := func(e trace.Event, tid int, name string, args map[string]any) {
+		pw.add(teEvent{Name: name, Ph: "i", Ts: int64(e.At), Pid: pidLog, Tid: tid, S: "t", Args: args})
+	}
+
+	flowSeq := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvSeal:
+			if e.Gen >= 0 && e.Gen < numGens {
+				sealSeq[e.Gen]++
+				pw.add(teEvent{Name: "block write", Ph: "b", Ts: int64(e.At), Pid: pidLog, Tid: e.Gen + 1,
+					Cat: "write", ID: fmt.Sprintf("w%d-%d", e.Gen, sealSeq[e.Gen]),
+					Args: map[string]any{"records": e.N}})
+			}
+		case trace.EvDurable:
+			if e.Gen >= 0 && e.Gen < numGens && durSeq[e.Gen] < sealSeq[e.Gen] {
+				durSeq[e.Gen]++
+				pw.add(teEvent{Name: "block write", Ph: "e", Ts: int64(e.At), Pid: pidLog, Tid: e.Gen + 1,
+					Cat: "write", ID: fmt.Sprintf("w%d-%d", e.Gen, durSeq[e.Gen])})
+				st.WriteSpans++
+			}
+		case trace.EvMove:
+			if st.Flows >= opts.MaxFlows {
+				st.DroppedFlows++
+				break
+			}
+			flowSeq++
+			st.Flows++
+			id := fmt.Sprintf("mv%d", flowSeq)
+			name := "forward"
+			if e.Gen == e.N {
+				name = "recirculate"
+			}
+			pw.add(teEvent{Name: name, Ph: "s", Ts: int64(e.At), Pid: pidLog, Tid: e.Gen + 1, Cat: "move", ID: id,
+				Args: map[string]any{"lsn": uint64(e.LSN), "tx": uint64(e.Tx)}})
+			pw.add(teEvent{Name: name, Ph: "f", BP: "e", Ts: int64(e.At), Pid: pidLog, Tid: e.N + 1, Cat: "move", ID: id})
+		case trace.EvDiscard:
+			instant(e, e.Gen+1, "discard", nil)
+		case trace.EvResize:
+			instant(e, e.Gen+1, "resize", map[string]any{"delta": e.N})
+		case trace.EvForceFlush:
+			instant(e, tidFlush, "force-flush", map[string]any{"obj": uint64(e.Obj), "lsn": uint64(e.LSN)})
+		case trace.EvFlush:
+			instant(e, tidFlush, "flush", map[string]any{"obj": uint64(e.Obj), "lsn": uint64(e.LSN)})
+		case trace.EvKill:
+			instant(e, tidMgr, fmt.Sprintf("kill tx %d", e.Tx), nil)
+		case trace.EvFault:
+			instant(e, tidMgr, "fault", map[string]any{"kind": e.N})
+		case trace.EvRetry:
+			instant(e, e.Gen+1, "retry", map[string]any{"attempt": e.N})
+		case trace.EvAppend:
+			if logrec.Kind(e.N) != logrec.KindBegin {
+				break
+			}
+			if !txSeen[e.Tx] {
+				txSeen[e.Tx] = true
+				if st.TxSpans < opts.MaxTx {
+					st.TxSpans++
+					txOpen[e.Tx] = true
+					pw.add(teEvent{Name: fmt.Sprintf("tx %d", e.Tx), Ph: "b", Ts: int64(e.At), Pid: pidTx, Tid: 1,
+						Cat: "tx", ID: txID(e.Tx), Args: map[string]any{"gen": e.Gen}})
+				} else {
+					st.DroppedTx++
+				}
+			}
+		case trace.EvCommit:
+			if txOpen[e.Tx] {
+				pw.add(teEvent{Name: "commit durable", Ph: "n", Ts: int64(e.At), Pid: pidTx, Tid: 1,
+					Cat: "tx", ID: txID(e.Tx)})
+			}
+		}
+	}
+
+	// Close transaction spans at their t5 (fully flushed), or at the last
+	// event mentioning them, so no span dangles past the trace.
+	ix := BuildIndex(events)
+	for _, tx := range ix.TxOrder {
+		if !txOpen[tx] {
+			continue
+		}
+		life, _ := ix.Tx(tx)
+		end := life.T1
+		complete := false
+		switch {
+		case life.HasT5:
+			end, complete = life.T5, true
+		case life.Killed:
+			end = life.KilledAt
+		default:
+			for _, i := range ix.byTx[tx] {
+				if at := events[i].At; at > end {
+					end = at
+				}
+			}
+		}
+		args := map[string]any{"complete": complete}
+		if life.Killed {
+			args["killed"] = true
+		}
+		pw.add(teEvent{Name: fmt.Sprintf("tx %d", tx), Ph: "e", Ts: int64(end), Pid: pidTx, Tid: 1,
+			Cat: "tx", ID: txID(tx), Args: args})
+	}
+
+	// Sampled series become counter tracks on the log process.
+	for _, sr := range series {
+		for _, p := range sr.Points {
+			pw.add(teEvent{Name: sr.Name, Ph: "C", Ts: int64(p.At), Pid: pidLog,
+				Args: map[string]any{"value": p.Mean}})
+			st.Counters++
+		}
+	}
+
+	err := pw.finish()
+	st.Events = pw.n
+	return st, err
+}
+
+// String summarizes an export.
+func (s PerfettoStats) String() string {
+	out := fmt.Sprintf("%d trace events: %d write spans, %d tx spans, %d flows, %d counter samples",
+		s.Events, s.WriteSpans, s.TxSpans, s.Flows, s.Counters)
+	if s.DroppedTx > 0 {
+		out += fmt.Sprintf(" (%d tx beyond -max-tx dropped)", s.DroppedTx)
+	}
+	if s.DroppedFlows > 0 {
+		out += fmt.Sprintf(" (%d moves beyond flow cap dropped)", s.DroppedFlows)
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"ellog/internal/sim"
+)
+
+// Probe reads one instantaneous level from a component. Probes must be
+// cheap (no allocation) and side-effect free: the sampler calls every
+// registered probe once per cadence tick, on the engine's thread.
+// An alias, not a defined type, so components can register against a
+// locally declared `Register(string, func() float64)` interface without
+// importing this package.
+type Probe = func() float64
+
+// Point is one downsampled bucket of a sampled series: the min, max and
+// mean of N consecutive raw samples, stamped with the simulated time of
+// the bucket's first sample.
+type Point struct {
+	At   sim.Time `json:"at"`
+	Min  float64  `json:"min"`
+	Max  float64  `json:"max"`
+	Mean float64  `json:"mean"`
+	N    int      `json:"n"`
+}
+
+// Series is one probe's bounded history.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// bucket accumulates raw samples until a stride's worth closes a Point.
+type bucket struct {
+	at       sim.Time
+	min, max float64
+	sum      float64
+	n        int
+}
+
+func (b *bucket) add(at sim.Time, v float64) {
+	if b.n == 0 {
+		b.at = at
+		b.min, b.max = v, v
+	} else {
+		if v < b.min {
+			b.min = v
+		}
+		if v > b.max {
+			b.max = v
+		}
+	}
+	b.sum += v
+	b.n++
+}
+
+func (b *bucket) point() Point {
+	return Point{At: b.at, Min: b.min, Max: b.max, Mean: b.sum / float64(b.n), N: b.n}
+}
+
+type probeSeries struct {
+	name   string
+	fn     Probe
+	points []Point
+	acc    bucket
+}
+
+// Sampler polls registered probes on a fixed simulated-time cadence and
+// retains each probe's history as a memory-bounded, downsampling time
+// series. When a series hits its point budget, adjacent points merge
+// pairwise and the sampling stride doubles, so an arbitrarily long run
+// costs a fixed amount of memory while keeping min/max envelopes exact.
+type Sampler struct {
+	eng       *sim.Engine
+	interval  sim.Time
+	maxPoints int
+	stride    int // raw samples folded into one point (doubles on overflow)
+	series    []*probeSeries
+	ticks     uint64
+	started   bool
+}
+
+// NewSampler builds a sampler ticking every interval, keeping at most
+// maxPoints points per series (0 selects the default 512). Explicit
+// budgets are clamped to an even number of at least 4 so pair-merging
+// always halves the series exactly.
+func NewSampler(eng *sim.Engine, interval sim.Time, maxPoints int) *Sampler {
+	if interval <= 0 {
+		interval = 100 * sim.Millisecond
+	}
+	if maxPoints == 0 {
+		maxPoints = 512
+	}
+	if maxPoints < 4 {
+		maxPoints = 4
+	}
+	if maxPoints%2 != 0 {
+		maxPoints++
+	}
+	return &Sampler{eng: eng, interval: interval, maxPoints: maxPoints, stride: 1}
+}
+
+// Interval returns the sampling cadence.
+func (s *Sampler) Interval() sim.Time { return s.interval }
+
+// MaxPoints returns the per-series point budget.
+func (s *Sampler) MaxPoints() int { return s.maxPoints }
+
+// Ticks reports how many cadence ticks have fired.
+func (s *Sampler) Ticks() uint64 { return s.ticks }
+
+// Register adds a named probe. Registration order is the report order;
+// registering after Start is allowed (the probe joins at the next tick).
+// Duplicate names panic — they would produce indistinguishable series.
+func (s *Sampler) Register(name string, fn Probe) {
+	for _, ps := range s.series {
+		if ps.name == name {
+			panic(fmt.Sprintf("obs: duplicate probe %q", name))
+		}
+	}
+	s.series = append(s.series, &probeSeries{name: name, fn: fn})
+}
+
+// Start schedules the cadence. Ticks only read component state and
+// consume no randomness, so an armed sampler does not perturb simulation
+// results (events shift engine sequence numbers, never relative order).
+func (s *Sampler) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.eng.After(s.interval, s.tick)
+}
+
+func (s *Sampler) tick() {
+	now := s.eng.Now()
+	s.ticks++
+	for _, ps := range s.series {
+		ps.acc.add(now, ps.fn())
+		if ps.acc.n >= s.stride {
+			ps.points = append(ps.points, ps.acc.point())
+			ps.acc = bucket{}
+		}
+	}
+	// All series share the stride and tick together, so when one hits the
+	// budget they all do (modulo late registration, handled per series).
+	s.compact()
+	s.eng.After(s.interval, s.tick)
+}
+
+// compact halves any series at its budget by merging adjacent point pairs
+// and doubles the stride so future buckets match the new resolution.
+func (s *Sampler) compact() {
+	full := false
+	for _, ps := range s.series {
+		if len(ps.points) >= s.maxPoints {
+			full = true
+			break
+		}
+	}
+	if !full {
+		return
+	}
+	s.stride *= 2
+	for _, ps := range s.series {
+		ps.points = mergePairs(ps.points)
+	}
+}
+
+// mergePairs folds points two at a time; an odd trailing point survives
+// as-is (its N records that it covers fewer samples).
+func mergePairs(pts []Point) []Point {
+	out := pts[:0]
+	i := 0
+	for ; i+1 < len(pts); i += 2 {
+		a, b := pts[i], pts[i+1]
+		m := Point{At: a.At, Min: a.Min, Max: a.Max, N: a.N + b.N}
+		if b.Min < m.Min {
+			m.Min = b.Min
+		}
+		if b.Max > m.Max {
+			m.Max = b.Max
+		}
+		m.Mean = (a.Mean*float64(a.N) + b.Mean*float64(b.N)) / float64(m.N)
+		out = append(out, m)
+	}
+	if i < len(pts) {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+// Series snapshots every probe's history in registration order. An
+// in-progress bucket is included as a final (partial) point so the
+// snapshot never loses the newest samples.
+func (s *Sampler) Series() []Series {
+	out := make([]Series, 0, len(s.series))
+	for _, ps := range s.series {
+		pts := make([]Point, len(ps.points), len(ps.points)+1)
+		copy(pts, ps.points)
+		if ps.acc.n > 0 {
+			pts = append(pts, ps.acc.point())
+		}
+		out = append(out, Series{Name: ps.name, Points: pts})
+	}
+	return out
+}
+
+// Find returns the snapshot of the series whose name contains substr
+// (first match in registration order), or false.
+func (s *Sampler) Find(substr string) (Series, bool) {
+	for _, sr := range s.Series() {
+		if substr == "" || containsFold(sr.Name, substr) {
+			return sr, true
+		}
+	}
+	return Series{}, false
+}
+
+func containsFold(haystack, needle string) bool {
+	if len(needle) > len(haystack) {
+		return false
+	}
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		ok := true
+		for j := 0; j < len(needle); j++ {
+			if lower(haystack[i+j]) != lower(needle[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// probesSchema names the probe-dump wire format.
+const probesSchema = "ellog-probes/1"
+
+// WriteJSON writes the sampler's snapshot as a single deterministic JSON
+// document (schema ellog-probes/1): series in registration order, fields
+// hand-encoded so output never depends on map iteration.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	return WriteSeriesJSON(w, s.interval, s.Series())
+}
+
+// WriteSeriesJSON encodes a series snapshot in the ellog-probes/1 format.
+func WriteSeriesJSON(w io.Writer, interval sim.Time, series []Series) error {
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, `{"schema":"`+probesSchema+`","interval_us":`...)
+	buf = strconv.AppendInt(buf, int64(interval), 10)
+	buf = append(buf, `,"series":[`...)
+	for i, sr := range series {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"name":`...)
+		buf = strconv.AppendQuote(buf, sr.Name)
+		buf = append(buf, `,"points":[`...)
+		for j, p := range sr.Points {
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"at":`...)
+			buf = strconv.AppendInt(buf, int64(p.At), 10)
+			buf = append(buf, `,"min":`...)
+			buf = appendFloat(buf, p.Min)
+			buf = append(buf, `,"max":`...)
+			buf = appendFloat(buf, p.Max)
+			buf = append(buf, `,"mean":`...)
+			buf = appendFloat(buf, p.Mean)
+			buf = append(buf, `,"n":`...)
+			buf = strconv.AppendInt(buf, int64(p.N), 10)
+			buf = append(buf, '}')
+			if len(buf) > 1<<16 {
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		buf = append(buf, `]}`...)
+	}
+	buf = append(buf, "]}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// probesDoc mirrors the ellog-probes/1 document for decoding.
+type probesDoc struct {
+	Schema     string   `json:"schema"`
+	IntervalUS int64    `json:"interval_us"`
+	Series     []Series `json:"series"`
+}
+
+// ReadProbesFile loads an ellog-probes/1 snapshot written by WriteJSON.
+func ReadProbesFile(path string) (sim.Time, []Series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	var doc probesDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != probesSchema {
+		return 0, nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, probesSchema)
+	}
+	return sim.Time(doc.IntervalUS), doc.Series, nil
+}
+
+// SortedNames returns the registered probe names, sorted — handy for
+// tests and summaries.
+func (s *Sampler) SortedNames() []string {
+	names := make([]string, len(s.series))
+	for i, ps := range s.series {
+		names[i] = ps.name
+	}
+	sort.Strings(names)
+	return names
+}

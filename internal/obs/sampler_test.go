@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ellog/internal/sim"
+)
+
+// tickingSampler runs a sampler for d with one probe returning the tick
+// ordinal 1, 2, 3, … so every downsampling invariant is checkable.
+func tickingSampler(t *testing.T, d sim.Time, interval sim.Time, maxPoints int) *Sampler {
+	t.Helper()
+	eng := sim.NewEngine(1, 2)
+	s := NewSampler(eng, interval, maxPoints)
+	n := 0.0
+	s.Register("ticks", func() float64 { n++; return n })
+	s.Start()
+	eng.Run(d)
+	return s
+}
+
+func TestSamplerDownsamplePreservesSamples(t *testing.T) {
+	s := tickingSampler(t, 2*sim.Second, 10*sim.Millisecond, 16)
+	if s.Ticks() == 0 {
+		t.Fatal("sampler never ticked")
+	}
+	sr, ok := s.Find("ticks")
+	if !ok {
+		t.Fatal("registered series not found")
+	}
+	var total int
+	var weighted float64
+	for i, p := range sr.Points {
+		total += p.N
+		weighted += p.Mean * float64(p.N)
+		if p.Min > p.Mean || p.Mean > p.Max {
+			t.Fatalf("point %d: min %v mean %v max %v out of order", i, p.Min, p.Mean, p.Max)
+		}
+		if i > 0 && p.At <= sr.Points[i-1].At {
+			t.Fatalf("point %d: timestamps not increasing (%v after %v)", i, p.At, sr.Points[i-1].At)
+		}
+	}
+	T := float64(s.Ticks())
+	if total != int(s.Ticks()) {
+		t.Fatalf("points cover %d samples, sampler ticked %d times", total, s.Ticks())
+	}
+	if got := sr.Points[0].Min; got != 1 {
+		t.Fatalf("first point min = %v, want 1 (first sample)", got)
+	}
+	if got := sr.Points[len(sr.Points)-1].Max; got != T {
+		t.Fatalf("last point max = %v, want %v (last sample)", got, T)
+	}
+	// The probe is 1..T, so the sample mean is (T+1)/2 no matter how the
+	// buckets merged.
+	if mean := weighted / T; math.Abs(mean-(T+1)/2) > 1e-9*T {
+		t.Fatalf("weighted mean %v, want %v", mean, (T+1)/2)
+	}
+}
+
+// TestSamplerMemoryBounded is the acceptance check: a run 10x longer must
+// not hold more points than the budget — the series downsamples instead.
+func TestSamplerMemoryBounded(t *testing.T) {
+	const budget = 16
+	short := tickingSampler(t, 1*sim.Second, 5*sim.Millisecond, budget)
+	long := tickingSampler(t, 10*sim.Second, 5*sim.Millisecond, budget)
+	if long.Ticks() < 10*short.Ticks()/2 {
+		t.Fatalf("long run ticked only %d times vs short's %d", long.Ticks(), short.Ticks())
+	}
+	for _, s := range []*Sampler{short, long} {
+		sr, _ := s.Find("ticks")
+		if len(sr.Points) > budget {
+			t.Fatalf("%d ticks produced %d points, budget %d", s.Ticks(), len(sr.Points), budget)
+		}
+		if len(sr.Points) == 0 {
+			t.Fatal("no points retained")
+		}
+	}
+}
+
+func TestSamplerLateRegistration(t *testing.T) {
+	eng := sim.NewEngine(1, 2)
+	s := NewSampler(eng, 10*sim.Millisecond, 32)
+	s.Register("early", func() float64 { return 1 })
+	s.Start()
+	eng.Run(100 * sim.Millisecond)
+	s.Register("late", func() float64 { return 2 })
+	eng.Run(200 * sim.Millisecond)
+	early, _ := s.Find("early")
+	late, ok := s.Find("late")
+	if !ok {
+		t.Fatal("late probe not sampled")
+	}
+	var ne, nl int
+	for _, p := range early.Points {
+		ne += p.N
+	}
+	for _, p := range late.Points {
+		nl += p.N
+	}
+	if nl == 0 || nl >= ne {
+		t.Fatalf("late probe has %d samples vs early's %d; want 0 < late < early", nl, ne)
+	}
+}
+
+func TestSamplerDuplicateProbePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	s := NewSampler(sim.NewEngine(1, 2), 0, 0)
+	s.Register("x", func() float64 { return 0 })
+	s.Register("x", func() float64 { return 0 })
+}
+
+func TestSamplerDefaultsAndClamps(t *testing.T) {
+	s := NewSampler(sim.NewEngine(1, 2), 0, 0)
+	if s.Interval() != 100*sim.Millisecond {
+		t.Fatalf("default interval %v, want 100ms", s.Interval())
+	}
+	if s.MaxPoints() != 512 {
+		t.Fatalf("default maxPoints %d, want 512", s.MaxPoints())
+	}
+	if got := NewSampler(sim.NewEngine(1, 2), 0, 3).MaxPoints(); got != 4 {
+		t.Fatalf("tiny budget clamped to %d, want 4", got)
+	}
+	if got := NewSampler(sim.NewEngine(1, 2), 0, 7).MaxPoints(); got != 8 {
+		t.Fatalf("odd budget clamped to %d, want 8 (even)", got)
+	}
+}
+
+func TestSamplerFindFoldsCase(t *testing.T) {
+	s := NewSampler(sim.NewEngine(1, 2), 0, 0)
+	s.Register("gen0/used_blocks", func() float64 { return 0 })
+	s.Register("mem/bytes", func() float64 { return 0 })
+	if sr, ok := s.Find("MEM/BY"); !ok || sr.Name != "mem/bytes" {
+		t.Fatalf("Find(MEM/BY) = %q, %v", sr.Name, ok)
+	}
+	if _, ok := s.Find("nope"); ok {
+		t.Fatal("Find matched a missing name")
+	}
+	if sr, ok := s.Find(""); !ok || sr.Name != "gen0/used_blocks" {
+		t.Fatalf("Find(\"\") = %q, %v; want first series", sr.Name, ok)
+	}
+	want := []string{"gen0/used_blocks", "mem/bytes"}
+	if got := s.SortedNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedNames = %v, want %v", got, want)
+	}
+}
+
+func TestMergePairsOddTail(t *testing.T) {
+	pts := []Point{
+		{At: 0, Min: 1, Max: 3, Mean: 2, N: 2},
+		{At: 10, Min: 0, Max: 5, Mean: 4, N: 2},
+		{At: 20, Min: 7, Max: 7, Mean: 7, N: 1},
+	}
+	out := mergePairs(pts)
+	if len(out) != 2 {
+		t.Fatalf("merged to %d points, want 2", len(out))
+	}
+	m := out[0]
+	if m.At != 0 || m.Min != 0 || m.Max != 5 || m.N != 4 || m.Mean != 3 {
+		t.Fatalf("merged pair = %+v", m)
+	}
+	if out[1].N != 1 || out[1].Mean != 7 {
+		t.Fatalf("odd tail mangled: %+v", out[1])
+	}
+}
+
+func TestProbesJSONRoundTrip(t *testing.T) {
+	s := tickingSampler(t, 500*sim.Millisecond, 10*sim.Millisecond, 8)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "probes.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	interval, series, err := ReadProbesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interval != s.Interval() {
+		t.Fatalf("interval %v, want %v", interval, s.Interval())
+	}
+	if !reflect.DeepEqual(series, s.Series()) {
+		t.Fatalf("decoded series differ:\n got %+v\nwant %+v", series, s.Series())
+	}
+}
+
+func TestReadProbesFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/9","series":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadProbesFile(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

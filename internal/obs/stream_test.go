@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ellog/internal/sim"
+	"ellog/internal/trace"
+)
+
+// wireEvents exercises every kind plus the field edge cases: zero
+// tx/obj/lsn/n (omitted on the JSONL wire), gen -1, OID 0, and repeated
+// timestamps (zero binary deltas).
+func wireEvents() []trace.Event {
+	var evs []trace.Event
+	at := sim.Time(0)
+	for k := trace.EvAppend; k <= trace.EvMove; k++ {
+		evs = append(evs, trace.Event{
+			At: at, Kind: k, Gen: int(k) % 3, Tx: 7, Obj: 123456, LSN: 42, N: 3,
+		})
+		at += 17 * sim.Millisecond
+	}
+	evs = append(evs,
+		trace.Event{At: at, Kind: trace.EvSeal, Gen: -1},
+		trace.Event{At: at, Kind: trace.EvAppend, Gen: 0, Tx: 1, Obj: 0, LSN: 1, N: 1},
+		trace.Event{At: at, Kind: trace.EvCommit, Gen: 1, Tx: 1 << 40},
+	)
+	return evs
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := wireEvents()
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, e := range want {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":"`+TraceSchema+`"}`+"\n") {
+		t.Fatalf("missing schema header: %q", buf.String()[:40])
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	want := wireEvents()
+	var buf bytes.Buffer
+	s := NewBinarySink(&buf)
+	for _, e := range want {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The compact format should beat JSONL by a wide margin.
+	if buf.Len() > 30*len(want) {
+		t.Fatalf("binary encoding is %d bytes for %d events", buf.Len(), len(want))
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadTraceFileAutoDetects(t *testing.T) {
+	want := wireEvents()
+	dir := t.TempDir()
+
+	jpath := filepath.Join(dir, "t.jsonl")
+	if err := WriteJSONLFile(jpath, want); err != nil {
+		t.Fatal(err)
+	}
+	bpath := filepath.Join(dir, "t.bin")
+	var buf bytes.Buffer
+	s := NewBinarySink(&buf)
+	for _, e := range want {
+		s.Emit(e)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bpath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{jpath, bpath} {
+		got, err := ReadTraceFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: decoded events differ", path)
+		}
+	}
+}
+
+func TestReadJSONLStrictness(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":          "",
+		"missing header": `{"at":1,"kind":"seal","gen":0}` + "\n",
+		"wrong schema":   `{"schema":"other/1"}` + "\n",
+		"unknown kind":   `{"schema":"ellog-trace/1"}` + "\n" + `{"at":1,"kind":"warp","gen":0}` + "\n",
+		"malformed line": `{"schema":"ellog-trace/1"}` + "\n" + `{"at":` + "\n",
+		"second header":  `{"schema":"ellog-trace/1"}` + "\n" + `{"schema":"ellog-trace/1"}` + "\n",
+	} {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid magic, then an out-of-range kind.
+	var buf bytes.Buffer
+	buf.WriteString("ellogbin1\n")
+	buf.WriteByte(0xff)
+	buf.WriteByte(0x01)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}

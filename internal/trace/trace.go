@@ -47,6 +47,15 @@ const (
 	// EvRetry: a failed block write is being retried (N is the attempt
 	// number that failed).
 	EvRetry
+	// EvMove: one record moved generations — forwarded when Gen < N,
+	// recirculated when Gen == N. Gen is the source generation and N the
+	// destination; Tx/Obj/LSN identify the record. EvForward/EvRecirculate
+	// remain the batch-level events; EvMove is the record-level trail that
+	// lets an exported trace reconstruct a single record's journey.
+	EvMove
+
+	// numKinds bounds per-kind count arrays; keep it one past the last kind.
+	numKinds = int(EvMove) + 1
 )
 
 // String names the event kind.
@@ -78,6 +87,8 @@ func (k Kind) String() string {
 		return "fault"
 	case EvRetry:
 		return "retry"
+	case EvMove:
+		return "move"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -124,8 +135,8 @@ type Ring struct {
 	buf   []Event
 	next  int
 	total uint64
-	// KindCount tallies events by kind for assertions and summaries.
-	counts [EvRetry + 1]uint64
+	// counts tallies events by kind for assertions and summaries.
+	counts [numKinds]uint64
 }
 
 // NewRing returns a sink retaining up to n events.
@@ -189,15 +200,30 @@ func (r *Ring) Dump(n int) string {
 	return b.String()
 }
 
-// Filter is a sink decorator that forwards only selected kinds.
+// Filter is a sink decorator that forwards only selected kinds. A nil
+// Kinds map means "pass everything" — a zero-value Filter is a
+// transparent pass-through, not a black hole.
 type Filter struct {
 	Next  Sink
 	Kinds map[Kind]bool
 }
 
+// NewFilter builds a Filter forwarding only the listed kinds to next.
+// With no kinds listed the filter passes every event.
+func NewFilter(next Sink, kinds ...Kind) *Filter {
+	f := &Filter{Next: next}
+	if len(kinds) > 0 {
+		f.Kinds = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			f.Kinds[k] = true
+		}
+	}
+	return f
+}
+
 // Emit implements Sink.
 func (f *Filter) Emit(e Event) {
-	if f.Kinds[e.Kind] {
+	if f.Kinds == nil || f.Kinds[e.Kind] {
 		f.Next.Emit(e)
 	}
 }

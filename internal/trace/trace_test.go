@@ -10,7 +10,7 @@ import (
 func TestKindString(t *testing.T) {
 	kinds := []Kind{EvAppend, EvSeal, EvDurable, EvForward, EvRecirculate,
 		EvDiscard, EvFlush, EvForceFlush, EvCommit, EvKill, EvResize,
-		EvFault, EvRetry}
+		EvFault, EvRetry, EvMove}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -100,6 +100,74 @@ func TestFilter(t *testing.T) {
 	f.Emit(Event{Kind: EvKill})
 	if r.Total() != 1 || r.Count(EvKill) != 1 {
 		t.Fatalf("filter passed %d events", r.Total())
+	}
+}
+
+// A Filter with no Kinds map is a transparent pass-through, not a drop-all.
+func TestFilterNilKindsPassesAll(t *testing.T) {
+	r := NewRing(8)
+	f := &Filter{Next: r}
+	f.Emit(Event{Kind: EvAppend})
+	f.Emit(Event{Kind: EvKill})
+	f.Emit(Event{Kind: EvMove})
+	if r.Total() != 3 {
+		t.Fatalf("nil-Kinds filter passed %d events, want all 3", r.Total())
+	}
+}
+
+func TestNewFilter(t *testing.T) {
+	r := NewRing(8)
+	f := NewFilter(r, EvSeal, EvDurable)
+	f.Emit(Event{Kind: EvAppend})
+	f.Emit(Event{Kind: EvSeal})
+	f.Emit(Event{Kind: EvDurable})
+	if r.Total() != 2 || r.Count(EvSeal) != 1 || r.Count(EvDurable) != 1 {
+		t.Fatalf("NewFilter passed %d events", r.Total())
+	}
+	// No kinds listed → pass-all.
+	r2 := NewRing(8)
+	all := NewFilter(r2)
+	all.Emit(Event{Kind: EvAppend})
+	all.Emit(Event{Kind: EvRetry})
+	if r2.Total() != 2 {
+		t.Fatalf("NewFilter() passed %d events, want 2", r2.Total())
+	}
+}
+
+func TestRingTailBoundaries(t *testing.T) {
+	// n=0 on any ring returns an empty slice.
+	r := NewRing(4)
+	r.Emit(Event{Kind: EvAppend, N: 0})
+	if got := r.Tail(0); len(got) != 0 {
+		t.Fatalf("Tail(0) returned %d events", len(got))
+	}
+	// Empty ring: any n returns nothing.
+	empty := NewRing(4)
+	if got := empty.Tail(3); len(got) != 0 {
+		t.Fatalf("Tail on empty ring returned %d events", len(got))
+	}
+	// n>len before the ring has filled returns just what is retained.
+	r2 := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r2.Emit(Event{Kind: EvSeal, N: i})
+	}
+	got := r2.Tail(100)
+	if len(got) != 3 || got[0].N != 0 || got[2].N != 2 {
+		t.Fatalf("Tail(100) on part-filled ring = %v", got)
+	}
+	// Exactly-wrapped: emit exactly 2*cap so next lands back at index 0.
+	r3 := NewRing(4)
+	for i := 0; i < 8; i++ {
+		r3.Emit(Event{Kind: EvFlush, N: i})
+	}
+	tail := r3.Tail(4)
+	if len(tail) != 4 {
+		t.Fatalf("Tail on exactly-wrapped ring returned %d", len(tail))
+	}
+	for i, e := range tail {
+		if e.N != 4+i {
+			t.Fatalf("exactly-wrapped tail = %v, want 4..7", tail)
+		}
 	}
 }
 
