@@ -79,7 +79,7 @@ func main() {
 		pool = runner.New(*parallel)
 		opt.Pool = pool
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //ellint:allow wallclock harness-only wall timing, reported as informational
 	if *mixes != "" {
 		for _, part := range strings.Split(*mixes, ",") {
 			var f float64
@@ -100,13 +100,13 @@ func main() {
 	}
 
 	runFig456 := func() {
-		start := time.Now()
+		start := time.Now() //ellint:allow wallclock operator feedback on regeneration cost
 		points, err := experiments.Fig456(opt)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(experiments.FormatFig456(points))
-		fmt.Printf("(figures 4-6 regenerated in %v wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(figures 4-6 regenerated in %v wall clock)\n\n", time.Since(start).Round(time.Millisecond)) //ellint:allow wallclock operator feedback, not a simulation result
 		if *csvPath != "" {
 			if err := writeCSV(*csvPath, points); err != nil {
 				fatal(err)
@@ -168,7 +168,7 @@ func main() {
 	if pool != nil {
 		runs, hits := pool.Stats()
 		fmt.Printf("(%d simulations run, %d answered from cache, %d workers, %v wall clock)\n",
-			runs, hits, pool.Workers(), time.Since(wallStart).Round(time.Millisecond))
+			runs, hits, pool.Workers(), time.Since(wallStart).Round(time.Millisecond)) //ellint:allow wallclock operator feedback, not a simulation result
 		if rep != nil {
 			rep.SetInformational("harness", "simulations_run", float64(runs))
 			rep.SetInformational("harness", "cache_hits", float64(hits))
@@ -177,7 +177,7 @@ func main() {
 	if rep != nil {
 		fmt.Println("measuring engine hot path...")
 		perf.MeasureEngine().AddTo(rep)
-		rep.SetInformational("harness", "wall_seconds", time.Since(wallStart).Seconds())
+		rep.SetInformational("harness", "wall_seconds", time.Since(wallStart).Seconds()) //ellint:allow wallclock informational metric, excluded from the perfdiff gate
 		if err := rep.WriteFile(*jsonPath); err != nil {
 			fatal(err)
 		}
@@ -195,13 +195,13 @@ func main() {
 // wall-clock time it took, and hands the result to collect (if non-nil)
 // for the -json perf report.
 func show[T any](name string, opt experiments.Options, run func(experiments.Options) (T, error), format func(T) string, collect func(T)) {
-	start := time.Now()
+	start := time.Now() //ellint:allow wallclock operator feedback on experiment cost
 	r, err := run(opt)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(format(r))
-	fmt.Printf("(%s finished in %v wall clock)\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%s finished in %v wall clock)\n", name, time.Since(start).Round(time.Millisecond)) //ellint:allow wallclock operator feedback, not a simulation result
 	if collect != nil {
 		collect(r)
 	}

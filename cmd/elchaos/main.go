@@ -228,13 +228,13 @@ func runCampaign(hcfg harness.Config, tornFracs string, maxPoints, workers int) 
 	pool := runner.New(workers)
 	fmt.Printf("campaign: seed %d, generations %v, %v runtime, %d workers\n",
 		hcfg.Seed, hcfg.LM.GenSizes, hcfg.Workload.Runtime, pool.Workers())
-	start := time.Now()
+	start := time.Now() //ellint:allow wallclock operator feedback on campaign cost
 	res, err := fault.RunCampaign(ccfg, pool)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(res)
-	fmt.Printf("(%v wall clock)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%v wall clock)\n", time.Since(start).Round(time.Millisecond)) //ellint:allow wallclock operator feedback, not a simulation result
 	if !res.Passed() {
 		// A sweep keeps no traces — points are too numerous — so rerun the
 		// first failing point alone with a capture sink and dump its full

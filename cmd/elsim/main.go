@@ -248,7 +248,7 @@ func runSeeds(cfg config.SimConfig, base harness.Config, n, parallel int, verbos
 		cfgs[i].Seed = base.Seed + uint64(i)
 	}
 	pool := runner.New(parallel)
-	start := time.Now()
+	start := time.Now() //ellint:allow wallclock operator feedback on run cost
 	results, err := pool.RunAll(cfgs)
 	if err != nil {
 		fatal(err)
@@ -270,7 +270,7 @@ func runSeeds(cfg config.SimConfig, base harness.Config, n, parallel int, verbos
 		}
 	}
 	fmt.Printf("(%d runs on %d workers in %v wall clock)\n",
-		n, pool.Workers(), time.Since(start).Round(time.Millisecond))
+		n, pool.Workers(), time.Since(start).Round(time.Millisecond)) //ellint:allow wallclock operator feedback, not a simulation result
 	if insufficient > 0 {
 		fmt.Printf("verdict: INSUFFICIENT disk space for %d of %d seeds\n", insufficient, n)
 		os.Exit(2)

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ellog/internal/lint"
+	"ellog/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, fixture("wallclock"), lint.WallclockAnalyzer)
+}
+
+func TestRngsource(t *testing.T) {
+	linttest.Run(t, fixture("rngsource"), lint.RngsourceAnalyzer)
+}
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, fixture("maporder"), lint.MaporderAnalyzer)
+}
+
+func TestMaporderSuggestedFixes(t *testing.T) {
+	linttest.RunWithSuggestedFixes(t, fixture("maporderfix"), lint.MaporderAnalyzer)
+}
+
+func TestNilgate(t *testing.T) {
+	linttest.Run(t, fixture("nilgate"), lint.NilgateAnalyzer)
+}
+
+func TestFloatorder(t *testing.T) {
+	linttest.Run(t, fixture("floatorder"), lint.FloatorderAnalyzer)
+}

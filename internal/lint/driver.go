@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The standalone driver behind cmd/ellint: load packages, apply the
+// ruleset, collect findings, optionally apply suggested fixes.
+
+// A Finding is one reported diagnostic with resolved positions.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+
+	fixes []SuggestedFix
+	fset  *token.FileSet
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// HasFix reports whether the finding carries a mechanical fix.
+func (f Finding) HasFix() bool { return len(f.fixes) > 0 }
+
+// Run loads the packages matched by patterns under dir's module and
+// applies the full ruleset, returning findings sorted by position. Type
+// errors in any loaded package abort the run: analyzer output over broken
+// code is unreliable.
+func Run(dir string, patterns []string) ([]Finding, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type errors: %v", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		for _, rule := range Ruleset {
+			if !rule.Scope.Applies(pkg.Rel) {
+				continue
+			}
+			diags, err := Check(rule.Analyzer, loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				findings = append(findings, Finding{
+					Analyzer: d.Category,
+					Pos:      loader.Fset.Position(d.Pos),
+					Message:  d.Message,
+					fixes:    d.SuggestedFixes,
+					fset:     loader.Fset,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ApplyFixes applies every suggested fix among findings to the files on
+// disk, gofmt-ing the result. Returns the rewritten file names. Edits are
+// applied highest-offset first so positions stay valid; overlapping fixes
+// in one file are rejected.
+func ApplyFixes(findings []Finding) ([]string, error) {
+	type edit struct {
+		lo, hi  int
+		newText []byte
+	}
+	byFile := make(map[string][]edit)
+	for _, f := range findings {
+		for _, fix := range f.fixes {
+			for _, te := range fix.TextEdits {
+				file := f.fset.File(te.Pos)
+				if file == nil {
+					return nil, fmt.Errorf("%s: fix position outside loaded files", f.Pos)
+				}
+				byFile[file.Name()] = append(byFile[file.Name()], edit{
+					lo:      file.Offset(te.Pos),
+					hi:      file.Offset(te.End),
+					newText: te.NewText,
+				})
+			}
+		}
+	}
+	var rewritten []string
+	for name, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].lo > edits[j].lo })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].hi > edits[i-1].lo {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes", name)
+			}
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edits {
+			data = append(data[:e.lo:e.lo], append(e.newText, data[e.hi:]...)...)
+		}
+		formatted, err := format.Source(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: fixed source does not format: %w", name, err)
+		}
+		if err := os.WriteFile(name, formatted, 0o644); err != nil {
+			return nil, err
+		}
+		rewritten = append(rewritten, name)
+	}
+	sort.Strings(rewritten)
+	return rewritten, nil
+}
+
+// FormatFindings renders findings one per line, relative to dir when
+// possible, for terminal output.
+func FormatFindings(findings []Finding, dir string) string {
+	var b strings.Builder
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, ok := strings.CutPrefix(pos.Filename, dir+string(os.PathSeparator)); ok {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(&b, "%s: %s: %s", pos, f.Analyzer, f.Message)
+		if f.HasFix() {
+			b.WriteString(" (mechanical fix available: rerun with -fix)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a throwaway module and returns its root.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const tempGoMod = "module example.test/det\n\ngo 1.22\n"
+
+func TestRunFindsAndScopesViolations(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"go.mod": tempGoMod,
+		// Root package: one wallclock violation, one suppressed.
+		"clock.go": `package det
+
+import "time"
+
+func Wall() time.Time { return time.Now() }
+
+func Allowed() time.Time {
+	return time.Now() //ellint:allow wallclock test fixture
+}
+`,
+		// internal/sim is exempt from rngsource by the ruleset.
+		"internal/sim/sim.go": `package sim
+
+import "math/rand/v2"
+
+func New(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 1)) }
+`,
+		// Another package drawing from the global source: flagged.
+		"internal/work/work.go": `package work
+
+import "math/rand/v2"
+
+func Draw() int { return rand.IntN(6) }
+`,
+	})
+	findings, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		rel, _ := filepath.Rel(root, f.Pos.Filename)
+		got = append(got, f.Analyzer+"@"+filepath.ToSlash(rel))
+	}
+	want := []string{"wallclock@clock.go", "rngsource@internal/work/work.go"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("findings = %v, want %v", got, want)
+	}
+}
+
+func TestRunRejectsTypeErrors(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"go.mod":    tempGoMod,
+		"broken.go": "package det\n\nfunc f() { undefined() }\n",
+	})
+	if _, err := Run(root, []string{"./..."}); err == nil {
+		t.Fatal("Run succeeded on a package with type errors")
+	}
+}
+
+func TestApplyFixesRewritesMapOrder(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"go.mod": tempGoMod,
+		"dump.go": `package det
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Dump(counts map[string]int) {
+	for name, n := range counts {
+		fmt.Printf("%s %d\n", name, n)
+	}
+}
+
+func keep(xs []string) { sort.Strings(xs) }
+`,
+	})
+	findings, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !findings[0].HasFix() {
+		t.Fatalf("findings = %v, want one maporder finding with a fix", findings)
+	}
+	fixed, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("ApplyFixes rewrote %v, want one file", fixed)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "dump.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	if !strings.Contains(src, "sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })") {
+		t.Errorf("fixed source lacks sorted-keys loop:\n%s", src)
+	}
+	// The rewritten tree must now satisfy the whole contract.
+	findings, err = Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("fixed tree does not load: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("fixed tree still has findings: %v", findings)
+	}
+}
+
+// TestRepoIsCleanUnderRuleset is the acceptance criterion as a test: the
+// shipped tree must satisfy the determinism contract with only its audited
+// //ellint:allow annotations. Loading the full module type-checks the
+// standard library from source, so keep it out of -short runs.
+func TestRepoIsCleanUnderRuleset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load is slow; run without -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(wd, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("determinism contract violated:\n%s", FormatFindings(findings, wd))
+	}
+}

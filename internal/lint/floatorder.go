@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The floatorder rule targets a subtler replay hazard than maporder: float
+// addition is not associative, so reducing values into a float accumulator
+// in map-iteration order (randomized per run) or goroutine-completion
+// order (scheduler-dependent) produces results that differ in the low bits
+// between replays — enough to break byte-identical stats and the
+// parallel-equals-sequential contract. Integer accumulation commutes
+// exactly and is not flagged; reductions over slices are in deterministic
+// order and are fine.
+//
+// Flagged shapes:
+//   - `sum += x` (or -=, *=, /=, or `sum = sum + x`) on a float-typed
+//     accumulator declared outside a `for ... range m` over a map
+//   - the same accumulation inside a `go func() { ... }()` body on a
+//     captured float variable
+//
+// The deterministic alternatives: reduce over sorted keys, or have workers
+// return per-shard partials that the coordinator folds in a fixed order
+// (see internal/metrics.Histogram.Merge and runner's result ordering).
+
+// FloatorderAnalyzer implements the floatorder rule.
+var FloatorderAnalyzer = &Analyzer{
+	Name: "floatorder",
+	Doc: "flag float accumulation in map-iteration or goroutine order; float " +
+		"addition is non-associative, so nondeterministic reduction order " +
+		"changes low bits between replays. Reduce over sorted keys or fold " +
+		"fixed-order partials instead.",
+	Run: runFloatorder,
+}
+
+func runFloatorder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				reportFloatAccum(pass, n.Body, n, "map-iteration order is randomized per run")
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					reportFloatAccum(pass, lit.Body, lit, "goroutine completion order is scheduler-dependent")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportFloatAccum flags float accumulation inside body onto variables
+// declared outside scope.
+func reportFloatAccum(pass *Pass, body *ast.BlockStmt, scope ast.Node, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 {
+			return true
+		}
+		if !isFloatAccum(pass, assign) {
+			return true
+		}
+		obj := lhsObject(pass, assign.Lhs[0])
+		if obj == nil || declaredWithin(obj, scope) {
+			return true
+		}
+		pass.Report(Diagnostic{
+			Pos: assign.Pos(),
+			End: assign.End(),
+			Message: "float accumulation into " + exprText(pass.Fset, assign.Lhs[0]) +
+				" is order-dependent (" + why + "); float addition is " +
+				"non-associative — reduce in a fixed order instead",
+		})
+		return true
+	})
+}
+
+// isFloatAccum reports whether assign accumulates onto a float-typed
+// target: `x op= e` or `x = x + e`.
+func isFloatAccum(pass *Pass, assign *ast.AssignStmt) bool {
+	tv, ok := pass.TypesInfo.Types[assign.Lhs[0]]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return false
+	}
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(assign.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return sameObjectExpr(pass, assign.Lhs[0], bin.X)
+		}
+	}
+	return false
+}

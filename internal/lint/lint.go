@@ -1,0 +1,127 @@
+// Package lint is a self-contained static-analysis suite that mechanically
+// enforces the repository's determinism contract (see DESIGN.md, section
+// "Determinism contract").
+//
+// The artifact's results are only trustworthy because a (seed, config) pair
+// replays bit-identically. Earlier PRs promised that by convention ("all
+// hooks nil-gated", "byte-identical parallel vs sequential") and the
+// per-type map-order bug fixed in PR 4 shows convention leaks. This package
+// turns the contract into machine-checked rules:
+//
+//	wallclock  — no wall-clock time in simulator code (virtual clock only)
+//	rngsource  — every random draw flows from a seeded engine stream
+//	maporder   — no order-dependent effects inside map iteration
+//	nilgate    — optional hook fields are nil-gated at every call site
+//	floatorder — no float reduction in map- or goroutine-order
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic, SuggestedFix) but is built purely on the standard
+// library's go/ast and go/types so the module keeps zero external
+// dependencies. Analyzers are pure rules; which packages each rule applies
+// to is a driver concern (see ruleset.go), and individual sites are
+// suppressed with an explicit comment (see suppress.go):
+//
+//	//ellint:allow <rule>[,<rule>...] <reason>
+//
+// Run the suite with `go run ./cmd/ellint ./...` or as a vet tool with
+// `go vet -vettool=$(which ellint) ./...`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one rule of the determinism contract.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and in //ellint:allow
+	// suppressions. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description: what the rule forbids and why
+	// the determinism contract needs it.
+	Doc string
+
+	// Run applies the rule to a single type-checked package and reports
+	// findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// collects its diagnostics. It deliberately mirrors analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Report records a diagnostic, stamping the analyzer's name as category.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, optionally carrying mechanical fixes.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // or NoPos
+	Category string    // analyzer name; filled in by Report
+	Message  string
+
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is a mechanical rewrite that resolves the diagnostic.
+// Edits within one fix must not overlap.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// run executes a on one package and returns the raw (unsuppressed)
+// diagnostics.
+func run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.diags, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,244 @@
+// Package linttest runs lint analyzers over fixture packages, in the style
+// of golang.org/x/tools/go/analysis/analysistest but built on the standard
+// library only.
+//
+// A fixture is a directory of Go files under internal/lint/testdata/src.
+// Expected diagnostics are declared inline with want comments:
+//
+//	t := time.Now() // want `time\.Now reads the wall clock`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match a diagnostic reported on that line; every
+// diagnostic must in turn be matched by a want. //ellint:allow suppressions
+// are honored, so a fixture line carrying an allow annotation and no want
+// asserts that suppression works.
+//
+// RunWithSuggestedFixes additionally applies every suggested fix and
+// compares the result (gofmt-ed) against the fixture file + ".golden".
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ellog/internal/lint"
+)
+
+// Run loads the fixture package in dir, applies a, and matches diagnostics
+// against want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	runFixture(t, dir, a, false)
+}
+
+// RunWithSuggestedFixes is Run plus golden-file verification of the
+// analyzer's suggested fixes.
+func RunWithSuggestedFixes(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	runFixture(t, dir, a, true)
+}
+
+func runFixture(t *testing.T, dir string, a *lint.Analyzer, fixes bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse fixture %s: %v", dir, err)
+	}
+	info := lint.NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkgPath := "ellint.test/" + filepath.Base(dir)
+	pkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, typeErrs)
+	}
+
+	diags, err := lint.Check(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkWants(t, fset, files, a.Name, diags)
+	if fixes {
+		checkGoldens(t, fset, diags)
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// wantRe matches one quoted or backquoted regexp in a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses `// want "re" ...` comments into per-line regexps.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+				if len(wants[key]) == 0 {
+					t.Fatalf("%s: want comment with no pattern", pos)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, name string, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	matched := make(map[wantKey][]bool)
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		ok := false
+		for i, re := range wants[key] {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, name, d.Message)
+		}
+	}
+	keys := make([]wantKey, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, key := range keys {
+		for i, re := range wants[key] {
+			if !matched[key][i] {
+				t.Errorf("%s:%d: no %s diagnostic matching %q", key.file, key.line, name, re)
+			}
+		}
+	}
+}
+
+// checkGoldens applies all suggested fixes per file and compares against
+// the .golden neighbor. Both sides are gofmt-ed before comparison so the
+// generated edits need not reproduce exact indentation.
+func checkGoldens(t *testing.T, fset *token.FileSet, diags []lint.Diagnostic) {
+	t.Helper()
+	type edit struct {
+		lo, hi  int
+		newText []byte
+	}
+	byFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				file := fset.File(te.Pos)
+				if file == nil {
+					t.Fatalf("fix edit with position outside fixture")
+				}
+				byFile[file.Name()] = append(byFile[file.Name()], edit{
+					lo: file.Offset(te.Pos), hi: file.Offset(te.End), newText: te.NewText,
+				})
+			}
+		}
+	}
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edits := byFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].lo > edits[j].lo })
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range edits {
+			if i > 0 && e.hi > edits[i-1].lo {
+				t.Fatalf("%s: overlapping suggested fixes", name)
+			}
+			data = append(data[:e.lo:e.lo], append(e.newText, data[e.hi:]...)...)
+		}
+		got, err := format.Source(data)
+		if err != nil {
+			t.Fatalf("%s: fixed source does not parse: %v\n%s", name, err, data)
+		}
+		goldenBytes, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Fatalf("%s: suggested fixes produced output but no golden file: %v", name, err)
+		}
+		golden, err := format.Source(goldenBytes)
+		if err != nil {
+			t.Fatalf("%s.golden does not parse: %v", name, err)
+		}
+		if string(got) != string(golden) {
+			t.Errorf("%s: fixed output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, golden)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The analyzers are pure rules; this file is the policy layer deciding
+// where each rule applies. Scoping is by import path relative to the
+// module root, so the table reads like the contract in DESIGN.md.
+//
+// Test files (_test.go) are excluded wholesale by the drivers: tests may
+// construct fixed-seed RNGs and wall-time themselves freely, and test
+// determinism is enforced dynamically by the determinism suites
+// (internal/search/determinism_test.go, internal/experiments/...). The
+// contract below is about shipped simulator code.
+
+// A Scope restricts an analyzer to (Only) or away from (Skip) package
+// path prefixes relative to the module root. Empty means module-wide.
+type Scope struct {
+	Only []string // if non-empty, only packages under these prefixes
+	Skip []string // packages under these prefixes are exempt
+}
+
+// Applies reports whether a package at module-relative path rel is in
+// scope. The module root itself is rel "".
+func (s Scope) Applies(rel string) bool {
+	if len(s.Only) > 0 {
+		ok := false
+		for _, p := range s.Only {
+			if underPrefix(rel, p) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, p := range s.Skip {
+		if underPrefix(rel, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func underPrefix(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// A Rule pairs an analyzer with the scope it is enforced in.
+type Rule struct {
+	*Analyzer
+	Scope Scope
+}
+
+// Ruleset is the determinism contract: every analyzer, and where it
+// applies. Order is the reporting order.
+var Ruleset = []Rule{
+	// Wall-clock reads are forbidden module-wide. The CLI harnesses in
+	// cmd/ deliberately wall-time whole runs for operator feedback; those
+	// sites carry //ellint:allow wallclock annotations rather than a
+	// package-level exemption, so each one is an audited decision.
+	{WallclockAnalyzer, Scope{}},
+
+	// internal/sim owns the seeded engine streams and internal/fault
+	// derives its plan stream from the config seed; everywhere else must
+	// draw through them.
+	{RngsourceAnalyzer, Scope{Skip: []string{"internal/sim", "internal/fault"}}},
+
+	{MaporderAnalyzer, Scope{}},
+	{NilgateAnalyzer, Scope{}},
+	{FloatorderAnalyzer, Scope{}},
+}
+
+// RuleByName returns the rule with the given analyzer name, or nil.
+func RuleByName(name string) *Rule {
+	for i := range Ruleset {
+		if Ruleset[i].Name == name {
+			return &Ruleset[i]
+		}
+	}
+	return nil
+}
+
+// Check runs one analyzer over a type-checked package and returns its
+// diagnostics with //ellint:allow suppressions already applied.
+func Check(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, err := run(a, fset, files, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	return Filter(fset, files, diags), nil
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax
+//
+// A site that deliberately breaks a rule carries an explicit annotation:
+//
+//	start := time.Now() //ellint:allow wallclock harness wall-clock timing
+//
+// or, on its own line immediately above the flagged statement:
+//
+//	//ellint:allow maporder output feeds a set, order is irrelevant
+//	for k := range m { ... }
+//
+// The first whitespace-delimited token after "ellint:allow" is a
+// comma-separated list of rule names; everything after it is a free-form
+// reason (strongly encouraged — the annotation is the audit trail for why
+// the determinism contract tolerates the site). A trailing allow comment
+// suppresses matching diagnostics on its own line only; a standalone allow
+// comment also covers the line directly below it, so two consecutive
+// violations never share one annotation by accident.
+
+const allowPrefix = "ellint:allow"
+
+// allowSet records, per file line, which rules are allowed there.
+type allowSet map[int]map[string]bool
+
+// collectAllows scans the comments of files for //ellint:allow annotations.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]allowSet {
+	byFile := make(map[string]allowSet)
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(allowPrefix):])
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				set := byFile[pos.Filename]
+				if set == nil {
+					set = make(allowSet)
+					byFile[pos.Filename] = set
+				}
+				lines := []int{pos.Line}
+				if !code[pos.Line] {
+					// Standalone comment: it annotates the line below.
+					lines = append(lines, pos.Line+1)
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					rule = strings.TrimSpace(rule)
+					if rule == "" {
+						continue
+					}
+					for _, line := range lines {
+						m := set[line]
+						if m == nil {
+							m = make(map[string]bool)
+							set[line] = m
+						}
+						m[rule] = true
+					}
+				}
+			}
+		}
+	}
+	return byFile
+}
+
+// codeLines marks the lines of f that contain non-comment tokens, so a
+// trailing allow comment can be told apart from a standalone one.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return true
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// suppressed reports whether d is covered by an //ellint:allow annotation.
+func suppressed(fset *token.FileSet, allows map[string]allowSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	set := allows[pos.Filename]
+	if set == nil {
+		return false
+	}
+	return set[pos.Line][d.Category]
+}
+
+// Filter drops diagnostics covered by //ellint:allow annotations in files.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	allows := collectAllows(fset, files)
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(fset, allows, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

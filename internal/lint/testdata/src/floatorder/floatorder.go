@@ -1,0 +1,89 @@
+// Fixture for the floatorder analyzer: float reduction in map-iteration or
+// goroutine order is flagged; integer accumulation and slice-order
+// reduction are fine.
+package floatorder
+
+func badMapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum is order-dependent`
+	}
+	return sum
+}
+
+func badMapExpandedForm(m map[int]float64) float64 {
+	total := 0.0
+	for k := range m {
+		total = total + m[k] // want `float accumulation into total`
+	}
+	return total
+}
+
+func badMapProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `float accumulation into p`
+	}
+	return p
+}
+
+type stats struct{ mean float64 }
+
+func badFieldAccum(m map[string]float64) stats {
+	var s stats
+	for _, v := range m {
+		s.mean += v // want `float accumulation into s\.mean`
+	}
+	return s
+}
+
+func badGoroutine(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	for _, x := range xs {
+		x := x
+		go func() {
+			sum += x // want `goroutine completion order is scheduler-dependent`
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return sum
+}
+
+// goodIntCount: integer addition commutes exactly.
+func goodIntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// goodSliceSum: slice iteration order is deterministic.
+func goodSliceSum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// goodLoopLocal: the accumulator lives inside the loop body.
+func goodLoopLocal(m map[string]float64) {
+	for _, v := range m {
+		scaled := 0.0
+		scaled += v
+		_ = scaled
+	}
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ellint:allow floatorder fixture: downstream compares with tolerance
+	}
+	return sum
+}

@@ -1,0 +1,28 @@
+// Fixture for the maporder suggested fix: the file imports "sort", keys
+// are ordered basic types, so each diagnostic carries the sorted-keys
+// rewrite. fix.go.golden holds the expected post-fix source.
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func report(counts map[string]int) {
+	for name, n := range counts { // want `calls fmt\.Printf`
+		fmt.Printf("%-12s %d\n", name, n)
+	}
+}
+
+func dumpGens(sizes map[int]float64) {
+	for gen := range sizes { // want `calls fmt\.Println`
+		fmt.Println(gen, sizes[gen])
+	}
+}
+
+// sortedCopy keeps the sort import in use before fixes are applied.
+func sortedCopy(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}

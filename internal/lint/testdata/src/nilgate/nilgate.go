@@ -1,0 +1,85 @@
+// Fixture for the nilgate analyzer. The hook and out fields are
+// nil-compared somewhere in the package, marking them optional; every
+// direct call through them must then be nil-gated. The must field is never
+// nil-compared and is assumed required.
+package nilgate
+
+type event struct{ at int64 }
+
+type sink interface{ Emit(event) }
+
+type dev struct {
+	hook func(int)
+	out  sink
+	must func()
+}
+
+func (d *dev) guardedInline(n int) {
+	if d.hook != nil {
+		d.hook(n)
+	}
+}
+
+func (d *dev) guardedEarlyReturn(e event) {
+	if d.out == nil {
+		return
+	}
+	d.out.Emit(e)
+}
+
+func (d *dev) guardedElse(n int) {
+	if d.hook == nil {
+		_ = n
+	} else {
+		d.hook(n)
+	}
+}
+
+func (d *dev) guardedAndChain(n int) {
+	if n > 0 && d.hook != nil {
+		d.hook(n)
+	}
+}
+
+func (d *dev) guardedDeep(events []event) {
+	if d.out == nil {
+		return
+	}
+	for _, e := range events {
+		if e.at > 0 {
+			d.out.Emit(e)
+		}
+	}
+}
+
+func (d *dev) viaLocal() {
+	h := d.hook
+	if h != nil {
+		h(1)
+	}
+}
+
+func (d *dev) unguardedFunc(n int) {
+	d.hook(n) // want `call through optional hook field d\.hook is not nil-gated`
+}
+
+func (d *dev) unguardedIface(e event) {
+	d.out.Emit(e) // want `call through optional hook field d\.out is not nil-gated`
+}
+
+// wrongGuard checks the other hook: no protection for the one called.
+func (d *dev) wrongGuard(e event) {
+	if d.hook != nil {
+		d.out.Emit(e) // want `call through optional hook field d\.out is not nil-gated`
+	}
+}
+
+// required is never nil-compared in this package, so calls through it are
+// assumed safe.
+func (d *dev) required() {
+	d.must()
+}
+
+func (d *dev) suppressed(n int) {
+	d.hook(n) //ellint:allow nilgate fixture: constructor always sets hook
+}

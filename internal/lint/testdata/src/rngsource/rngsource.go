@@ -1,0 +1,36 @@
+// Fixture for the rngsource analyzer. Global draws and ad-hoc generator
+// construction are flagged; methods on an engine-provided *rand.Rand are
+// fine.
+package rngsource
+
+import (
+	randv1 "math/rand"
+	"math/rand/v2"
+)
+
+func badGlobals() {
+	_ = rand.Int()                     // want `rand\.Int draws from the process-global source`
+	_ = rand.IntN(10)                  // want `rand\.IntN draws from the process-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	_ = randv1.Intn(10)                // want `rand\.Intn draws from the process-global source`
+}
+
+func badConstructors() {
+	_ = rand.New(rand.NewPCG(1, 2))     // want `rand\.New constructs a generator` `rand\.NewPCG constructs a generator`
+	_ = randv1.New(randv1.NewSource(7)) // want `rand\.New constructs a generator` `rand\.NewSource constructs a generator`
+	_ = rand.NewChaCha8([32]byte{})     // want `rand\.NewChaCha8 constructs a generator`
+}
+
+// good draws through a stream the caller obtained from the seeded engine.
+func good(rng *rand.Rand) uint64 {
+	_ = rng.IntN(10)
+	_ = rng.Float64()
+	var zero rand.Rand // type references are fine
+	_ = zero
+	return rng.Uint64()
+}
+
+func suppressed() {
+	_ = rand.Int() //ellint:allow rngsource fixture: deliberately unseeded
+}

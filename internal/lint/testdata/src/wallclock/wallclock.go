@@ -1,0 +1,38 @@
+// Fixture for the wallclock analyzer: positive, negative, and suppressed
+// cases. Each `want` comment is a regexp the diagnostic on that line must
+// match.
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                   // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})      // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})      // want `time\.Until reads the wall clock`
+	_ = time.After(time.Second)      // want `time\.After reads the wall clock`
+	_ = time.Tick(time.Second)       // want `time\.Tick reads the wall clock`
+	_ = time.NewTimer(time.Second)   // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)  // want `time\.NewTicker reads the wall clock`
+	_ = time.AfterFunc(0, func() {}) // want `time\.AfterFunc reads the wall clock`
+}
+
+func good() {
+	// Pure value constructors and conversions are deterministic functions
+	// of their arguments.
+	_ = 5 * time.Millisecond
+	_ = time.Duration(7)
+	_ = time.Date(1993, time.May, 26, 0, 0, 0, 0, time.UTC)
+	_ = time.Unix(0, 0)
+	var t time.Time
+	_ = t.Add(time.Second)
+}
+
+func suppressedTrailing() {
+	_ = time.Now() //ellint:allow wallclock fixture: deliberate wall timing
+}
+
+func suppressedOwnLine() {
+	//ellint:allow wallclock fixture: annotation on the line above
+	_ = time.Now()
+}

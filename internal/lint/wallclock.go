@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockForbidden lists the package time functions that observe or wait
+// on the machine's clock. Simulator code must derive every timestamp and
+// delay from the virtual clock (sim.Engine / sim.Time): a wall-clock read
+// makes run output depend on host speed and scheduling, which breaks the
+// (seed, config) → bit-identical-replay contract. Pure value constructors
+// (time.Date, time.Unix) and conversions are untouched — they are
+// deterministic functions of their arguments.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallclockAnalyzer implements the wallclock rule.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads and sleeps (time.Now, time.Since, time.Sleep, " +
+		"timers); simulator code must use the virtual clock so a (seed, config) " +
+		"pair replays bit-identically. Deliberate wall-timing in the CLI harness " +
+		"is annotated //ellint:allow wallclock.",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := objectOf(pass.TypesInfo, sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallclockForbidden[obj.Name()] {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: sel.Pos(),
+				End: sel.End(),
+				Message: "time." + obj.Name() + " reads the wall clock; simulated " +
+					"code must use the virtual clock (sim.Engine.Now / scheduled events)",
+			})
+			return true
+		})
+	}
+	return nil
+}
