@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|ext")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|xshard|ext")
 		runtime  = flag.Float64("runtime", 500, "simulated seconds per run")
 		objects  = flag.Uint64("objects", 10_000_000, "database object count")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -141,6 +141,11 @@ func main() {
 		show("steal", opt, experiments.Steal, experiments.FormatSteal, nil)
 	case "scale":
 		show("scale", opt, experiments.Scale, experiments.FormatScale, nil)
+	case "xshard":
+		// Deliberately not part of "all": the perfdiff baseline
+		// (results/BENCH_2.json) predates the sharded system, and adding
+		// suites to the gated report would fail the comparison.
+		show("xshard", opt, experiments.CrossShard, experiments.FormatCrossShard, nil)
 	case "ext":
 		show("hints", opt, experiments.Hints, experiments.FormatHints, nil)
 		fmt.Println()

@@ -12,12 +12,18 @@
 //	                                completion and mid-write at torn
 //	                                boundaries — recovering and verifying
 //	                                at each point
+//	elchaos -campaign -shards 3     cross-shard campaign: run the workload
+//	                                sharded with 2PC-in-the-log and sweep
+//	                                whole-machine and single-shard crashes
+//	                                through every two-phase commit window,
+//	                                verifying atomicity at each point
 //
 // Examples:
 //
 //	elchaos -write-fail 0.25 -corrupt 0 -runtime 10
 //	elchaos -campaign -max-points 60 -workers 4
 //	elchaos -campaign -config cfg.json -torn-fracs 0.25,0.75
+//	elchaos -campaign -shards 3 -cross-frac 0.3 -max-points 200
 //
 // Both modes are deterministic for a fixed (seed, fault-seed) pair; a
 // parallel campaign (-workers > 1) is byte-identical to a sequential one.
@@ -35,6 +41,7 @@ import (
 	"ellog/internal/config"
 	"ellog/internal/fault"
 	"ellog/internal/harness"
+	"ellog/internal/multilog"
 	"ellog/internal/obs"
 	"ellog/internal/recovery"
 	"ellog/internal/runner"
@@ -52,6 +59,8 @@ func main() {
 		maxPoints = flag.Int("max-points", 0, "campaign: bound the sweep to ~N points spanning the run (0 = all)")
 		tornFracs = flag.String("torn-fracs", "", "campaign: comma-separated torn prefix fractions (default 0.3,0.7)")
 		workers   = flag.Int("workers", 0, "campaign: parallel crash-point runs (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "campaign: run sharded with this many shards and sweep cross-shard atomicity (>= 2)")
+		crossFrac = flag.Float64("cross-frac", 0.3, "campaign: fraction of transactions spanning two shards (with -shards)")
 
 		faultSeed = flag.Uint64("fault-seed", 1, "chaos: fault plan seed")
 		writeFail = flag.Float64("write-fail", 0.1, "chaos: transient write-error probability per block write")
@@ -85,8 +94,19 @@ func main() {
 		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
 			fatal(fmt.Errorf("campaign bases must be fault-free: drop the faults section (crashes are the campaign's fault model)"))
 		}
+		if *shards > 0 {
+			cfg.Shards = *shards
+			cfg.CrossShardFrac = *crossFrac
+		}
+		if cfg.Shards > 1 {
+			runCrossCampaign(cfg, *maxPoints, *workers)
+			return
+		}
 		runCampaign(hcfg, *tornFracs, *maxPoints, *workers)
 		return
+	}
+	if *shards > 0 {
+		fatal(fmt.Errorf("-shards is a campaign mode; add -campaign (chaos I/O faults are single-log only)"))
 	}
 	runChaos(cfg, hcfg, chaosConfig(cfg, *faultSeed, *writeFail, *corrupt, *slow, *stall), *verbose)
 }
@@ -250,6 +270,40 @@ func runCampaign(hcfg harness.Config, tornFracs string, maxPoints, workers int) 
 			fmt.Printf("first failure (%v) replayed: %d events written to %s (inspect with: go run ./cmd/eltrace -in %s)\n",
 				f.Point, len(capture.Events), path, path)
 		}
+		os.Exit(1)
+	}
+}
+
+// runCrossCampaign sweeps whole-machine and single-shard crash points over
+// a sharded run with distributed transactions, verifying cross-shard
+// atomicity at every point.
+func runCrossCampaign(cfg config.SimConfig, maxPoints, workers int) {
+	if cfg.GroupCommitTimeoutMS == 0 {
+		// Pure group commit splits the traffic across shards and leaves most
+		// of the run in unsealed blocks — almost no durable events to crash
+		// at. Bound the seal delay so the sweep is dense.
+		cfg.GroupCommitTimeoutMS = 20
+	}
+	// Each shard's object range must split evenly over its flush drives;
+	// round the total down so the division works out.
+	if q := uint64(cfg.Shards * cfg.FlushDrives); q > 0 && cfg.NumObjects%q != 0 {
+		cfg.NumObjects -= cfg.NumObjects % q
+	}
+	scfg, err := cfg.ToSharded()
+	if err != nil {
+		fatal(err)
+	}
+	pool := runner.New(workers)
+	fmt.Printf("cross-shard campaign: seed %d, %d shards (cross frac %.2f), generations %v, %v runtime, %d workers\n",
+		scfg.Seed, scfg.Shards, scfg.Workload.CrossShardFrac, scfg.LM.GenSizes, scfg.Workload.Runtime, pool.Workers())
+	start := time.Now() //ellint:allow wallclock operator feedback on campaign cost
+	res, err := multilog.RunCrossCampaign(multilog.CrossCampaignConfig{Base: scfg, MaxPoints: maxPoints}, pool)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Printf("(%v wall clock)\n", time.Since(start).Round(time.Millisecond)) //ellint:allow wallclock operator feedback, not a simulation result
+	if !res.Passed() {
 		os.Exit(1)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"ellog/internal/core"
 	"ellog/internal/fault"
 	"ellog/internal/harness"
+	"ellog/internal/multilog"
 	"ellog/internal/obs"
 	"ellog/internal/sim"
 	"ellog/internal/workload"
@@ -52,6 +53,15 @@ type SimConfig struct {
 	// Flushing.
 	FlushDrives     int   `json:"flush_drives"`
 	FlushTransferMS int64 `json:"flush_transfer_ms"`
+
+	// Sharding (multilog). Shards > 1 runs the configuration as a
+	// shared-nothing sharded system: each shard gets its own log of
+	// Generations blocks, its own FlushDrives and an equal slice of
+	// NumObjects, with transactions routed by object. CrossShardFrac is
+	// the fraction of transactions spanning two shards via 2PC in the
+	// log. Zero values mean the classic single-log run.
+	Shards         int     `json:"shards,omitempty"`
+	CrossShardFrac float64 `json:"cross_shard_frac,omitempty"`
 
 	// Faults optionally arms the internal/fault injection plan. Omitted —
 	// or present with all probabilities zero — means faults-off, and the
@@ -215,4 +225,31 @@ func (c SimConfig) ToHarness() (harness.Config, error) {
 		return cfg, err
 	}
 	return cfg, nil
+}
+
+// ToSharded converts to a runnable sharded (multilog) configuration:
+// NumObjects is split evenly across the shards, each of which gets its
+// own log and flush drives sized like the single-log run's.
+func (c SimConfig) ToSharded() (multilog.ShardedConfig, error) {
+	var scfg multilog.ShardedConfig
+	if c.Shards < 2 {
+		return scfg, fmt.Errorf("config: sharded run needs shards >= 2, have %d", c.Shards)
+	}
+	if c.NumObjects%uint64(c.Shards) != 0 {
+		return scfg, fmt.Errorf("config: %d objects do not split evenly over %d shards", c.NumObjects, c.Shards)
+	}
+	hcfg, err := c.ToHarness()
+	if err != nil {
+		return scfg, err
+	}
+	scfg = multilog.ShardedConfig{
+		Seed:     hcfg.Seed,
+		Shards:   c.Shards,
+		LM:       hcfg.LM,
+		Flush:    hcfg.Flush,
+		Workload: hcfg.Workload,
+	}
+	scfg.Flush.NumObjects = c.NumObjects / uint64(c.Shards)
+	scfg.Workload.CrossShardFrac = c.CrossShardFrac
+	return scfg, nil
 }

@@ -137,13 +137,20 @@ func (m *Manager) clearLastHead(g *generation) bool {
 			}
 			g.epochKills++
 			m.dropTx(c.tx, true)
-		case c.rec.Kind == logrec.KindCommit && c.tx.state == txCommitted:
+		case (c.rec.Kind == logrec.KindCommit || c.rec.Kind == logrec.KindDecide) && c.tx.state == txCommitted:
 			// Tx record of a committed transaction with unflushed updates:
 			// flush them all so the entry retires and the record becomes
 			// garbage.
 			m.forceFlushTx(c.tx)
+			if c.inList {
+				// A pinned DECIDE record (remote branches still in doubt)
+				// survives the flush and cannot leave the log yet.
+				return false
+			}
 		default:
-			return false // commit still in flight
+			// Commit or prepare still in flight, or an in-doubt branch's
+			// record: none can be resolved synchronously.
+			return false
 		}
 	}
 }
@@ -163,9 +170,13 @@ func (m *Manager) killVictim(g *generation) bool {
 		case c.rec.Kind == logrec.KindData && c.committed:
 			victim = c
 			return false
-		case c.rec.Kind == logrec.KindCommit && c.tx.state == txCommitted:
-			victim = c
-			return false
+		case (c.rec.Kind == logrec.KindCommit || c.rec.Kind == logrec.KindDecide) && c.tx.state == txCommitted:
+			// Only worth sacrificing if a flush can free something: a
+			// pinned DECIDE with no unflushed updates stays until unpinned.
+			if len(c.tx.oids) > 0 {
+				victim = c
+				return false
+			}
 		}
 		return true
 	})

@@ -93,7 +93,11 @@ func (m *Manager) appendTail(gi int, c *cell, origin *slot) {
 	// N carries the record kind so trace consumers can tell BEGIN/COMMIT
 	// appends from data appends without guessing from Obj (0 is a legal OID).
 	m.emit(trace.Event{Kind: trace.EvAppend, Gen: gi, Tx: c.rec.Tx, Obj: c.rec.Obj, LSN: c.rec.LSN, N: int(c.rec.Kind)})
-	if c.rec.Kind == logrec.KindCommit {
+	switch c.rec.Kind {
+	case logrec.KindCommit, logrec.KindPrepare, logrec.KindDecide:
+		// Records whose durability advances a transaction's state: COMMIT
+		// and DECIDE acknowledge a commit, PREPARE completes a participant
+		// branch's vote.
 		b.commits = append(b.commits, c.tx)
 		m.armGroupCommitTimeout(g, b)
 	}
@@ -304,11 +308,16 @@ func (m *Manager) abandonWrite(g *generation, b *buffer) {
 			continue
 		}
 		switch {
-		case c.tx.state == txActive || c.tx.state == txCommitting:
+		case c.tx.state == txActive || c.tx.state == txCommitting || c.tx.state == txPreparing:
+			// A preparing branch's vote was in the dead block, so it never
+			// became durable; killing the branch is sound — the coordinator
+			// cannot have decided commit without it. (A txPrepared branch
+			// cannot appear here: fault retries are never armed on sharded
+			// systems, and 2PC states exist only behind the router.)
 			m.dropTx(c.tx, true)
 		case c.rec.Kind == logrec.KindData && c.committed:
 			m.forceFlushCell(c)
-		case c.rec.Kind == logrec.KindCommit && c.tx.state == txCommitted:
+		case (c.rec.Kind == logrec.KindCommit || c.rec.Kind == logrec.KindDecide) && c.tx.state == txCommitted:
 			m.forceFlushTx(c.tx)
 		}
 	}
@@ -424,6 +433,15 @@ func (m *Manager) emergencyGrow(g *generation) {
 // transaction has committed") and, in EL, earlier committed versions of
 // the same objects become garbage.
 func (m *Manager) commitDurable(e *lttEntry) {
+	if e.state == txPreparing {
+		// The durable record was a PREPARE, not a COMMIT: the branch is now
+		// in doubt, awaiting the coordinator's decision.
+		e.state = txPrepared
+		if e.onPrepared != nil {
+			e.onPrepared()
+		}
+		return
+	}
 	if e.state != txCommitting {
 		return // killed or aborted while the commit was in flight
 	}
@@ -496,7 +514,7 @@ func (m *Manager) commitDurable(e *lttEntry) {
 		}
 		m.releaseOids(oids)
 		if len(e.oids) == 0 {
-			m.retire(e) // read-only transaction
+			m.maybeRetire(e) // read-only transaction (unless pinned)
 		}
 	}
 	if e.onDurable != nil {
@@ -611,9 +629,11 @@ func (m *Manager) stealFlushDurable(b *buffer) {
 }
 
 // maybeRetire removes a committed transaction's LTT entry once its last
-// non-garbage data record is gone (section 2.3).
+// non-garbage data record is gone (section 2.3) — and, for a cross-shard
+// coordinator, once every remote participant branch has retired (the
+// DECIDE record must outlive any PREPARE that could be replayed in doubt).
 func (m *Manager) maybeRetire(e *lttEntry) {
-	if e.state == txCommitted && len(e.oids) == 0 {
+	if e.state == txCommitted && len(e.oids) == 0 && e.pins == 0 {
 		m.retire(e)
 	}
 }
@@ -631,6 +651,9 @@ func (m *Manager) retire(e *lttEntry) {
 	m.unlink(e.txCell)
 	m.ltt.Delete(uint64(e.tid))
 	m.touchMem()
+	if e.onRetired != nil {
+		e.onRetired()
+	}
 }
 
 // Quiesce seals every open buffer so that all appended records head to

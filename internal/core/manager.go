@@ -34,6 +34,7 @@ type Manager struct {
 
 	nextLSN logrec.LSN
 	onKill  func(logrec.TxID)
+	onMem   func() // nil-gated; multilog's combined-memory-gauge hook
 	tracer  trace.Sink
 
 	// Fault-retry policy (EnableFaultRetries). faulty gates every hot-path
@@ -134,6 +135,12 @@ func NewSetup(eng *sim.Engine, p Params, fc FlushConfig) (*Setup, error) {
 // transaction for want of log space. The workload generator uses it to
 // stop issuing the victim's remaining records.
 func (m *Manager) SetKillHandler(fn func(logrec.TxID)) { m.onKill = fn }
+
+// SetMemHook registers a callback invoked whenever the manager's
+// main-memory footprint changes. The sharded system uses it to maintain a
+// combined gauge whose peak is the true system peak (per-partition peaks
+// occur at different simulated times, so their sum overstates it).
+func (m *Manager) SetMemHook(fn func()) { m.onMem = fn }
 
 // EnableFaultRetries arms the bounded retry-with-backoff path for transient
 // block-write errors (fault injection): a failed write is reissued up to
@@ -259,23 +266,112 @@ func (m *Manager) Commit(tid logrec.TxID, onDurable func()) {
 	e.state = txCommitting
 	e.onDurable = onDurable
 	e.commitAppAt = m.now()
-	rec := logrec.NewTxRecord(m.lsn(), m.now(), logrec.KindCommit, tid, m.p.TxRecSize)
-	// The transaction's single tx cell is updated to point at the newest
-	// tx record and moved to the tail end of the cell list (section 2.3
-	// footnote 4); the earlier BEGIN record becomes garbage in place.
+	m.replaceTxRecord(e, logrec.KindCommit)
+}
+
+// replaceTxRecord points the transaction's single tx cell at a fresh tx
+// record of the given kind and re-appends it at the tail: the cell is
+// updated to the newest tx record and moved to the tail end of the cell
+// list (section 2.3 footnote 4); the earlier record becomes garbage in
+// place.
+func (m *Manager) replaceTxRecord(e *lttEntry, kind logrec.Kind) {
+	rec := logrec.NewTxRecord(m.lsn(), m.now(), kind, e.tid, m.p.TxRecSize)
 	c := e.txCell
 	if c.inList {
 		g := m.gens[c.gen]
 		g.list.remove(c)
 		g.noteAge(m.now() - c.arrived)
 	}
-	// The superseded BEGIN record is garbage whether its cell is listed or
+	// The superseded record is garbage whether its cell is listed or
 	// still riding detached in an unwritten buffer; counting only the
 	// listed case would leave appended != garbaged + live.
 	m.garbaged.Inc()
 	c.rec = rec
 	c.slot = nil
 	m.appendTail(e.startGen, c, nil)
+}
+
+// Prepare appends the PREPARE tx record for a cross-shard participant
+// branch (2PC-in-the-log). Once the record is durable the branch is
+// prepared — in doubt — and onPrepared fires; from then on the branch can
+// only be resolved by ResolveCommit or ResolveAbort, never killed, so it
+// pins its generation's retirement eligibility until resolved.
+func (m *Manager) Prepare(tid logrec.TxID, onPrepared func()) {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("core: Prepare on %v transaction %d", e.state, tid))
+	}
+	e.state = txPreparing
+	e.onPrepared = onPrepared
+	e.commitAppAt = m.now()
+	m.replaceTxRecord(e, logrec.KindPrepare)
+}
+
+// DecideCommit appends the DECIDE tx record on the coordinator shard of a
+// cross-shard transaction: it is at once the coordinator's own COMMIT and
+// the global commit decision. pins counts the remote participant branches;
+// the entry — and with it the DECIDE record — stays in the log until every
+// one of them has retired (Unpin), so a crashed participant replaying a
+// durable PREPARE can always find the decision in the coordinator's log.
+func (m *Manager) DecideCommit(tid logrec.TxID, pins int, onDurable func()) {
+	e := m.mustTx(tid)
+	if e.state != txActive {
+		panic(fmt.Sprintf("core: DecideCommit on %v transaction %d", e.state, tid))
+	}
+	if pins < 0 {
+		panic("core: DecideCommit with negative pin count")
+	}
+	e.state = txCommitting
+	e.onDurable = onDurable
+	e.pins = pins
+	e.commitAppAt = m.now()
+	m.replaceTxRecord(e, logrec.KindDecide)
+}
+
+// ResolveCommit applies the coordinator's commit decision to a prepared
+// participant branch: the branch commits exactly as if its own COMMIT had
+// just become durable, except that no new record enters the log — the
+// branch's durable PREPARE plus the coordinator's durable DECIDE are the
+// commit evidence. onRetired, if non-nil, fires when the branch's LTT
+// entry retires (every update flushed); the router uses it to unpin the
+// coordinator's DECIDE record.
+func (m *Manager) ResolveCommit(tid logrec.TxID, onRetired func()) {
+	e := m.mustTx(tid)
+	if e.state != txPrepared {
+		panic(fmt.Sprintf("core: ResolveCommit on %v transaction %d", e.state, tid))
+	}
+	e.onRetired = onRetired
+	e.state = txCommitting
+	m.commitDurable(e)
+}
+
+// ResolveAbort applies an abort decision — explicit or presumed — to a
+// cross-shard participant branch: every record of the branch becomes
+// garbage and its LTT entry disappears, exactly like Abort. It accepts an
+// active, preparing or prepared branch (a sibling-shard kill aborts
+// branches that have not prepared yet; presumed abort resolves prepared
+// ones). No decision record is ever logged for an abort.
+func (m *Manager) ResolveAbort(tid logrec.TxID) {
+	e := m.mustTx(tid)
+	switch e.state {
+	case txActive, txPreparing, txPrepared:
+	default:
+		panic(fmt.Sprintf("core: ResolveAbort on %v transaction %d", e.state, tid))
+	}
+	m.dropTx(e, false)
+	m.aborts.Inc()
+}
+
+// Unpin releases one participant pin on a coordinator entry; once the pin
+// count reaches zero and every local update has flushed, the entry — and
+// its DECIDE record — finally retires.
+func (m *Manager) Unpin(tid logrec.TxID) {
+	e := m.mustTx(tid)
+	if e.pins <= 0 {
+		panic(fmt.Sprintf("core: Unpin of unpinned transaction %d", tid))
+	}
+	e.pins--
+	m.maybeRetire(e)
 }
 
 // Abort voluntarily aborts an active transaction: all its records become
@@ -428,4 +524,7 @@ func (m *Manager) touchMem() {
 	m.lotGauge.Set(now, float64(m.lot.Len()))
 	m.lttGauge.Set(now, float64(m.ltt.Len()))
 	m.memGauge.Set(now, float64(m.p.MemPerTx*m.ltt.Len()+m.p.MemPerObj*m.lot.Len()))
+	if m.onMem != nil {
+		m.onMem()
+	}
 }

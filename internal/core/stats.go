@@ -157,6 +157,13 @@ func (m *Manager) LTTLen() int { return m.ltt.Len() }
 // (MemPerTx per LTT entry plus MemPerObj per LOT entry).
 func (m *Manager) MemBytes() float64 { return m.memGauge.Value() }
 
+// Insufficient reports whether the run has exceeded its disk budget so
+// far, reading the three health counters directly — the cheap form of
+// Stats().Insufficient() for callers that need only the bool.
+func (m *Manager) Insufficient() bool {
+	return m.killedTxs.Count() > 0 || m.emergencyBlocks.Count() > 0 || m.refugeeStalls.Count() > 0
+}
+
 // String renders a compact human-readable report.
 func (s Stats) String() string {
 	var b strings.Builder

@@ -19,6 +19,13 @@ const (
 	// txAborted: aborted or killed; the entry is removed immediately, so
 	// this state is only ever observed transiently.
 	txAborted
+	// txPreparing: PREPARE record appended to a buffer, not yet durable
+	// (cross-shard participant branch).
+	txPreparing
+	// txPrepared: PREPARE durable; the branch is in doubt — it cannot be
+	// killed, flushed or retired until the coordinator's decision arrives
+	// via ResolveCommit or ResolveAbort, so it pins its generation.
+	txPrepared
 )
 
 // lttEntry is one logged transaction table entry (section 2.3): the cell
@@ -36,8 +43,14 @@ type lttEntry struct {
 	beginAt     sim.Time
 	commitAppAt sim.Time // when the COMMIT record was appended (t3)
 	onDurable   func()   // generator callback at t4
-	startGen    int      // generation receiving this tx's records (hints)
-	killed      bool
+	onPrepared  func()   // 2PC router callback when the PREPARE is durable
+	onRetired   func()   // 2PC router callback when the entry retires
+	// pins counts remote participant branches that must retire before this
+	// (coordinator) entry may: the DECIDE record has to stay readable in
+	// the log until no crash can leave a participant in doubt about it.
+	pins     int
+	startGen int // generation receiving this tx's records (hints)
+	killed   bool
 }
 
 // lotEntry is one logged object table entry (section 2.3): the cells for

@@ -614,7 +614,11 @@ func Scale(o Options) ([]ScalePoint, error) {
 			}
 			var gens []*workload.Generator
 			for i := 0; i < parts; i++ {
-				g, err := workload.New(eng, sys.Sink(i), workload.Config{
+				sink, err := sys.Sink(i)
+				if err != nil {
+					return err
+				}
+				g, err := workload.New(eng, sink, workload.Config{
 					Mix:         workload.PaperMix(0.05),
 					ArrivalRate: 100,
 					Runtime:     o.Runtime,
@@ -634,21 +638,17 @@ func Scale(o Options) ([]ScalePoint, error) {
 				committed += g.Stats().Committed
 			}
 			st := sys.Stats()
-			_, results, parTime, err := sys.RecoverAll(0)
+			_, report, err := sys.RecoverAll(0)
 			if err != nil {
 				return err
-			}
-			var serTime sim.Time
-			for _, r := range results {
-				serTime += r.EstimatedTime
 			}
 			out[idx] = ScalePoint{
 				Partitions:   parts,
 				TPS:          float64(committed) / o.Runtime.Seconds(),
 				Bandwidth:    st.Bandwidth,
 				Blocks:       st.TotalBlocks,
-				RecoveryPar:  parTime,
-				RecoverySer:  serTime,
+				RecoveryPar:  report.ParallelTime,
+				RecoverySer:  report.SerialTime,
 				Insufficient: sys.Insufficient(),
 			}
 			return nil
@@ -658,6 +658,132 @@ func Scale(o Options) ([]ScalePoint, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// CrossShardPoint is one (shard count, cross-shard fraction) cell of the
+// distributed-transaction sweep.
+type CrossShardPoint struct {
+	Shards int
+	Frac   float64 // fraction of transactions spanning two shards
+
+	TPS       float64 // aggregate committed transactions/s
+	Bandwidth float64 // aggregate log writes/s
+
+	// Commit latency split by path: local transactions pay one group
+	// commit, cross-shard ones pay prepare durability on the participant
+	// plus the coordinator's decision record.
+	LocalMean float64
+	LocalP99  float64
+	CrossMean float64
+	CrossP99  float64
+
+	// Crash recovery of the whole machine at end of run: parallel replay
+	// time and the 2PC resolution work the crash image demanded.
+	RecoveryPar    sim.Time
+	InDoubt        int
+	ResolvedCommit int
+	ResolvedAbort  int
+
+	Insufficient bool
+}
+
+// CrossShard sweeps shard count x cross-shard fraction through the
+// router's 2PC-in-the-log: each cell runs the paper workload at 100 TPS
+// per shard with the given fraction of transactions drawing oids from two
+// shards, then crashes the whole machine and recovers, reporting how the
+// distributed-commit path prices against the local one and what the
+// in-doubt resolution pass had to settle.
+func CrossShard(o Options) ([]CrossShardPoint, error) {
+	o = o.WithDefaults()
+	p := o.pool()
+	type cell struct {
+		shards int
+		frac   float64
+	}
+	var cells []cell
+	for _, s := range []int{1, 2, 4} {
+		for _, f := range []float64{0, 0.05, 0.20} {
+			if s == 1 && f > 0 {
+				continue // a single shard has no second shard to cross to
+			}
+			cells = append(cells, cell{s, f})
+		}
+	}
+	out := make([]CrossShardPoint, len(cells))
+	err := p.ForEach(len(cells), func(idx int) error {
+		c := cells[idx]
+		return p.Do(func() error {
+			perShard := o.NumObjects / 8
+			if perShard%10 != 0 {
+				perShard -= perShard % 10
+			}
+			live, err := multilog.RunSharded(multilog.ShardedConfig{
+				Seed:   o.Seed,
+				Shards: c.shards,
+				LM: core.Params{
+					Mode: core.ModeEphemeral, GenSizes: []int{20, 16}, Recirculate: true,
+				},
+				Flush: core.FlushConfig{Drives: 10, Transfer: o.FlushTransfer, NumObjects: perShard},
+				Workload: workload.Config{
+					Mix:            workload.PaperMix(0.05),
+					ArrivalRate:    100 * float64(c.shards),
+					Runtime:        o.Runtime,
+					CrossShardFrac: c.frac,
+				},
+			})
+			if err != nil {
+				return err
+			}
+			ws := live.Gen.Stats()
+			_, report, err := live.Sys.RecoverAll(0)
+			if err != nil {
+				return err
+			}
+			out[idx] = CrossShardPoint{
+				Shards:         c.shards,
+				Frac:           c.frac,
+				TPS:            float64(ws.Committed) / o.Runtime.Seconds(),
+				Bandwidth:      live.Sys.Stats().Bandwidth,
+				LocalMean:      ws.LocalEndToEndMean,
+				LocalP99:       ws.LocalEndToEndP99,
+				CrossMean:      ws.CrossEndToEndMean,
+				CrossP99:       ws.CrossEndToEndP99,
+				RecoveryPar:    report.ParallelTime,
+				InDoubt:        report.InDoubt,
+				ResolvedCommit: report.ResolvedCommit,
+				ResolvedAbort:  report.ResolvedAbort,
+				Insufficient:   live.Sys.Insufficient(),
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatCrossShard renders the distributed-transaction sweep.
+func FormatCrossShard(points []CrossShardPoint) string {
+	var b strings.Builder
+	b.WriteString("Cross-shard transactions (2PC in the log, 100 TPS per shard):\n")
+	fmt.Fprintf(&b, "  %-7s %-6s %9s %12s %11s %11s %14s %8s\n",
+		"shards", "cross", "commit/s", "log writes/s", "local e2e", "cross e2e", "recovery(par)", "indoubt")
+	for _, p := range points {
+		cross := "-"
+		if p.Frac > 0 {
+			cross = fmt.Sprintf("%.2fs/%.2fs", p.CrossMean, p.CrossP99)
+		}
+		note := ""
+		if p.Insufficient {
+			note = "  INSUFFICIENT"
+		}
+		fmt.Fprintf(&b, "  %-7d %-6.2f %9.1f %12.2f %5.2fs/%.2fs %11s %14v %8d%s\n",
+			p.Shards, p.Frac, p.TPS, p.Bandwidth, p.LocalMean, p.LocalP99, cross,
+			p.RecoveryPar, p.InDoubt, note)
+	}
+	b.WriteString("  (e2e columns are mean/p99; indoubt counts prepared branches the crash left unresolved)\n")
+	return b.String()
 }
 
 // FormatScale renders the multilog scaling table.

@@ -50,6 +50,16 @@ const (
 	KindAbort
 	// KindData is a data log record carrying an object's new value.
 	KindData
+	// KindPrepare is the tx record a participant shard writes for a
+	// cross-shard transaction (2PC-in-the-log): once durable, the shard is
+	// prepared — it can neither commit nor abort the transaction on its own
+	// until the coordinator's decision is known.
+	KindPrepare
+	// KindDecide is the tx record the coordinator shard writes to commit a
+	// cross-shard transaction; it doubles as the coordinator's own local
+	// COMMIT. Abort decisions are never logged (presumed abort): an
+	// in-doubt participant that finds no durable DECIDE presumes abort.
+	KindDecide
 )
 
 // String returns the record kind name.
@@ -63,13 +73,23 @@ func (k Kind) String() string {
 		return "ABORT"
 	case KindData:
 		return "DATA"
+	case KindPrepare:
+		return "PREPARE"
+	case KindDecide:
+		return "DECIDE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
 }
 
 // IsTx reports whether the record kind is a transaction milestone record.
-func (k Kind) IsTx() bool { return k == KindBegin || k == KindCommit || k == KindAbort }
+func (k Kind) IsTx() bool {
+	switch k {
+	case KindBegin, KindCommit, KindAbort, KindPrepare, KindDecide:
+		return true
+	}
+	return false
+}
 
 // Record is a single log record. Size is the record's logical footprint in
 // the log (the paper charges 8 bytes per tx record and the workload's
@@ -181,7 +201,7 @@ func Decode(buf []byte) (*Record, []byte, error) {
 		PrevLSN: LSN(binary.LittleEndian.Uint64(buf[45:])),
 		PrevVal: binary.LittleEndian.Uint64(buf[53:]),
 	}
-	if r.Kind < KindBegin || r.Kind > KindData {
+	if r.Kind < KindBegin || r.Kind > KindDecide {
 		return nil, buf, fmt.Errorf("%w: kind %d", ErrCorrupt, r.Kind)
 	}
 	return r, buf[wireRecLen:], nil

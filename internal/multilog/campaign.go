@@ -1,0 +1,269 @@
+package multilog
+
+import (
+	"fmt"
+	"strings"
+
+	"ellog/internal/logrec"
+	"ellog/internal/recovery"
+	"ellog/internal/runner"
+	"ellog/internal/sim"
+	"ellog/internal/trace"
+)
+
+// CrossPoint is one crash point in a cross-shard campaign: stop the whole
+// simulated machine immediately after the K-th completed block write
+// (counting across every shard's log), then crash either everything or a
+// single shard.
+type CrossPoint struct {
+	Index int
+	K     int // ordinal of the triggering durable event (1-based)
+	// Shard -1 crashes the whole machine (every shard recovers from its
+	// image); otherwise only this shard crashes and recovers against the
+	// other shards' intact logs.
+	Shard int
+}
+
+func (p CrossPoint) String() string {
+	if p.Shard < 0 {
+		return fmt.Sprintf("whole-machine crash at durable #%d", p.K)
+	}
+	return fmt.Sprintf("shard %d crash at durable #%d", p.Shard, p.K)
+}
+
+// CrossFailure describes one crash point where cross-shard atomicity or
+// the recovery property did not hold.
+type CrossFailure struct {
+	Point  CrossPoint
+	Reason string
+}
+
+// CrossCampaignConfig parameterizes a cross-shard crash sweep.
+type CrossCampaignConfig struct {
+	Base ShardedConfig
+	// Horizon is how far each run may execute before it is considered
+	// drained; 0 selects Runtime + 30 s.
+	Horizon sim.Time
+	// MaxPoints bounds the sweep by stride-sampling; 0 sweeps everything.
+	MaxPoints int
+}
+
+func (c CrossCampaignConfig) withDefaults() CrossCampaignConfig {
+	if c.Horizon == 0 {
+		c.Horizon = c.Base.Workload.Runtime + 30*sim.Second
+	}
+	return c
+}
+
+// CrossCampaignResult summarizes a sweep.
+type CrossCampaignResult struct {
+	Durables     int // block-write completions in the reference run, all shards
+	Points       int // crash points actually swept (after sampling)
+	WholeMachine int
+	SingleShard  int
+
+	// 2PC resolution work across all points' recoveries: how often a
+	// crash landed inside the prepare window and how the in-doubt
+	// branches were settled.
+	InDoubt        int
+	ResolvedCommit int
+	ResolvedAbort  int
+
+	// Reference-run workload shape, to confirm the sweep exercised 2PC.
+	CrossStarted   uint64
+	CrossCommitted uint64
+
+	Failures []CrossFailure
+}
+
+// Passed reports whether every swept point upheld atomicity.
+func (r CrossCampaignResult) Passed() bool { return len(r.Failures) == 0 }
+
+// String renders a one-screen summary.
+func (r CrossCampaignResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cross-shard campaign: %d points (%d whole-machine, %d single-shard) over a run of %d durables\n",
+		r.Points, r.WholeMachine, r.SingleShard, r.Durables)
+	fmt.Fprintf(&b, "  workload: %d cross-shard transactions started, %d committed\n",
+		r.CrossStarted, r.CrossCommitted)
+	fmt.Fprintf(&b, "  in-doubt branches: %d total, %d resolved commit, %d presumed abort\n",
+		r.InDoubt, r.ResolvedCommit, r.ResolvedAbort)
+	if r.Passed() {
+		b.WriteString("  PASS: every point recovered to exactly the acknowledged commits on every shard\n")
+	} else {
+		fmt.Fprintf(&b, "  FAIL: %d points violated atomicity\n", len(r.Failures))
+		for i, f := range r.Failures {
+			if i == 10 {
+				fmt.Fprintf(&b, "    ... and %d more\n", len(r.Failures)-10)
+				break
+			}
+			fmt.Fprintf(&b, "    %v: %s\n", f.Point, f.Reason)
+		}
+	}
+	return b.String()
+}
+
+// RunCrossCampaign sweeps crash points over a sharded run. A reference
+// run counts block-write completions across all shards; then every
+// sampled point replays the identical simulation, stops the machine at
+// the point's trigger, recovers — the whole machine or one shard — and
+// verifies against the workload oracle.
+//
+// The property checked is cross-shard atomicity on top of the usual
+// recovery contract: at every point, each acknowledged transaction's
+// updates are recovered on every shard it touched, and no unacknowledged
+// transaction's updates survive anywhere — a cross-shard transaction
+// never recovers committed on one shard and aborted on another. Crashes
+// are clean (the trigger's synchronous effects, including commit
+// acknowledgements, complete before the stop), so acknowledged and
+// decision-durable coincide exactly and the oracle check is strict in
+// both directions.
+//
+// Points are independent simulations; a pool parallelizes them and
+// results are assembled in point order, keeping parallel and sequential
+// campaigns byte-identical.
+func RunCrossCampaign(cfg CrossCampaignConfig, pool *runner.Pool) (CrossCampaignResult, error) {
+	cfg = cfg.withDefaults()
+	var res CrossCampaignResult
+
+	// Reference run: count durable block writes across every shard. Every
+	// point replays the same seed, so ordinal K identifies the same write
+	// completion in every replay.
+	ref, err := BuildSharded(cfg.Base)
+	if err != nil {
+		return res, err
+	}
+	tr := trace.Func(func(e trace.Event) {
+		if e.Kind == trace.EvDurable {
+			res.Durables++
+		}
+	})
+	for i := 0; i < ref.Sys.Partitions(); i++ {
+		ref.Sys.Partition(i).LM.SetTracer(tr)
+	}
+	ref.Eng.Run(cfg.Horizon)
+	ws := ref.Gen.Stats()
+	res.CrossStarted = ws.CrossStarted
+	res.CrossCommitted = ws.CrossCommitted
+
+	// Two points per durable: the whole machine, and one shard (rotating
+	// through them so every shard crashes at many different instants).
+	points := make([]CrossPoint, 0, 2*res.Durables)
+	for k := 1; k <= res.Durables; k++ {
+		points = append(points, CrossPoint{K: k, Shard: -1})
+		points = append(points, CrossPoint{K: k, Shard: (k - 1) % cfg.Base.Shards})
+	}
+	if cfg.MaxPoints > 0 && len(points) > cfg.MaxPoints {
+		stride := (len(points) + cfg.MaxPoints - 1) / cfg.MaxPoints
+		sampled := points[:0]
+		for i := 0; i < len(points); i += stride {
+			sampled = append(sampled, points[i])
+		}
+		points = sampled
+	}
+	for i := range points {
+		points[i].Index = i
+	}
+
+	type outcome struct {
+		inDoubt, resolvedCommit, resolvedAbort int
+		reason                                 string // empty: property held
+	}
+	outcomes := make([]outcome, len(points))
+	err = pool.ForEach(len(points), func(i int) error {
+		return pool.Do(func() error {
+			report, verr, berr := runCrossPoint(cfg, points[i])
+			if berr != nil {
+				return berr
+			}
+			outcomes[i] = outcome{
+				inDoubt:        report.InDoubt,
+				resolvedCommit: report.ResolvedCommit,
+				resolvedAbort:  report.ResolvedAbort,
+			}
+			if verr != nil {
+				outcomes[i].reason = verr.Error()
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return res, err
+	}
+
+	for i, o := range outcomes {
+		res.Points++
+		if points[i].Shard < 0 {
+			res.WholeMachine++
+		} else {
+			res.SingleShard++
+		}
+		res.InDoubt += o.inDoubt
+		res.ResolvedCommit += o.resolvedCommit
+		res.ResolvedAbort += o.resolvedAbort
+		if o.reason != "" {
+			res.Failures = append(res.Failures, CrossFailure{Point: points[i], Reason: o.reason})
+		}
+	}
+	return res, nil
+}
+
+// runCrossPoint replays the base run, crashes it at the point, recovers
+// and verifies. The returned error pair is (property violation,
+// infrastructure error).
+func runCrossPoint(cfg CrossCampaignConfig, pt CrossPoint) (RecoveryReport, error, error) {
+	live, err := BuildSharded(cfg.Base)
+	if err != nil {
+		return RecoveryReport{}, nil, err
+	}
+	n := 0
+	tr := trace.Func(func(e trace.Event) {
+		if e.Kind == trace.EvDurable {
+			n++
+			if n == pt.K {
+				live.Eng.Stop()
+			}
+		}
+	})
+	for i := 0; i < live.Sys.Partitions(); i++ {
+		live.Sys.Partition(i).LM.SetTracer(tr)
+	}
+	live.Eng.Run(cfg.Horizon)
+	if n < pt.K {
+		return RecoveryReport{}, nil, fmt.Errorf("multilog: %v never reached (saw %d of %d durables; replay diverged?)", pt, n, pt.K)
+	}
+
+	oracle := live.Gen.Oracle()
+	if pt.Shard < 0 {
+		merged, report, rerr := live.Sys.RecoverAll(0)
+		if rerr != nil {
+			return report, fmt.Errorf("recovery failed: %v", rerr), nil
+		}
+		// Clean crash: a winner on any shard must have been acknowledged —
+		// in particular, a participant branch resolved as committed without
+		// the client ever hearing the decision would show up here.
+		for i, per := range report.Per {
+			for _, tx := range per.WinnerTxs {
+				if !live.Gen.TxInfo(tx).Acked {
+					return report, fmt.Errorf("shard %d: tx %d recovered as a winner without acknowledgement", i, tx), nil
+				}
+			}
+		}
+		return report, recovery.VerifyOracle(merged, oracle), nil
+	}
+	// Single-shard crash: the shard's recovered state must match the
+	// oracle restricted to its object range — its slice of every
+	// acknowledged cross-shard transaction included, even when the
+	// coordinator was elsewhere.
+	shardDB, report, rerr := live.Sys.RecoverShard(pt.Shard, 0)
+	if rerr != nil {
+		return report, fmt.Errorf("recovery failed: %v", rerr), nil
+	}
+	restricted := make(map[logrec.OID]logrec.LSN)
+	for oid, lsn := range oracle {
+		if live.Sys.OwnerOf(oid) == pt.Shard {
+			restricted[oid] = lsn
+		}
+	}
+	return report, recovery.VerifyOracle(shardDB, restricted), nil
+}

@@ -7,13 +7,17 @@
 // form of synchronization of activity in the entire system."
 //
 // Because EL needs no checkpoints, partitions need no cross-log
-// synchronization at all: each partition runs its own logging manager over
-// its own generations, flush drives and slice of the object space (range
-// partitioning, as in the parallel database systems of the paper's
-// reference [3], DeWitt & Gray). Transactions are routed to the partition
-// owning their objects. Crash recovery is embarrassingly parallel — each
-// partition replays its own small log — so recovery time is the maximum
-// over partitions, not the sum.
+// synchronization for local work: each partition runs its own logging
+// manager over its own generations, flush drives and slice of the object
+// space (range partitioning, as in the parallel database systems of the
+// paper's reference [3], DeWitt & Gray). Transactions touching a single
+// partition are routed to it outright; transactions spanning several run
+// two-phase commit in the log itself (see Router): participants log
+// PREPARE records, the coordinator logs the DECIDE record, and no shard
+// ever needs a synchronized checkpoint — the decision lives in a log that
+// is always small enough to replay in full. Crash recovery replays each
+// partition's own small log in parallel, then resolves in-doubt prepared
+// branches against the coordinator logs' decision records.
 package multilog
 
 import (
@@ -21,19 +25,25 @@ import (
 
 	"ellog/internal/core"
 	"ellog/internal/logrec"
+	"ellog/internal/metrics"
 	"ellog/internal/recovery"
 	"ellog/internal/sim"
 	"ellog/internal/statedb"
 )
 
-// System is a set of independent EL partitions sharing one simulated
-// machine (engine) and nothing else.
+// System is a set of EL partitions sharing one simulated machine (engine)
+// and nothing else.
 type System struct {
 	eng   *sim.Engine
 	parts []*core.Setup
 	// objectsPerPart is each partition's object-range width; partition p
 	// owns oids [p*objectsPerPart, (p+1)*objectsPerPart).
 	objectsPerPart uint64
+	// memGauge tracks the combined LOT+LTT memory of all partitions at
+	// every change, so its peak is the true system peak — partition peaks
+	// occur at different simulated times, and summing them overstates what
+	// must actually be provisioned.
+	memGauge metrics.Gauge
 }
 
 // New builds a system of n identical partitions. Each partition gets its
@@ -43,34 +53,70 @@ func New(eng *sim.Engine, n int, params core.Params, fc core.FlushConfig) (*Syst
 	if n <= 0 {
 		return nil, fmt.Errorf("multilog: need at least one partition")
 	}
+	if fc.NumObjects == 0 {
+		return nil, fmt.Errorf("multilog: partition object range must be positive")
+	}
 	sys := &System{eng: eng, objectsPerPart: fc.NumObjects}
 	for i := 0; i < n; i++ {
 		setup, err := core.NewSetup(eng, params, fc)
 		if err != nil {
 			return nil, fmt.Errorf("multilog: partition %d: %w", i, err)
 		}
+		setup.LM.SetMemHook(sys.touchMem)
 		sys.parts = append(sys.parts, setup)
 	}
 	return sys, nil
 }
 
+// touchMem refreshes the combined memory gauge. It is installed as every
+// partition manager's memory hook, so it fires whenever any partition's
+// LOT or LTT changes size.
+func (s *System) touchMem() {
+	total := 0.0
+	for _, p := range s.parts {
+		total += p.LM.MemBytes()
+	}
+	s.memGauge.Set(s.eng.Now(), total)
+}
+
 // Partitions reports the partition count.
 func (s *System) Partitions() int { return len(s.parts) }
 
-// Partition returns one partition's components.
-func (s *System) Partition(i int) *core.Setup { return s.parts[i] }
+// Partition returns one partition's components. An out-of-range index is
+// a caller bug and panics with a diagnostic rather than a bare index
+// error.
+func (s *System) Partition(i int) *core.Setup {
+	if i < 0 || i >= len(s.parts) {
+		panic(fmt.Sprintf("multilog: partition %d out of range (system has %d)", i, len(s.parts)))
+	}
+	return s.parts[i]
+}
 
-// OwnerOf returns the partition index owning an object.
+// OwnerOf returns the partition index owning an object, or -1 when the
+// oid lies beyond the last partition's range (callers decide whether that
+// is an error; the Router turns it into a diagnostic).
 func (s *System) OwnerOf(oid logrec.OID) int {
-	return int(uint64(oid) / s.objectsPerPart)
+	if s.objectsPerPart == 0 {
+		return -1
+	}
+	p := uint64(oid) / s.objectsPerPart
+	if p >= uint64(len(s.parts)) {
+		return -1
+	}
+	return int(p)
 }
 
 // Sink returns partition i's transaction interface in GLOBAL object
 // coordinates: the partition internally works on its local object range
 // [0, NumObjects) (its flush drives are range partitioned over exactly
-// that), and the sink translates. It satisfies workload.LogManager.
-func (s *System) Sink(i int) *PartitionSink {
-	return &PartitionSink{sys: s, part: i, base: uint64(i) * s.objectsPerPart}
+// that), and the sink translates. It satisfies workload.LogManager. An
+// out-of-range index is reported here, at construction, instead of
+// panicking on first use.
+func (s *System) Sink(i int) (*PartitionSink, error) {
+	if i < 0 || i >= len(s.parts) {
+		return nil, fmt.Errorf("multilog: sink for partition %d out of range (system has %d)", i, len(s.parts))
+	}
+	return &PartitionSink{sys: s, part: i, base: uint64(i) * s.objectsPerPart}, nil
 }
 
 // PartitionSink routes one partition's transactions, translating global
@@ -91,8 +137,8 @@ func (ps *PartitionSink) BeginHinted(tid logrec.TxID, expected sim.Time) {
 func (ps *PartitionSink) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
 	local := uint64(oid) - ps.base
 	if local >= ps.sys.objectsPerPart {
-		panic(fmt.Sprintf("multilog: object %d routed to partition %d (owner %d)",
-			oid, ps.part, ps.sys.OwnerOf(oid)))
+		panic(fmt.Sprintf("multilog: object %d routed to partition %d of %d (owner %d)",
+			oid, ps.part, len(ps.sys.parts), ps.sys.OwnerOf(oid)))
 	}
 	return ps.sys.parts[ps.part].LM.WriteData(tid, logrec.OID(local), size)
 }
@@ -114,7 +160,11 @@ type Stats struct {
 	TotalWrites  uint64
 	Bandwidth    float64
 	Killed       uint64
-	MemPeak      float64
+	// MemPeak is the peak of the combined memory gauge — the highest
+	// simultaneous LOT+LTT footprint across all partitions. Per-partition
+	// peaks remain available in PerPartition; their sum is an upper bound,
+	// not the true peak, because the partitions peak at different times.
+	MemPeak float64
 }
 
 // Stats snapshots every partition.
@@ -127,38 +177,53 @@ func (s *System) Stats() Stats {
 		out.TotalWrites += st.TotalWrites
 		out.Bandwidth += st.TotalBandwidth
 		out.Killed += st.Killed
-		out.MemPeak += st.MemPeakBytes
 	}
+	out.MemPeak = s.memGauge.Peak()
 	return out
 }
 
-// Insufficient reports whether any partition exceeded its budget.
+// Insufficient reports whether any partition exceeded its budget, via the
+// managers' O(1) health probes — no full Stats snapshot is built for this
+// single bool.
 func (s *System) Insufficient() bool {
 	for _, p := range s.parts {
-		if p.LM.Stats().Insufficient() {
+		if p.LM.Insufficient() {
 			return true
 		}
 	}
 	return false
 }
 
-// RecoverAll recovers every partition independently and merges the
-// results. Returned alongside are the per-partition recovery details and
-// the parallel recovery time: since no partition needs any other, wall
-// time is the slowest partition — the payoff of checkpoint-free logs.
-func (s *System) RecoverAll(blockRead sim.Time) (*statedb.DB, []recovery.Result, sim.Time, error) {
+// RecoveryReport describes a whole-machine recovery: the per-partition
+// replay passes plus the cross-shard resolution pass.
+type RecoveryReport struct {
+	Per []recovery.Result // one per partition, in partition order
+	// ParallelTime is the slowest partition's replay: partitions share
+	// nothing, so wall time is the maximum, not the sum — the payoff of
+	// checkpoint-free logs.
+	ParallelTime sim.Time
+	// SerialTime is the sum over partitions — what a single log reader
+	// would pay.
+	SerialTime sim.Time
+	// 2PC resolution: in-doubt prepared branches surfaced by the replay
+	// passes, and how the coordinator logs settled them.
+	InDoubt        int
+	ResolvedCommit int // a coordinator shard held a durable DECIDE
+	ResolvedAbort  int // no durable decision anywhere: presumed abort
+}
+
+// RecoverAll recovers every partition independently, resolves in-doubt
+// prepared transactions against the union of decision records, and merges
+// the partitions' recovered states into one database in global object
+// coordinates.
+func (s *System) RecoverAll(blockRead sim.Time) (*statedb.DB, RecoveryReport, error) {
+	recs, report, winners, err := s.recoverParts(blockRead)
+	if err != nil {
+		return nil, report, err
+	}
 	merged := statedb.New()
-	var results []recovery.Result
-	var slowest sim.Time
-	for i, p := range s.parts {
-		rec, res, err := recovery.Recover(p.Dev, p.DB, blockRead)
-		if err != nil {
-			return nil, results, slowest, fmt.Errorf("multilog: partition %d: %w", i, err)
-		}
-		results = append(results, res)
-		if res.EstimatedTime > slowest {
-			slowest = res.EstimatedTime
-		}
+	for i, rec := range recs {
+		s.resolveInDoubt(rec, &report, report.Per[i], winners)
 		base := uint64(i) * s.objectsPerPart
 		var mergeErr error
 		rec.Range(func(oid logrec.OID, v statedb.Version) bool {
@@ -170,8 +235,90 @@ func (s *System) RecoverAll(blockRead sim.Time) (*statedb.DB, []recovery.Result,
 			return true
 		})
 		if mergeErr != nil {
-			return nil, results, slowest, mergeErr
+			return nil, report, mergeErr
 		}
 	}
-	return merged, results, slowest, nil
+	return merged, report, nil
+}
+
+// RecoverShard recovers a single crashed partition against the other
+// partitions' (intact) logs: partition i's image is replayed, and its
+// in-doubt prepared branches are resolved by consulting every shard's
+// durable decision records — the coordinator of a cross-shard transaction
+// may be any of them. The recovered state is returned in GLOBAL object
+// coordinates, covering only partition i's range.
+func (s *System) RecoverShard(i int, blockRead sim.Time) (*statedb.DB, RecoveryReport, error) {
+	if i < 0 || i >= len(s.parts) {
+		return nil, RecoveryReport{}, fmt.Errorf("multilog: recover of partition %d out of range (system has %d)", i, len(s.parts))
+	}
+	recs, report, winners, err := s.recoverParts(blockRead)
+	if err != nil {
+		return nil, report, err
+	}
+	// Only partition i crashed: its replay is the recovery cost, and only
+	// its in-doubt branches need resolution.
+	report.ParallelTime = report.Per[i].EstimatedTime
+	report.SerialTime = report.Per[i].EstimatedTime
+	s.resolveInDoubt(recs[i], &report, report.Per[i], winners)
+	out := statedb.New()
+	base := uint64(i) * s.objectsPerPart
+	var mergeErr error
+	recs[i].Range(func(oid logrec.OID, v statedb.Version) bool {
+		if uint64(oid) >= s.objectsPerPart {
+			mergeErr = fmt.Errorf("multilog: partition %d recovered out-of-range local object %d", i, oid)
+			return false
+		}
+		out.ForceSet(logrec.OID(base+uint64(oid)), v)
+		return true
+	})
+	if mergeErr != nil {
+		return nil, report, mergeErr
+	}
+	return out, report, nil
+}
+
+// recoverParts replays every partition's durable log and collects the
+// global winner set — every transaction with a durable COMMIT or DECIDE
+// on any shard. Transaction identifiers are globally unique and only a
+// coordinator ever logs a decision, so the union is exactly the set of
+// globally committed transactions.
+func (s *System) recoverParts(blockRead sim.Time) ([]*statedb.DB, RecoveryReport, map[logrec.TxID]bool, error) {
+	var report RecoveryReport
+	recs := make([]*statedb.DB, len(s.parts))
+	winners := make(map[logrec.TxID]bool)
+	for i, p := range s.parts {
+		rec, res, err := recovery.Recover(p.Dev, p.DB, blockRead)
+		if err != nil {
+			return nil, report, nil, fmt.Errorf("multilog: partition %d: %w", i, err)
+		}
+		recs[i] = rec
+		report.Per = append(report.Per, res)
+		report.SerialTime += res.EstimatedTime
+		if res.EstimatedTime > report.ParallelTime {
+			report.ParallelTime = res.EstimatedTime
+		}
+		for _, tx := range res.WinnerTxs {
+			winners[tx] = true
+		}
+	}
+	return recs, report, winners, nil
+}
+
+// resolveInDoubt settles one partition's in-doubt prepared branches: a
+// branch whose transaction appears in the global winner set redoes its
+// durable updates (the decision was commit); otherwise it is presumed
+// aborted — abort decisions are never logged, so absence of a durable
+// DECIDE is the abort verdict.
+func (s *System) resolveInDoubt(rec *statedb.DB, report *RecoveryReport, res recovery.Result, winners map[logrec.TxID]bool) {
+	for _, idt := range res.InDoubt {
+		report.InDoubt++
+		if !winners[idt.Tx] {
+			report.ResolvedAbort++
+			continue
+		}
+		report.ResolvedCommit++
+		for _, w := range idt.Writes {
+			rec.Apply(w.Obj, w.LSN, w.Val, idt.Tx)
+		}
+	}
 }

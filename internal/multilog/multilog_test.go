@@ -23,7 +23,11 @@ func buildSystem(t *testing.T, n int, perPartTPS float64, runtime sim.Time) (*Sy
 	}
 	var gens []*workload.Generator
 	for i := 0; i < n; i++ {
-		g, err := workload.New(eng, sys.Sink(i), workload.Config{
+		sink, err := sys.Sink(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := workload.New(eng, sink, workload.Config{
 			Mix:         workload.PaperMix(0.05),
 			ArrivalRate: perPartTPS,
 			Runtime:     runtime,
@@ -77,12 +81,12 @@ func TestGlobalCrashRecovery(t *testing.T) {
 	sys, gens, eng := buildSystem(t, 4, 100, 60*sim.Second)
 	eng.Run(37 * sim.Second) // crash the whole machine at once
 
-	merged, results, parallelTime, err := sys.RecoverAll(0)
+	merged, report, err := sys.RecoverAll(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("%d partition recoveries", len(results))
+	if len(report.Per) != 4 {
+		t.Fatalf("%d partition recoveries", len(report.Per))
 	}
 	// Global oracle = union of the per-partition oracles (disjoint oid
 	// ranges guarantee no conflicts).
@@ -101,15 +105,18 @@ func TestGlobalCrashRecovery(t *testing.T) {
 	// Parallel recovery time = slowest partition, about one partition's
 	// log; total blocks read is ~4x that.
 	totalRead := 0
-	for _, r := range results {
+	for _, r := range report.Per {
 		totalRead += r.BlocksRead
 	}
-	if parallelTime <= 0 {
+	if report.ParallelTime <= 0 {
 		t.Fatal("no parallel recovery time")
 	}
 	serialTime := sim.Time(totalRead) * recovery.DefaultBlockRead
-	if parallelTime*3 > serialTime {
-		t.Fatalf("parallel recovery %v not well below serial %v", parallelTime, serialTime)
+	if report.SerialTime != serialTime {
+		t.Fatalf("serial time %v, want %v", report.SerialTime, serialTime)
+	}
+	if report.ParallelTime*3 > serialTime {
+		t.Fatalf("parallel recovery %v not well below serial %v", report.ParallelTime, serialTime)
 	}
 }
 
@@ -131,7 +138,11 @@ func TestKillIsolation(t *testing.T) {
 	sys.parts = []*core.Setup{mk([]int{5, 4}), mk([]int{20, 16}), mk([]int{20, 16})}
 	var gens []*workload.Generator
 	for i := 0; i < 3; i++ {
-		g, err := workload.New(eng, sys.Sink(i), workload.Config{
+		sink, err := sys.Sink(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := workload.New(eng, sink, workload.Config{
 			Mix:         workload.PaperMix(0.05),
 			ArrivalRate: 100,
 			Runtime:     30 * sim.Second,
@@ -155,7 +166,7 @@ func TestKillIsolation(t *testing.T) {
 		}
 	}
 	// And recovery of the whole machine is still exact.
-	merged, _, _, err := sys.RecoverAll(0)
+	merged, _, err := sys.RecoverAll(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +191,19 @@ func TestRoutingGuards(t *testing.T) {
 	if sys.OwnerOf(500) != 0 || sys.OwnerOf(1500) != 1 {
 		t.Fatal("owner mapping wrong")
 	}
-	sink := sys.Sink(0)
+	if _, err := sys.Sink(2); err == nil {
+		t.Fatal("out-of-range sink accepted")
+	}
+	if _, err := sys.Sink(-1); err == nil {
+		t.Fatal("negative sink accepted")
+	}
+	if sys.OwnerOf(2000) != -1 {
+		t.Fatal("oid beyond the last shard should have no owner")
+	}
+	sink, err := sys.Sink(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sink.BeginHinted(1, 0)
 	defer func() {
 		if recover() == nil {
@@ -194,6 +217,10 @@ func TestNewValidation(t *testing.T) {
 	eng := sim.NewEngine(1, 2)
 	if _, err := New(eng, 0, core.Params{}, core.FlushConfig{}); err == nil {
 		t.Fatal("zero partitions accepted")
+	}
+	if _, err := New(eng, 2, core.Params{Mode: core.ModeEphemeral, GenSizes: []int{8, 8}},
+		core.FlushConfig{Drives: 2, Transfer: 10 * sim.Millisecond, NumObjects: 0}); err == nil {
+		t.Fatal("zero-width object range accepted (OwnerOf would divide by zero)")
 	}
 	if _, err := New(eng, 2, core.Params{Mode: core.ModeFirewall, GenSizes: []int{4, 4}},
 		core.FlushConfig{Drives: 1, Transfer: sim.Millisecond, NumObjects: 100}); err == nil {

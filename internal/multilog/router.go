@@ -1,0 +1,249 @@
+package multilog
+
+import (
+	"fmt"
+
+	"ellog/internal/logrec"
+	"ellog/internal/metrics"
+	"ellog/internal/sim"
+)
+
+// Router is the sharded system's transaction interface: it satisfies
+// workload.LogManager over GLOBAL object identifiers, routing each record
+// to the shard owning its object and running two-phase commit in the log
+// for transactions that touch more than one shard.
+//
+// The protocol is 2PC with presumed abort, written entirely as log
+// records:
+//
+//   - A shard is enlisted lazily on the transaction's first write to it
+//     (a BEGIN record enters that shard's log). The first-touched shard
+//     is the coordinator.
+//   - Commit of a multi-shard transaction logs a PREPARE record on every
+//     participant (non-coordinator) shard. A durable PREPARE makes that
+//     branch in-doubt: it can no longer be killed or aborted locally, so
+//     it pins its shard's generation retirement until resolved.
+//   - When every PREPARE is durable, the coordinator logs the DECIDE
+//     record — simultaneously its own COMMIT and the global decision.
+//     The transaction is acknowledged when the DECIDE is durable, and
+//     the participants' branches are then resolved as committed.
+//   - Abort (a space-pressure kill on any enlisted shard before the
+//     decision) is never logged: the router aborts the sibling branches
+//     in memory, and a crashed shard replaying a durable PREPARE with no
+//     durable DECIDE anywhere presumes abort.
+//
+// The coordinator's DECIDE record is pinned in its log (core's pin count)
+// until every remote participant branch retires, so an in-doubt PREPARE
+// can always find the durable decision it needs.
+type Router struct {
+	sys    *System
+	onKill func(logrec.TxID)
+	txs    map[logrec.TxID]*routedTx
+
+	localCommits metrics.Counter // single-shard transactions acknowledged
+	distCommits  metrics.Counter // cross-shard transactions acknowledged
+	aborted      metrics.Counter // cross-shard transactions aborted by a branch kill
+}
+
+// routedTx tracks one in-flight transaction's enlistment and 2PC state.
+type routedTx struct {
+	hint sim.Time
+	// shards in enlistment order; shards[0] is the coordinator.
+	shards []int
+	// pendingPrepares counts participant PREPARE records not yet durable.
+	pendingPrepares int
+	killed          bool
+	onDurable       func()
+}
+
+// NewRouter builds a router over the system and installs itself as every
+// partition manager's kill handler (kills must fan out to a victim's
+// sibling branches on other shards).
+func NewRouter(sys *System) *Router {
+	r := &Router{sys: sys, txs: make(map[logrec.TxID]*routedTx)}
+	for i, p := range sys.parts {
+		shard := i
+		p.LM.SetKillHandler(func(tid logrec.TxID) { r.branchKilled(shard, tid) })
+	}
+	return r
+}
+
+// enlisted reports whether the transaction already has a branch on shard.
+func (rt *routedTx) enlisted(shard int) bool {
+	for _, s := range rt.shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+// BeginHinted registers the transaction. No shard is touched yet: shards
+// are enlisted lazily on first write, so a BEGIN record enters only the
+// logs the transaction actually uses.
+func (r *Router) BeginHinted(tid logrec.TxID, expected sim.Time) {
+	if _, ok := r.txs[tid]; ok {
+		panic(fmt.Sprintf("multilog: BeginHinted of existing transaction %d", tid))
+	}
+	r.txs[tid] = &routedTx{hint: expected}
+}
+
+// WriteData routes an update to the shard owning its object, enlisting
+// the shard first if this is the transaction's first touch of it. A zero
+// LSN means the transaction was killed during the write (the caller's
+// kill handler has already fired).
+func (r *Router) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
+	rt, ok := r.txs[tid]
+	if !ok {
+		panic(fmt.Sprintf("multilog: WriteData on unknown transaction %d", tid))
+	}
+	shard := r.sys.OwnerOf(oid)
+	if shard < 0 {
+		panic(fmt.Sprintf("multilog: object %d outside the object space of %d shards x %d objects",
+			oid, len(r.sys.parts), r.sys.objectsPerPart))
+	}
+	if rt.killed {
+		return 0
+	}
+	if !rt.enlisted(shard) {
+		// Enlist: the branch's BEGIN enters the shard's log. The append's
+		// space-making cascade can kill this very transaction (or another,
+		// whose abort fans out through the router) — re-check before
+		// writing.
+		r.sys.parts[shard].LM.BeginHinted(tid, rt.hint)
+		rt.shards = append(rt.shards, shard)
+		if rt.killed {
+			return 0
+		}
+	}
+	local := uint64(oid) - uint64(shard)*r.sys.objectsPerPart
+	return r.sys.parts[shard].LM.WriteData(tid, logrec.OID(local), size)
+}
+
+// Commit requests commit. A single-shard transaction commits locally
+// (one COMMIT record, group-commit acknowledgement as ever); a
+// cross-shard transaction runs the 2PC described on Router. onDurable
+// fires when the commit — for cross-shard transactions, the DECIDE
+// record — is durable.
+func (r *Router) Commit(tid logrec.TxID, onDurable func()) {
+	rt, ok := r.txs[tid]
+	if !ok {
+		panic(fmt.Sprintf("multilog: Commit on unknown transaction %d", tid))
+	}
+	if rt.killed {
+		return
+	}
+	switch len(rt.shards) {
+	case 0:
+		// Never wrote anything: nothing was logged anywhere, so there is
+		// nothing to make durable.
+		delete(r.txs, tid)
+		r.localCommits.Inc()
+		if onDurable != nil {
+			onDurable()
+		}
+	case 1:
+		r.sys.parts[rt.shards[0]].LM.Commit(tid, func() {
+			delete(r.txs, tid)
+			r.localCommits.Inc()
+			if onDurable != nil {
+				onDurable()
+			}
+		})
+	default:
+		rt.onDurable = onDurable
+		rt.pendingPrepares = len(rt.shards) - 1
+		for _, s := range rt.shards[1:] {
+			r.sys.parts[s].LM.Prepare(tid, func() { r.branchPrepared(tid) })
+		}
+	}
+}
+
+// branchPrepared runs when one participant's PREPARE record becomes
+// durable; the last one triggers the coordinator's DECIDE.
+func (r *Router) branchPrepared(tid logrec.TxID) {
+	rt, ok := r.txs[tid]
+	if !ok || rt.killed {
+		return // aborted while the prepare was in flight
+	}
+	rt.pendingPrepares--
+	if rt.pendingPrepares > 0 {
+		return
+	}
+	// All participants voted; the coordinator (still txActive — it never
+	// prepares) writes the decision, pinned until every remote branch
+	// retires.
+	r.sys.parts[rt.shards[0]].LM.DecideCommit(tid, len(rt.shards)-1, func() { r.decided(tid) })
+}
+
+// decided runs when the DECIDE record is durable: the transaction is
+// globally committed. The participants' branches are resolved, each
+// unpinning the coordinator when it retires, and the client is
+// acknowledged — durability is claimed only now, with the decision on
+// disk.
+func (r *Router) decided(tid logrec.TxID) {
+	rt, ok := r.txs[tid]
+	if !ok {
+		return
+	}
+	coord := r.sys.parts[rt.shards[0]].LM
+	for _, s := range rt.shards[1:] {
+		r.sys.parts[s].LM.ResolveCommit(tid, func() { coord.Unpin(tid) })
+	}
+	delete(r.txs, tid)
+	r.distCommits.Inc()
+	if rt.onDurable != nil {
+		rt.onDurable()
+	}
+}
+
+// branchKilled is a partition manager's kill callback: shard killed its
+// branch of tid for want of log space. The other enlisted branches are
+// aborted — they are all pre-decision (a prepared branch is unkillable
+// and the coordinator decides only after every vote), so unilateral abort
+// is safe — and the workload's kill handler fires once for the whole
+// transaction.
+func (r *Router) branchKilled(shard int, tid logrec.TxID) {
+	rt, ok := r.txs[tid]
+	if !ok || rt.killed {
+		return
+	}
+	rt.killed = true
+	for _, s := range rt.shards {
+		if s == shard {
+			continue
+		}
+		// ResolveAbort drops the branch without firing kill callbacks, so
+		// the fan-out cannot recurse.
+		r.sys.parts[s].LM.ResolveAbort(tid)
+	}
+	if len(rt.shards) > 1 {
+		r.aborted.Inc()
+	}
+	delete(r.txs, tid)
+	if r.onKill != nil {
+		r.onKill(tid)
+	}
+}
+
+// SetKillHandler registers the workload's kill callback, invoked once per
+// killed transaction regardless of how many shards it had enlisted.
+func (r *Router) SetKillHandler(fn func(logrec.TxID)) { r.onKill = fn }
+
+// RouterStats counts the router's commit outcomes.
+type RouterStats struct {
+	LocalCommits uint64 // single-shard transactions acknowledged
+	DistCommits  uint64 // cross-shard transactions acknowledged (2PC)
+	Aborted      uint64 // cross-shard transactions aborted by a branch kill
+	InFlight     int    // transactions still tracked
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		LocalCommits: r.localCommits.Count(),
+		DistCommits:  r.distCommits.Count(),
+		Aborted:      r.aborted.Count(),
+		InFlight:     len(r.txs),
+	}
+}

@@ -1,0 +1,201 @@
+package multilog
+
+import (
+	"fmt"
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/logrec"
+	"ellog/internal/recovery"
+	"ellog/internal/runner"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// smallSharded is a deliberately small sharded run — a couple of simulated
+// seconds, a thousand objects per shard — so exhaustive crash sweeps stay
+// within test budgets.
+func smallSharded(shards int, crossFrac float64, seed uint64) ShardedConfig {
+	return ShardedConfig{
+		Seed:   seed,
+		Shards: shards,
+		LM: core.Params{
+			Mode: core.ModeEphemeral, GenSizes: []int{10, 10},
+			// Seal partial blocks quickly: with the load split across
+			// shards, pure group commit would leave most of the run in
+			// unsealed blocks and the crash sweep with almost no durable
+			// events to crash at.
+			GroupCommitTimeout: 20 * sim.Millisecond,
+		},
+		Flush: core.FlushConfig{Drives: 2, Transfer: 5 * sim.Millisecond, NumObjects: 1000},
+		Workload: workload.Config{
+			Mix: workload.Mix{
+				{Name: "short", Prob: 1, Lifetime: 300 * sim.Millisecond, NumRecords: 2, RecordSize: 100},
+			},
+			ArrivalRate:    40,
+			Runtime:        2 * sim.Second,
+			CrossShardFrac: crossFrac,
+		},
+	}
+}
+
+func TestShardedRunCommitsCrossShard(t *testing.T) {
+	live, err := RunSharded(smallSharded(3, 0.3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Eng.Run(live.Eng.Now() + 30*sim.Second) // drain in-flight transactions
+	ws := live.Gen.Stats()
+	if ws.CrossStarted == 0 || ws.CrossCommitted == 0 {
+		t.Fatalf("no cross-shard traffic: %+v", ws)
+	}
+	rs := live.Router.Stats()
+	if rs.DistCommits == 0 || rs.LocalCommits == 0 {
+		t.Fatalf("router saw no 2PC commits: %+v", rs)
+	}
+	if rs.DistCommits != ws.CrossCommitted {
+		t.Fatalf("router acked %d distributed commits, workload saw %d", rs.DistCommits, ws.CrossCommitted)
+	}
+	// Distributed commits wait for prepare + decide durability, so their
+	// end-to-end latency cannot undercut the local path's.
+	if ws.CrossEndToEndMean < ws.LocalEndToEndMean {
+		t.Fatalf("cross-shard mean %.4fs below local mean %.4fs", ws.CrossEndToEndMean, ws.LocalEndToEndMean)
+	}
+	for i := 0; i < live.Sys.Partitions(); i++ {
+		if err := live.Sys.Partition(i).LM.CheckInvariants(); err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+	}
+	// Crash now and recover: the merged state must be exactly the
+	// acknowledged commits, cross-shard ones included.
+	merged, report, err := live.Sys.RecoverAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovery.VerifyOracle(merged, live.Gen.Oracle()); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Per) != 3 {
+		t.Fatalf("%d partition recoveries", len(report.Per))
+	}
+}
+
+// TestShardedByteIdentical re-runs one configuration and demands identical
+// results — the determinism contract extended to the sharded system, 2PC
+// callbacks included.
+func TestShardedByteIdentical(t *testing.T) {
+	run := func() string {
+		live, err := RunSharded(smallSharded(3, 0.3, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, report, err := live.Sys.RecoverAll(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v\n%+v\n%+v\n%+v",
+			live.Gen.Stats(), live.Router.Stats(), live.Sys.Stats(), report)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two runs of the same sharded config diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestMemPeakStaggered is the regression test for the multilog Stats.MemPeak
+// bug: partitions loaded at different times peak at different times, so the
+// sum of per-partition peaks overstates the true simultaneous footprint.
+// The combined gauge must report the peak of the sum, not the sum of peaks.
+func TestMemPeakStaggered(t *testing.T) {
+	eng := sim.NewEngine(5, 6)
+	sys, err := New(eng, 2, core.Params{
+		Mode: core.ModeEphemeral, GenSizes: []int{20, 16}, Recirculate: true,
+		// Pure group commit would leave each partition's last COMMIT in an
+		// unsealed block forever, freezing its memory at the peak; the
+		// timeout lets the early partition drain before the late one loads.
+		GroupCommitTimeout: 50 * sim.Millisecond,
+	}, core.FlushConfig{Drives: 4, Transfer: 5 * sim.Millisecond, NumObjects: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 carries transactions early, partition 1 late; neither is
+	// loaded while the other is.
+	load := func(part int, tid logrec.TxID, at sim.Time) {
+		lm := sys.Partition(part).LM
+		eng.At(at, func() {
+			lm.BeginHinted(tid, 0)
+			for j := 0; j < 20; j++ {
+				lm.WriteData(tid, logrec.OID(int(tid)*100+j), 100)
+			}
+		})
+		eng.At(at+2*sim.Second, func() { lm.Commit(tid, func() {}) })
+	}
+	load(0, 1, 0)
+	load(0, 2, 100*sim.Millisecond)
+	load(1, 3, 20*sim.Second)
+	load(1, 4, 20*sim.Second+100*sim.Millisecond)
+	eng.Run(40 * sim.Second)
+
+	st := sys.Stats()
+	sumOfPeaks := st.PerPartition[0].MemPeakBytes + st.PerPartition[1].MemPeakBytes
+	if st.MemPeak <= 0 {
+		t.Fatal("no combined memory peak recorded")
+	}
+	for i, p := range st.PerPartition {
+		if st.MemPeak < p.MemPeakBytes {
+			t.Fatalf("combined peak %.0f below partition %d's own peak %.0f", st.MemPeak, i, p.MemPeakBytes)
+		}
+	}
+	if st.MemPeak >= sumOfPeaks {
+		t.Fatalf("combined peak %.0f not below sum of per-partition peaks %.0f — staggered load should separate them",
+			st.MemPeak, sumOfPeaks)
+	}
+}
+
+// TestCrossCampaignAtomicity sweeps crash points across the whole run —
+// in particular through every 2PC window — and demands that recovery never
+// splits a cross-shard transaction: committed on all its shards or absent
+// from all of them.
+func TestCrossCampaignAtomicity(t *testing.T) {
+	res, err := RunCrossCampaign(CrossCampaignConfig{
+		Base:      smallSharded(3, 0.3, 1),
+		MaxPoints: 200,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("atomicity violated:\n%s", res)
+	}
+	if res.CrossCommitted == 0 {
+		t.Fatal("campaign base committed no cross-shard transactions — sweep proves nothing")
+	}
+	// The sweep must actually have landed inside the 2PC window, both ways:
+	// crashes after a PREPARE but before the decision (presumed abort, the
+	// coordinator-crash case) and crashes after the DECIDE with the
+	// participant still in doubt (resolved commit).
+	if res.ResolvedAbort == 0 {
+		t.Fatalf("no crash point exercised presumed abort: %s", res)
+	}
+	if res.ResolvedCommit == 0 {
+		t.Fatalf("no crash point exercised in-doubt commit resolution: %s", res)
+	}
+}
+
+// TestCrossCampaignParallelMatchesSequential runs the same sweep with and
+// without a worker pool; point outcomes are assembled in point order, so
+// the results must be byte-identical.
+func TestCrossCampaignParallelMatchesSequential(t *testing.T) {
+	cfg := CrossCampaignConfig{Base: smallSharded(2, 0.25, 3), MaxPoints: 60}
+	seq, err := RunCrossCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCrossCampaign(cfg, runner.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
+		t.Fatalf("parallel campaign diverged from sequential:\n--- sequential\n%+v\n--- parallel\n%+v", seq, par)
+	}
+}

@@ -53,9 +53,31 @@ type Result struct {
 	// ascending TxID order — crash-campaign harnesses compare it against
 	// the set of acknowledged commits.
 	WinnerTxs []logrec.TxID
+	// InDoubt lists prepared transactions with no local decision, in
+	// ascending TxID order: 2PC branches whose fate only the coordinator
+	// shard's log can settle (commit if it holds a durable DECIDE,
+	// presumed abort otherwise). Their updates are excluded from this
+	// pass's redo; the resolution pass applies the committed ones.
+	InDoubt []InDoubtTx
 	// EstimatedTime models the sequential single-pass read of the log:
 	// BlocksRead x the per-block read time.
 	EstimatedTime sim.Time
+}
+
+// InDoubtWrite is one object update by an in-doubt prepared transaction —
+// the branch's latest durable record for the object.
+type InDoubtWrite struct {
+	Obj logrec.OID
+	LSN logrec.LSN
+	Val uint64
+}
+
+// InDoubtTx is one prepared-but-undecided transaction surfaced by a
+// shard's recovery pass. Writes holds the latest durable update per
+// object, in ascending oid order, so resolution output is deterministic.
+type InDoubtTx struct {
+	Tx     logrec.TxID
+	Writes []InDoubtWrite
 }
 
 // Recover performs single-pass redo recovery: it reads the crash image
@@ -68,6 +90,7 @@ func Recover(dev *blockdev.Device, db *statedb.DB, blockRead sim.Time) (*statedb
 	var res Result
 
 	winners := make(map[logrec.TxID]bool)
+	prepared := make(map[logrec.TxID]bool)
 	seen := make(map[logrec.TxID]bool)
 	var data []*logrec.Record
 
@@ -89,9 +112,16 @@ func Recover(dev *blockdev.Device, db *statedb.DB, blockRead sim.Time) (*statedb
 		for _, r := range recs {
 			res.RecordsRead++
 			seen[r.Tx] = true
-			if r.Kind == logrec.KindCommit {
+			switch r.Kind {
+			case logrec.KindCommit, logrec.KindDecide:
+				// DECIDE is the coordinator shard's COMMIT: a durable one
+				// commits the local branch (and, globally, the whole
+				// cross-shard transaction — RecoverAll's resolution pass
+				// consults it on behalf of the other shards).
 				winners[r.Tx] = true
-			} else if r.Kind == logrec.KindData {
+			case logrec.KindPrepare:
+				prepared[r.Tx] = true
+			case logrec.KindData:
 				data = append(data, r)
 			}
 		}
@@ -122,14 +152,51 @@ func Recover(dev *blockdev.Device, db *statedb.DB, blockRead sim.Time) (*statedb
 		tx  logrec.TxID
 	}
 	loserRecs := make(map[objTx]*logrec.Record)
+	// inDoubtLatest tracks the latest update per object of each prepared-
+	// but-undecided transaction; the resolution pass redoes the committed
+	// ones, so this pass neither redoes nor undoes them beyond the stolen
+	// rollback below (which a later resolution commit re-applies, its
+	// record LSNs being newer than any before-image).
+	inDoubtLatest := make(map[logrec.TxID]map[logrec.OID]upd)
 	for _, r := range data {
 		if !winners[r.Tx] {
 			loserRecs[objTx{r.Obj, r.Tx}] = r
-			continue // loser or still-active at crash: no redo
+			if prepared[r.Tx] {
+				w := inDoubtLatest[r.Tx]
+				if w == nil {
+					w = make(map[logrec.OID]upd)
+					inDoubtLatest[r.Tx] = w
+				}
+				if cur, ok := w[r.Obj]; !ok || r.LSN > cur.lsn {
+					w[r.Obj] = upd{lsn: r.LSN, val: r.Val, tx: r.Tx}
+				}
+			}
+			continue // loser, in doubt, or still active at crash: no redo
 		}
 		if cur, ok := winnerLatest[r.Obj]; !ok || r.LSN > cur.lsn {
 			winnerLatest[r.Obj] = upd{lsn: r.LSN, val: r.Val, tx: r.Tx}
 		}
+	}
+	inDoubtTxs := make([]logrec.TxID, 0, len(prepared))
+	for tx := range prepared {
+		if !winners[tx] {
+			inDoubtTxs = append(inDoubtTxs, tx)
+		}
+	}
+	sort.Slice(inDoubtTxs, func(i, j int) bool { return inDoubtTxs[i] < inDoubtTxs[j] })
+	res.InDoubt = make([]InDoubtTx, 0, len(inDoubtTxs))
+	for _, tx := range inDoubtTxs {
+		idt := InDoubtTx{Tx: tx}
+		objs := make([]logrec.OID, 0, len(inDoubtLatest[tx]))
+		for obj := range inDoubtLatest[tx] {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		for _, obj := range objs {
+			u := inDoubtLatest[tx][obj]
+			idt.Writes = append(idt.Writes, InDoubtWrite{Obj: obj, LSN: u.lsn, Val: u.val})
+		}
+		res.InDoubt = append(res.InDoubt, idt)
 	}
 	recovered := db.Clone()
 	// UNDO pass (steal extension): a version explicitly marked stolen was

@@ -104,6 +104,18 @@ type Config struct {
 	OIDBase uint64
 	// TidBase offsets transaction identifiers the same way.
 	TidBase uint64
+	// NumShards > 1 turns on shard-aware object draws against a sharded
+	// system (multilog.Router): the object space [OIDBase, OIDBase+
+	// NumObjects) is split into NumShards equal ranges, each transaction
+	// gets a home shard, and its oids are drawn from its shards' ranges.
+	// Zero or one means the classic unsharded draw — and makes exactly the
+	// same Rand calls as before the knob existed, so unsharded runs stay
+	// byte-identical.
+	NumShards int
+	// CrossShardFrac is the fraction of transactions (among those writing
+	// at least two records) that draw oids from two shards instead of one,
+	// exercising the router's two-phase commit. Requires NumShards >= 2.
+	CrossShardFrac float64
 }
 
 // LogManager is the interface the generator drives; *core.Manager and the
@@ -121,9 +133,19 @@ type Stats struct {
 	Committed uint64 // durably committed (acknowledged)
 	Killed    uint64
 	PerType   map[string]uint64 // started per type
-	// EndToEnd is t4-t0: lifetime plus group-commit delay.
+	// EndToEnd is t4-t0: lifetime plus group-commit delay. All committed
+	// transactions, local and cross-shard alike.
 	EndToEndMean float64
 	EndToEndP99  float64
+	// Sharded runs split the latency by commit path: a local transaction
+	// pays one group-commit delay, a cross-shard one pays prepare
+	// durability on every participant plus the coordinator's decision.
+	CrossStarted      uint64
+	CrossCommitted    uint64
+	LocalEndToEndMean float64
+	LocalEndToEndP99  float64
+	CrossEndToEndMean float64
+	CrossEndToEndP99  float64
 }
 
 type txRun struct {
@@ -131,6 +153,8 @@ type txRun struct {
 	killed       bool
 	commitIssued bool // COMMIT record handed to the log manager
 	durable      bool // group-commit acknowledgement received (t4)
+	cross        bool // draws oids from two shards (2PC on commit)
+	home, remote int  // shard assignment (equal unless cross)
 	began        sim.Time
 	writes       map[logrec.OID]logrec.LSN
 }
@@ -147,9 +171,11 @@ type Generator struct {
 	held    map[logrec.OID]logrec.TxID
 	oracle  map[logrec.OID]logrec.LSN
 
-	started, committed, killed metrics.Counter
-	perType                    map[string]uint64
-	endToEnd                   metrics.Histogram
+	started, committed, killed   metrics.Counter
+	crossStarted, crossCommitted metrics.Counter
+	perType                      map[string]uint64
+	endToEnd                     metrics.Histogram
+	localE2E, crossE2E           metrics.Histogram
 
 	// bursty-arrival modulation state
 	burstOn    bool
@@ -167,6 +193,15 @@ func New(eng *sim.Engine, lm LogManager, cfg Config) (*Generator, error) {
 	}
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = DefaultEpsilon
+	}
+	if cfg.CrossShardFrac < 0 || cfg.CrossShardFrac > 1 {
+		return nil, fmt.Errorf("workload: cross-shard fraction %v outside [0,1]", cfg.CrossShardFrac)
+	}
+	if cfg.CrossShardFrac > 0 && cfg.NumShards < 2 {
+		return nil, fmt.Errorf("workload: cross-shard fraction %v needs at least 2 shards, have %d", cfg.CrossShardFrac, cfg.NumShards)
+	}
+	if cfg.NumShards > 1 && cfg.NumObjects%uint64(cfg.NumShards) != 0 {
+		return nil, fmt.Errorf("workload: %d objects do not split evenly over %d shards", cfg.NumObjects, cfg.NumShards)
 	}
 	for _, t := range cfg.Mix {
 		if t.Lifetime <= cfg.Epsilon {
@@ -223,6 +258,20 @@ func (g *Generator) initiate() {
 	g.nextTid++
 	tid := logrec.TxID(g.cfg.TidBase) + g.nextTid
 	run := &txRun{typ: typ, began: g.eng.Now(), writes: make(map[logrec.OID]logrec.LSN)}
+	if g.cfg.NumShards > 1 {
+		run.home = int(g.eng.Rand().Uint64N(uint64(g.cfg.NumShards)))
+		run.remote = run.home
+		if g.cfg.CrossShardFrac > 0 && typ.NumRecords >= 2 &&
+			g.eng.Rand().Float64() < g.cfg.CrossShardFrac {
+			run.cross = true
+			// A distinct second shard, uniform over the others.
+			run.remote = int(g.eng.Rand().Uint64N(uint64(g.cfg.NumShards - 1)))
+			if run.remote >= run.home {
+				run.remote++
+			}
+			g.crossStarted.Inc()
+		}
+	}
 	g.txs[tid] = run
 	g.started.Inc()
 	g.perType[typ.Name]++
@@ -237,27 +286,60 @@ func (g *Generator) initiate() {
 	// last lands at t0 + T - eps (Figure 3).
 	step := (typ.Lifetime - g.cfg.Epsilon) / sim.Time(typ.NumRecords)
 	for j := 1; j <= typ.NumRecords; j++ {
-		g.eng.After(sim.Time(j)*step, func() { g.writeRecord(tid) })
+		j := j
+		g.eng.After(sim.Time(j)*step, func() { g.writeRecord(tid, j) })
 	}
 	g.eng.After(typ.Lifetime, func() { g.commit(tid) })
 }
 
-// drawOID picks an object not currently updated by any active transaction.
-func (g *Generator) drawOID() logrec.OID {
+// recordShard decides which shard transaction run's j-th record writes
+// to. A cross-shard transaction's first record goes to the home shard
+// (making it the coordinator) and its second to the remote shard (so at
+// least two shards are always enlisted); further records flip a coin.
+func (g *Generator) recordShard(run *txRun, j int) int {
+	if !run.cross {
+		return run.home
+	}
+	switch j {
+	case 1:
+		return run.home
+	case 2:
+		return run.remote
+	default:
+		if g.eng.Rand().Float64() < 0.5 {
+			return run.remote
+		}
+		return run.home
+	}
+}
+
+// drawOID picks an object not currently updated by any active
+// transaction — from the whole space in unsharded runs (the classic
+// draw, bit-for-bit), or from the given shard's range.
+func (g *Generator) drawOID(shard int) logrec.OID {
+	if g.cfg.NumShards <= 1 {
+		for {
+			oid := logrec.OID(g.cfg.OIDBase + g.eng.Rand().Uint64N(g.cfg.NumObjects))
+			if _, taken := g.held[oid]; !taken {
+				return oid
+			}
+		}
+	}
+	per := g.cfg.NumObjects / uint64(g.cfg.NumShards)
 	for {
-		oid := logrec.OID(g.cfg.OIDBase + g.eng.Rand().Uint64N(g.cfg.NumObjects))
+		oid := logrec.OID(g.cfg.OIDBase + uint64(shard)*per + g.eng.Rand().Uint64N(per))
 		if _, taken := g.held[oid]; !taken {
 			return oid
 		}
 	}
 }
 
-func (g *Generator) writeRecord(tid logrec.TxID) {
+func (g *Generator) writeRecord(tid logrec.TxID, j int) {
 	run := g.txs[tid]
 	if run.killed {
 		return
 	}
-	oid := g.drawOID()
+	oid := g.drawOID(g.recordShard(run, j))
 	g.held[oid] = tid
 	lsn := g.lm.WriteData(tid, oid, run.typ.RecordSize)
 	if run.killed {
@@ -278,7 +360,14 @@ func (g *Generator) commit(tid logrec.TxID) {
 	g.lm.Commit(tid, func() {
 		run.durable = true
 		g.committed.Inc()
-		g.endToEnd.Observe((g.eng.Now() - run.began).Seconds())
+		e2e := (g.eng.Now() - run.began).Seconds()
+		g.endToEnd.Observe(e2e)
+		if run.cross {
+			g.crossCommitted.Inc()
+			g.crossE2E.Observe(e2e)
+		} else {
+			g.localE2E.Observe(e2e)
+		}
 		for oid, lsn := range run.writes {
 			if g.oracle[oid] < lsn {
 				g.oracle[oid] = lsn
@@ -311,12 +400,18 @@ func (g *Generator) Stats() Stats {
 		per[k] = v
 	}
 	return Stats{
-		Started:      g.started.Count(),
-		Committed:    g.committed.Count(),
-		Killed:       g.killed.Count(),
-		PerType:      per,
-		EndToEndMean: g.endToEnd.Mean(),
-		EndToEndP99:  g.endToEnd.Quantile(0.99),
+		Started:           g.started.Count(),
+		Committed:         g.committed.Count(),
+		Killed:            g.killed.Count(),
+		PerType:           per,
+		EndToEndMean:      g.endToEnd.Mean(),
+		EndToEndP99:       g.endToEnd.Quantile(0.99),
+		CrossStarted:      g.crossStarted.Count(),
+		CrossCommitted:    g.crossCommitted.Count(),
+		LocalEndToEndMean: g.localE2E.Mean(),
+		LocalEndToEndP99:  g.localE2E.Quantile(0.99),
+		CrossEndToEndMean: g.crossE2E.Mean(),
+		CrossEndToEndP99:  g.crossE2E.Quantile(0.99),
 	}
 }
 
