@@ -56,6 +56,7 @@ func main() {
 		plot       = flag.String("plot", "", "after the run, ASCII-plot the first sampled series whose name contains this substring (needs -probes-out)")
 		shards     = flag.Int("shards", 0, "override: run as this many shared-nothing shards (multilog; >= 2)")
 		crossFrac  = flag.Float64("cross-frac", -1, "override: fraction of transactions spanning two shards (needs -shards)")
+		pdes       = flag.Int("pdes", 0, "run shards as parallel logical processes on this many workers (PDES; 1 = sequential reference execution)")
 	)
 	flag.Parse()
 
@@ -112,6 +113,20 @@ func main() {
 	}
 	if *crossFrac >= 0 {
 		cfg.CrossShardFrac = *crossFrac
+	}
+
+	if *pdes > 0 {
+		if *seeds > 1 || *traceN > 0 || *probesOut != "" {
+			fatal(fmt.Errorf("pdes runs support none of -seeds/-trace/-probes-out yet"))
+		}
+		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
+			fatal(fmt.Errorf("pdes runs are fault-free; drop the faults section"))
+		}
+		if cfg.Shards < 1 {
+			cfg.Shards = 1 // single-LP run: the sequential reduction
+		}
+		runPDES(cfg, *pdes, *traceOut, *traceFmt, *verbose)
+		return
 	}
 
 	if cfg.Shards > 1 {
@@ -249,6 +264,63 @@ func main() {
 			ocfg.TracePath, ocfg.TracePath)
 	}
 	if res.Insufficient() {
+		fmt.Println("verdict: INSUFFICIENT disk space for this workload")
+		os.Exit(2)
+	}
+	fmt.Println("verdict: disk space sufficient (no transactions killed)")
+}
+
+// runPDES executes the configuration as a parallel discrete-event
+// simulation: shards become logical processes under conservative
+// synchronization. The worker count is pure scheduling and is printed to
+// stderr only — stdout (and the per-LP trace files) are a fixed function
+// of (seed, config), which is exactly what the CI determinism matrix
+// diffs across worker counts.
+func runPDES(cfg config.SimConfig, workers int, traceOut, traceFmt string, verbose bool) {
+	pcfg, err := cfg.ToPDES(workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pdes: %d workers\n", workers)
+	fmt.Printf("running %s x %d LPs (cross frac %.2f), generations %v (recirculation %v), %s, seed %d\n",
+		strings.ToUpper(cfg.Mode), pcfg.Shards, pcfg.CrossFrac, cfg.Generations, cfg.Recirculate,
+		sim.Time(cfg.RuntimeS*float64(sim.Second)), cfg.Seed)
+	live, err := multilog.BuildPDES(pcfg)
+	if err != nil {
+		fatal(err)
+	}
+	// Tracing stays LP-local: each shard streams to its own file, so the
+	// union of files is worker-invariant even though no global event order
+	// exists during a window.
+	var observers []*obs.Observer
+	if traceOut != "" {
+		for i, s := range live.Shards {
+			ocfg := obs.Config{TracePath: fmt.Sprintf("%s.lp%d", traceOut, i), TraceFormat: traceFmt}
+			o, err := obs.New(s.Setup, ocfg)
+			if err != nil {
+				fatal(err)
+			}
+			s.Setup.LM.SetTracer(o.Sink())
+			observers = append(observers, o)
+		}
+	}
+	live.Run()
+	st := live.Stats()
+	fmt.Print(st)
+	if verbose {
+		for i, ps := range st.PerShard {
+			fmt.Printf("--- shard %d ---\n%s", i, ps)
+		}
+	}
+	for _, o := range observers {
+		if err := o.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if traceOut != "" {
+		fmt.Printf("traces streamed to %s.lp0 .. %s.lp%d\n", traceOut, traceOut, len(live.Shards)-1)
+	}
+	if live.Insufficient() {
 		fmt.Println("verdict: INSUFFICIENT disk space for this workload")
 		os.Exit(2)
 	}

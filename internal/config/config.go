@@ -253,3 +253,34 @@ func (c SimConfig) ToSharded() (multilog.ShardedConfig, error) {
 	scfg.Workload.CrossShardFrac = c.CrossShardFrac
 	return scfg, nil
 }
+
+// ToPDES converts to a runnable parallel (PDES) sharded configuration:
+// every shard becomes one logical process with its own slice of the object
+// space, and CrossShardFrac becomes the 2PC overlay's share of each
+// shard's arrival rate. workers is the goroutine count — pure scheduling,
+// any value gives byte-identical results. A single shard is allowed (it
+// reduces exactly to the sequential harness run).
+func (c SimConfig) ToPDES(workers int) (multilog.PDESConfig, error) {
+	var pcfg multilog.PDESConfig
+	if c.Shards < 1 {
+		return pcfg, fmt.Errorf("config: pdes run needs shards >= 1, have %d", c.Shards)
+	}
+	if c.NumObjects%uint64(c.Shards) != 0 {
+		return pcfg, fmt.Errorf("config: %d objects do not split evenly over %d shards", c.NumObjects, c.Shards)
+	}
+	hcfg, err := c.ToHarness()
+	if err != nil {
+		return pcfg, err
+	}
+	pcfg = multilog.PDESConfig{
+		Seed:      hcfg.Seed,
+		Shards:    c.Shards,
+		Workers:   workers,
+		LM:        hcfg.LM,
+		Flush:     hcfg.Flush,
+		Workload:  hcfg.Workload,
+		CrossFrac: c.CrossShardFrac,
+	}
+	pcfg.Flush.NumObjects = c.NumObjects / uint64(c.Shards)
+	return pcfg, nil
+}

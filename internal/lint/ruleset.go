@@ -71,11 +71,18 @@ var Ruleset = []Rule{
 
 	// internal/sim owns the seeded engine streams and internal/fault
 	// derives its plan stream from the config seed; everywhere else must
-	// draw through them.
+	// draw through them. Under PDES this rule carries extra weight: each
+	// logical process owns exactly one stream (lp.Rand(), the LP engine's
+	// PCG), and any ad-hoc source in model code would be shared across LP
+	// goroutines — both a data race and a scheduling-order dependence.
 	{RngsourceAnalyzer, Scope{Skip: []string{"internal/sim", "internal/fault"}}},
 
 	{MaporderAnalyzer, Scope{}},
 	{NilgateAnalyzer, Scope{}},
+	// floatorder also polices the PDES barrier contract: float sums that
+	// cross LPs (aggregate stats, merged histograms) must fold in LP index
+	// order at a barrier, never in goroutine-completion order — addition
+	// over different orders is a different float.
 	{FloatorderAnalyzer, Scope{}},
 }
 

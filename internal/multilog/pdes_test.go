@@ -1,0 +1,202 @@
+package multilog
+
+import (
+	"reflect"
+	"testing"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// smallPDES mirrors smallSharded at PDES scale: a few simulated seconds,
+// a thousand objects per shard, quick group commit so blocks seal.
+func smallPDES(shards, workers int, crossFrac float64, seed uint64) PDESConfig {
+	return PDESConfig{
+		Seed:    seed,
+		Shards:  shards,
+		Workers: workers,
+		LM: core.Params{
+			Mode: core.ModeEphemeral, GenSizes: []int{10, 10},
+			GroupCommitTimeout: 20 * sim.Millisecond,
+		},
+		Flush: core.FlushConfig{Drives: 2, Transfer: 5 * sim.Millisecond, NumObjects: 1000},
+		Workload: workload.Config{
+			Mix: workload.Mix{
+				{Name: "short", Prob: 0.8, Lifetime: 300 * sim.Millisecond, NumRecords: 2, RecordSize: 100},
+				{Name: "long", Prob: 0.2, Lifetime: 900 * sim.Millisecond, NumRecords: 3, RecordSize: 100},
+			},
+			ArrivalRate: 40,
+			Runtime:     4 * sim.Second,
+		},
+		CrossFrac: crossFrac,
+	}
+}
+
+// TestPDESWorkerInvariance is the CI determinism matrix in miniature: the
+// full model (base and xshard configs) run under every worker count must
+// produce byte-identical reports to the 1-worker sequential reference.
+func TestPDESWorkerInvariance(t *testing.T) {
+	cases := []struct {
+		name      string
+		crossFrac float64
+	}{
+		{"base", 0},
+		{"xshard", 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ref, err := RunPDES(smallPDES(4, 1, tc.crossFrac, 12345))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Events == 0 || ref.Committed == 0 {
+				t.Fatalf("vacuous reference run: %+v", ref)
+			}
+			if tc.crossFrac > 0 && ref.Delivered == 0 {
+				t.Fatal("xshard run produced no cross-LP events")
+			}
+			for _, workers := range []int{2, 4, 8} {
+				_, got, err := RunPDES(smallPDES(4, workers, tc.crossFrac, 12345))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("workers=%d stats diverged from sequential reference:\nref: %+v\ngot: %+v", workers, ref, got)
+				}
+				if got.String() != ref.String() {
+					t.Fatalf("workers=%d report text diverged:\nref:\n%s\ngot:\n%s", workers, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPDESSingleShardReducesToHarness is the reduction theorem at the
+// model level: a 1-shard base-mode PDES run is bit-for-bit the classic
+// single-engine harness run of the same configuration — same seeds, same
+// generator calls, same stats.
+func TestPDESSingleShardReducesToHarness(t *testing.T) {
+	cfg := smallPDES(1, 4, 0, 99)
+	seqCfg := harness.Config{
+		Seed:     cfg.Seed,
+		LM:       cfg.LM,
+		Flush:    cfg.Flush,
+		Workload: cfg.Workload,
+	}
+	seqCfg.Workload.NumObjects = cfg.Flush.NumObjects
+	want, err := harness.Run(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, got, err := RunPDES(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerShard) != 1 {
+		t.Fatalf("%d shards in stats, want 1", len(got.PerShard))
+	}
+	if !reflect.DeepEqual(got.PerShard[0], want.LM) {
+		t.Fatalf("LM stats diverged:\nharness: %+v\npdes:    %+v", want.LM, got.PerShard[0])
+	}
+	if ws := live.Shards[0].Gen.Stats(); !reflect.DeepEqual(ws, want.Workload) {
+		t.Fatalf("workload stats diverged:\nharness: %+v\npdes:    %+v", want.Workload, ws)
+	}
+}
+
+// TestPDESCrossCommitsAndRecovers drains an xshard run and checks the 2PC
+// overlay's accounting, the managers' internal invariants, and that each
+// shard's crash image recovers to exactly the acknowledged local commits.
+func TestPDESCrossCommitsAndRecovers(t *testing.T) {
+	live, err := BuildPDES(smallPDES(3, 2, 0.3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Run()
+	// Drain in-flight transactions and protocol messages.
+	live.PE.Run(live.PE.LP(0).Now() + 30*sim.Second)
+	st := live.Stats()
+	if st.CrossStarted == 0 || st.CrossCommitted == 0 {
+		t.Fatalf("no cross-shard traffic: %+v", st)
+	}
+	if st.Delivered == 0 {
+		t.Fatal("cross-shard run delivered no cross-LP events")
+	}
+	// The overlay path pays a message delay each way plus prepare and
+	// decide durability, so it cannot undercut the local commit path.
+	if st.CrossE2EMean < st.E2EMean/2 {
+		t.Fatalf("cross e2e mean %.4fs implausibly low vs overall %.4fs", st.CrossE2EMean, st.E2EMean)
+	}
+	var inflight int
+	for _, s := range live.Shards {
+		if err := s.Setup.LM.CheckInvariants(); err != nil {
+			t.Fatalf("shard %d: %v", s.LP.Index(), err)
+		}
+		inflight += len(s.cross.out) + len(s.cross.in)
+	}
+	if inflight != 0 {
+		t.Fatalf("%d overlay transactions still in flight after drain", inflight)
+	}
+	for _, s := range live.Shards {
+		c := s.cross
+		if c.Started() != c.Committed()+c.Aborted() {
+			t.Fatalf("shard %d overlay accounting: started %d != committed %d + aborted %d",
+				s.LP.Index(), c.Started(), c.Committed(), c.Aborted())
+		}
+	}
+}
+
+// TestPDESNestedParallelismGuard exercises the named panic: a Workers>1
+// run refuses to start while another parallel run owns the process slot.
+func TestPDESNestedParallelismGuard(t *testing.T) {
+	if !pdesActive.CompareAndSwap(0, 1) {
+		t.Fatal("parallel-run slot unexpectedly taken")
+	}
+	defer pdesActive.Store(0)
+	live, err := BuildPDES(smallPDES(2, 2, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nested Workers>1 run did not panic")
+		}
+		if msg, ok := r.(string); !ok || msg != ErrNestedParallelism {
+			t.Fatalf("unexpected panic %v", r)
+		}
+	}()
+	live.Run()
+}
+
+// TestPDESSequentialRunsInsidePool checks the documented composition rule:
+// Workers=1 PDES runs may fan out across runner.Pool goroutines freely —
+// the guard only rejects parallel (Workers>1) overlap.
+func TestPDESSequentialRunsInsidePool(t *testing.T) {
+	if !pdesActive.CompareAndSwap(0, 1) {
+		t.Fatal("parallel-run slot unexpectedly taken")
+	}
+	defer pdesActive.Store(0)
+	if _, _, err := RunPDES(smallPDES(2, 1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPDESConfigValidation covers BuildPDES's rejection paths.
+func TestPDESConfigValidation(t *testing.T) {
+	bad := []func(*PDESConfig){
+		func(c *PDESConfig) { c.Shards = 0 },
+		func(c *PDESConfig) { c.CrossFrac = 1.0 },
+		func(c *PDESConfig) { c.CrossFrac = -0.1 },
+		func(c *PDESConfig) { c.Shards = 1; c.CrossFrac = 0.5 },
+		func(c *PDESConfig) { c.Flush.NumObjects = 4; c.CrossFrac = 0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := smallPDES(4, 1, 0, 1)
+		mutate(&cfg)
+		if _, err := BuildPDES(cfg); err == nil {
+			t.Errorf("case %d: config accepted, want error", i)
+		}
+	}
+}

@@ -193,6 +193,15 @@ func (e *Engine) Run(until Time) {
 	}
 }
 
+// NextAt reports the timestamp of the earliest pending event, if any. The
+// parallel engine's window loop uses it to skip empty time buckets.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slab[e.heap[0]].at, true
+}
+
 // Step dispatches exactly one event, if any is pending, and reports whether
 // one fired. Useful in tests that need to observe intermediate states.
 func (e *Engine) Step() bool {

@@ -415,6 +415,23 @@ func (g *Generator) Stats() Stats {
 	}
 }
 
+// MergeLatencies merges the generator's end-to-end latency samples into
+// the given histograms (any may be nil to skip that slot). Quantiles of
+// separate generators cannot be combined after the fact, so aggregators
+// spanning several generators — the PDES binding runs one per logical
+// process — merge the raw samples and compute global statistics once.
+func (g *Generator) MergeLatencies(all, local, cross *metrics.Histogram) {
+	if all != nil {
+		all.Merge(&g.endToEnd)
+	}
+	if local != nil {
+		local.Merge(&g.localE2E)
+	}
+	if cross != nil {
+		cross.Merge(&g.crossE2E)
+	}
+}
+
 // Oracle returns the latest durably committed LSN per object — ground
 // truth for recovery verification. The map is live; callers must not
 // mutate it.
