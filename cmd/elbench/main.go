@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|pdes|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|xshard|ext")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|scarce|headline|pdes|all|hints|chain|hybrid|adaptive|arrivals|steal|scale|xshard|simvreal|ext")
 		runtime  = flag.Float64("runtime", 500, "simulated seconds per run")
 		objects  = flag.Uint64("objects", 10_000_000, "database object count")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -49,6 +49,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		heapProf = flag.String("heapprofile", "", "write a heap profile (after the run) to this path")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, negative = strictly sequential)")
+		realDir  = flag.String("realdir", "", "log directory for -exp simvreal's real run (default: a temporary directory)")
+		realIO   = flag.String("realdirect", "auto", "direct-I/O mode for -exp simvreal: auto|on|off")
 	)
 	flag.Parse()
 
@@ -69,6 +71,8 @@ func main() {
 		Runtime:    sim.Time(*runtime * float64(sim.Second)),
 		NumObjects: *objects,
 		Parallel:   *parallel,
+		RealDir:    *realDir,
+		RealDirect: *realIO,
 	}
 	// One pool shared across every experiment of this invocation: probe
 	// points recur between experiments (the headline numbers reuse the
@@ -143,6 +147,13 @@ func main() {
 		show("scale", opt, experiments.Scale, experiments.FormatScale, nil)
 	case "pdes":
 		show("pdes", opt, experiments.PDES, experiments.FormatPDES, collectPDES(rep))
+	case "simvreal":
+		// Deliberately not part of "all": the real run pays its runtime
+		// in wall-clock fsync traffic and its measured numbers are not
+		// deterministic, so it stays out of the gated perfdiff baseline.
+		// The commit-curve shape check makes this invocation itself the
+		// gate: elbench exits non-zero when the curves diverge.
+		show("simvreal", opt, experiments.SimVsReal, experiments.FormatSimVsReal, checkSimVsReal(rep))
 	case "xshard":
 		// Deliberately not part of "all": the gated report covers the
 		// paper figures plus the pdes suite, and xshard's sweep is slow at
@@ -234,6 +245,30 @@ func addFig456(rep *perf.Report, points []experiments.MixPoint) {
 		rep.Set("fig456", "el_writes_per_s_"+k, p.ELBW)
 		rep.Set("fig456", "fw_mem_bytes_"+k, p.FWMemPeak)
 		rep.Set("fig456", "el_mem_bytes_"+k, p.ELMemPeak)
+	}
+}
+
+// checkSimVsReal records the comparison in the -json report and enforces
+// the shape gate: the simulated side's numbers are deterministic and
+// gated, the real side's are measurements and informational only. A curve
+// divergence beyond the tolerance fails the whole invocation.
+func checkSimVsReal(rep *perf.Report) func(experiments.SimVsRealResult) {
+	return func(r experiments.SimVsRealResult) {
+		if rep != nil {
+			rep.Set("simvreal", "sim_committed", float64(r.Sim.Committed))
+			rep.Set("simvreal", "sim_block_writes", float64(r.Sim.BlockWrites))
+			rep.SetInformational("simvreal", "real_committed", float64(r.Real.Committed))
+			rep.SetInformational("simvreal", "real_block_writes", float64(r.Real.BlockWrites))
+			rep.SetInformational("simvreal", "real_writes_per_s", r.Real.WritesPerS)
+			rep.SetInformational("simvreal", "real_e2e_mean_ms", r.Real.E2EMeanMS)
+			rep.SetInformational("simvreal", "real_batch_mean_ms", r.IO.BatchMeanMS)
+			rep.SetInformational("simvreal", "real_fsyncs", float64(r.IO.Fsyncs))
+			rep.SetInformational("simvreal", "max_curve_dev", r.MaxCurveDev)
+		}
+		if !r.WithinTolerance {
+			fatal(fmt.Errorf("simvreal: commit curves diverge: max deviation %.3f exceeds tolerance %.2f",
+				r.MaxCurveDev, r.Tolerance))
+		}
 	}
 }
 

@@ -56,6 +56,7 @@ func main() {
 		plot       = flag.String("plot", "", "after the run, ASCII-plot the first sampled series whose name contains this substring (needs -probes-out)")
 		shards     = flag.Int("shards", 0, "override: run as this many shared-nothing shards (multilog; >= 2)")
 		crossFrac  = flag.Float64("cross-frac", -1, "override: fraction of transactions spanning two shards (needs -shards)")
+		hashPart   = flag.Bool("hash", false, "override: hash declustering instead of range partitioning (needs -shards)")
 		pdes       = flag.Int("pdes", 0, "run shards as parallel logical processes on this many workers (PDES; 1 = sequential reference execution)")
 	)
 	flag.Parse()
@@ -114,13 +115,17 @@ func main() {
 	if *crossFrac >= 0 {
 		cfg.CrossShardFrac = *crossFrac
 	}
+	if *hashPart {
+		cfg.PartitionHash = true
+	}
 
 	if *pdes > 0 {
 		if *seeds > 1 || *traceN > 0 || *probesOut != "" {
 			fatal(fmt.Errorf("pdes runs support none of -seeds/-trace/-probes-out yet"))
 		}
 		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
-			fatal(fmt.Errorf("pdes runs are fault-free; drop the faults section"))
+			fatal(config.Unsupported("pdes", "faults",
+				"drop the faults section; fault injection is sequential-only"))
 		}
 		if cfg.Shards < 1 {
 			cfg.Shards = 1 // single-LP run: the sequential reduction
@@ -134,7 +139,8 @@ func main() {
 			fatal(fmt.Errorf("sharded runs support none of -seeds/-trace/-trace-out/-probes-out yet"))
 		}
 		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
-			fatal(fmt.Errorf("sharded runs are fault-free; drop the faults section (use elchaos -shards for crash campaigns)"))
+			fatal(config.Unsupported("sharded", "faults",
+				"drop the faults section; use elchaos -shards for crash campaigns"))
 		}
 		runSharded(cfg, *verbose)
 		return
@@ -336,8 +342,12 @@ func runSharded(cfg config.SimConfig, verbose bool) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("running %s x %d shards (cross-shard frac %.2f), generations %v (recirculation %v), %s, seed %d\n",
-		strings.ToUpper(cfg.Mode), cfg.Shards, cfg.CrossShardFrac, cfg.Generations, cfg.Recirculate,
+	routing := fmt.Sprintf("cross-shard frac %.2f", cfg.CrossShardFrac)
+	if cfg.PartitionHash {
+		routing = "hash declustering"
+	}
+	fmt.Printf("running %s x %d shards (%s), generations %v (recirculation %v), %s, seed %d\n",
+		strings.ToUpper(cfg.Mode), cfg.Shards, routing, cfg.Generations, cfg.Recirculate,
 		sim.Time(cfg.RuntimeS*float64(sim.Second)), cfg.Seed)
 	live, err := multilog.RunSharded(scfg)
 	if err != nil {

@@ -62,6 +62,13 @@ type SimConfig struct {
 	// log. Zero values mean the classic single-log run.
 	Shards         int     `json:"shards,omitempty"`
 	CrossShardFrac float64 `json:"cross_shard_frac,omitempty"`
+	// PartitionHash switches the sharded system from range declustering to
+	// hash declustering: ownership by splitmix64 hash over a GLOBAL object
+	// space. Transactions go cross-shard (2PC in the log) exactly when the
+	// hash scatters their objects, so CrossShardFrac must be zero; PDES
+	// runs, whose logical processes own contiguous slices by construction,
+	// do not support it.
+	PartitionHash bool `json:"partition_hash,omitempty"`
 
 	// Faults optionally arms the internal/fault injection plan. Omitted —
 	// or present with all probabilities zero — means faults-off, and the
@@ -227,15 +234,22 @@ func (c SimConfig) ToHarness() (harness.Config, error) {
 	return cfg, nil
 }
 
-// ToSharded converts to a runnable sharded (multilog) configuration:
-// NumObjects is split evenly across the shards, each of which gets its
-// own log and flush drives sized like the single-log run's.
+// ToSharded converts to a runnable sharded (multilog) configuration.
+// Under range declustering NumObjects is split evenly across the shards,
+// each of which gets its own log and flush drives sized like the
+// single-log run's; under hash declustering (PartitionHash) every shard
+// spans the whole object space and CrossShardFrac does not apply — 2PC
+// frequency is a consequence of the hash, not a knob.
 func (c SimConfig) ToSharded() (multilog.ShardedConfig, error) {
 	var scfg multilog.ShardedConfig
 	if c.Shards < 2 {
 		return scfg, fmt.Errorf("config: sharded run needs shards >= 2, have %d", c.Shards)
 	}
-	if c.NumObjects%uint64(c.Shards) != 0 {
+	if c.PartitionHash && c.CrossShardFrac != 0 {
+		return scfg, Unsupported("partition_hash", "cross_shard_frac",
+			"hash declustering decides cross-shard frequency itself; drop cross_shard_frac")
+	}
+	if !c.PartitionHash && c.NumObjects%uint64(c.Shards) != 0 {
 		return scfg, fmt.Errorf("config: %d objects do not split evenly over %d shards", c.NumObjects, c.Shards)
 	}
 	hcfg, err := c.ToHarness()
@@ -245,12 +259,17 @@ func (c SimConfig) ToSharded() (multilog.ShardedConfig, error) {
 	scfg = multilog.ShardedConfig{
 		Seed:     hcfg.Seed,
 		Shards:   c.Shards,
+		Hash:     c.PartitionHash,
 		LM:       hcfg.LM,
 		Flush:    hcfg.Flush,
 		Workload: hcfg.Workload,
 	}
-	scfg.Flush.NumObjects = c.NumObjects / uint64(c.Shards)
-	scfg.Workload.CrossShardFrac = c.CrossShardFrac
+	if c.PartitionHash {
+		scfg.Flush.NumObjects = c.NumObjects
+	} else {
+		scfg.Flush.NumObjects = c.NumObjects / uint64(c.Shards)
+		scfg.Workload.CrossShardFrac = c.CrossShardFrac
+	}
 	return scfg, nil
 }
 
@@ -264,6 +283,10 @@ func (c SimConfig) ToPDES(workers int) (multilog.PDESConfig, error) {
 	var pcfg multilog.PDESConfig
 	if c.Shards < 1 {
 		return pcfg, fmt.Errorf("config: pdes run needs shards >= 1, have %d", c.Shards)
+	}
+	if c.PartitionHash {
+		return pcfg, Unsupported("pdes", "partition_hash",
+			"each logical process owns a contiguous object slice by construction; use a sequential sharded run")
 	}
 	if c.NumObjects%uint64(c.Shards) != 0 {
 		return pcfg, fmt.Errorf("config: %d objects do not split evenly over %d shards", c.NumObjects, c.Shards)

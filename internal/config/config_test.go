@@ -1,8 +1,10 @@
 package config
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ellog/internal/core"
@@ -145,5 +147,77 @@ func TestDefaultConfigRuns(t *testing.T) {
 	}
 	if res.Workload.Started != 500 {
 		t.Fatalf("started %d, want 500", res.Workload.Started)
+	}
+}
+
+// TestUnsupportedCombos pins the structured rejection: callers must be
+// able to errors.As for the exact feature pair instead of matching
+// message strings.
+func TestUnsupportedCombos(t *testing.T) {
+	hash := Default()
+	hash.Shards = 2
+	hash.PartitionHash = true
+
+	t.Run("hash+crossfrac", func(t *testing.T) {
+		cfg := hash
+		cfg.CrossShardFrac = 0.3
+		_, err := cfg.ToSharded()
+		var combo UnsupportedCombo
+		if !errors.As(err, &combo) {
+			t.Fatalf("ToSharded returned %v, want UnsupportedCombo", err)
+		}
+		if combo.Feature != "partition_hash" || combo.Other != "cross_shard_frac" {
+			t.Fatalf("combo = %+v", combo)
+		}
+	})
+	t.Run("pdes+hash", func(t *testing.T) {
+		cfg := hash
+		_, err := cfg.ToPDES(2)
+		var combo UnsupportedCombo
+		if !errors.As(err, &combo) {
+			t.Fatalf("ToPDES returned %v, want UnsupportedCombo", err)
+		}
+		if combo.Feature != "pdes" || combo.Other != "partition_hash" {
+			t.Fatalf("combo = %+v", combo)
+		}
+	})
+	t.Run("hash sharded converts", func(t *testing.T) {
+		cfg := hash
+		scfg, err := cfg.ToSharded()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scfg.Hash || scfg.Flush.NumObjects != cfg.NumObjects {
+			t.Fatalf("hash sharded config = %+v, want global object space", scfg)
+		}
+	})
+}
+
+// TestPartitionHashJSONRoundTrip keeps the knob out of configs that do not
+// set it (omitempty) and intact in those that do.
+func TestPartitionHashJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := Default()
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "partition_hash") {
+		t.Fatal("partition_hash serialized despite being unset")
+	}
+	cfg.PartitionHash = true
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.PartitionHash {
+		t.Fatal("partition_hash lost in the round trip")
 	}
 }

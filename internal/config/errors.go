@@ -1,0 +1,27 @@
+package config
+
+import "fmt"
+
+// UnsupportedCombo is the structured rejection for configurations that
+// combine two features the implementation does not (yet) support together.
+// Callers that care can errors.As for it — CLI layers to phrase the
+// message, tests to assert on the exact pair — instead of matching error
+// strings.
+type UnsupportedCombo struct {
+	Feature string // the feature being requested, e.g. "pdes"
+	Other   string // the feature it cannot combine with, e.g. "faults"
+	Hint    string // optional: what the user should do instead
+}
+
+func (e UnsupportedCombo) Error() string {
+	msg := fmt.Sprintf("config: %s runs do not support %s", e.Feature, e.Other)
+	if e.Hint != "" {
+		msg += " (" + e.Hint + ")"
+	}
+	return msg
+}
+
+// Unsupported builds the error; a convenience for validation sites.
+func Unsupported(feature, other, hint string) error {
+	return UnsupportedCombo{Feature: feature, Other: other, Hint: hint}
+}

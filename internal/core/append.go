@@ -139,7 +139,7 @@ func (m *Manager) armGroupCommitTimeout(g *generation, b *buffer) {
 		return
 	}
 	epoch := b.epoch
-	m.eng.After(m.p.GroupCommitTimeout, func() {
+	m.clk.After(m.p.GroupCommitTimeout, func() {
 		if b.sealed || b.epoch != epoch {
 			return
 		}
@@ -285,7 +285,7 @@ func (m *Manager) writeFailed(g *generation, b *buffer, attempt int) {
 	if attempt <= m.maxRetries {
 		m.writeRetries.Inc()
 		m.emit(trace.Event{Kind: trace.EvRetry, Gen: g.idx, N: attempt})
-		m.eng.After(m.retryBackoff<<(attempt-1), func() {
+		m.clk.After(m.retryBackoff<<(attempt-1), func() {
 			m.issueWrite(g, b, attempt+1)
 		})
 		return

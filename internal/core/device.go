@@ -1,0 +1,23 @@
+package core
+
+import "ellog/internal/blockdev"
+
+// LogDevice is the write-only block store the logging manager appends to —
+// exactly the slice of the device surface the paper's model needs: allocate
+// a block for a generation, issue an asynchronous whole-block write whose
+// completion callback delivers durability (or a transient error for the
+// retry path), and report aggregate write counters.
+//
+// *blockdev.Device is the simulated implementation (15 ms fixed-latency
+// writes on the simulation clock); internal/realdev.Device binds the same
+// manager to a real file with group-committed, fsync-backed writes. The
+// completion contract is shared: done fires once, on the manager's loop,
+// after the bytes are durable (or have failed), and writes to one block
+// never overlap.
+type LogDevice interface {
+	Alloc(gen int) blockdev.BlockID
+	Write(id blockdev.BlockID, data []byte, done func(err error))
+	Stats() blockdev.Stats
+}
+
+var _ LogDevice = (*blockdev.Device)(nil)

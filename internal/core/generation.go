@@ -96,7 +96,7 @@ type generation struct {
 	tokens int // free block buffers
 }
 
-func newGeneration(idx, size int, dev *blockdev.Device, tokens int) *generation {
+func newGeneration(idx, size int, dev LogDevice, tokens int) *generation {
 	g := &generation{idx: idx, tokens: tokens}
 	for i := 0; i < size; i++ {
 		g.ring = append(g.ring, &slot{id: dev.Alloc(idx)})
@@ -144,7 +144,7 @@ func (g *generation) freeHeadSlot() {
 // grow inserts additional free slots at the tail insertion point. Used
 // only by the adaptive-sizing extension and the emergency overflow path;
 // the paper's experiments run with fixed sizes.
-func (g *generation) grow(dev *blockdev.Device, n int) {
+func (g *generation) grow(dev LogDevice, n int) {
 	for i := 0; i < n; i++ {
 		s := &slot{id: dev.Alloc(g.idx)}
 		// Insert at the tail index: the free region starts there, so the

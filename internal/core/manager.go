@@ -22,9 +22,9 @@ import (
 // completing, flush drives finishing, head pointers advancing to keep the
 // threshold gap free.
 type Manager struct {
-	eng   *sim.Engine
+	clk   sim.Clock
 	p     Params
-	dev   *blockdev.Device
+	dev   LogDevice
 	flush *flushdisk.Array
 	db    *statedb.DB
 
@@ -71,14 +71,17 @@ type Manager struct {
 
 // New builds a Manager. The flush array's completion callback must be
 // wired to the returned manager via its Flushed method; NewSetup does the
-// whole assembly and is what most callers want.
-func New(eng *sim.Engine, p Params, dev *blockdev.Device, flush *flushdisk.Array, db *statedb.DB) (*Manager, error) {
+// whole assembly and is what most callers want. clk and dev decide the
+// binding: a *sim.Engine and *blockdev.Device give the paper's simulation,
+// a realtime.Loop and realdev.Device the real-file backend — the manager
+// itself is identical code either way.
+func New(clk sim.Clock, p Params, dev LogDevice, flush *flushdisk.Array, db *statedb.DB) (*Manager, error) {
 	p = p.WithDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	m := &Manager{
-		eng:            eng,
+		clk:            clk,
 		p:              p,
 		dev:            dev,
 		flush:          flush,
@@ -178,10 +181,10 @@ func (m *Manager) Params() Params { return m.p }
 // DB returns the stable database the manager flushes into.
 func (m *Manager) DB() *statedb.DB { return m.db }
 
-// Device returns the log disk device.
-func (m *Manager) Device() *blockdev.Device { return m.dev }
+// Device returns the log device the manager appends to.
+func (m *Manager) Device() LogDevice { return m.dev }
 
-func (m *Manager) now() sim.Time { return m.eng.Now() }
+func (m *Manager) now() sim.Time { return m.clk.Now() }
 
 func (m *Manager) lsn() logrec.LSN {
 	m.nextLSN++

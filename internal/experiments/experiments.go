@@ -49,6 +49,13 @@ type Options struct {
 	// share one worker pool and probe cache (the figures share many
 	// search points, so a shared cache skips whole simulations).
 	Pool *runner.Pool
+	// RealDir is the log directory for the sim-vs-real validation's real
+	// run (SimVsReal); empty means a temporary directory, removed after.
+	RealDir string
+	// RealDirect selects the real run's direct-I/O mode ("auto", "on",
+	// "off"); empty means auto, which falls back to buffered I/O where
+	// O_DIRECT is unavailable (tmpfs, CI).
+	RealDirect string
 }
 
 // WithDefaults fills in the paper's frame.

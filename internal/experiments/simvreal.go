@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ellog/internal/core"
+	"ellog/internal/harness"
+	"ellog/internal/realdev"
+	"ellog/internal/sim"
+	"ellog/internal/workload"
+)
+
+// SimVsRealTolerance is the shape gate: the maximum allowed pointwise
+// deviation between the simulated and real backends' normalized cumulative
+// commit curves. The gate is deliberately on shape, not absolute numbers —
+// wall-clock fsync latencies vary machine to machine, but both backends
+// run the identical manager and workload code, so their commit curves must
+// climb the same way.
+const SimVsRealTolerance = 0.15
+
+// SimVsRealSide summarizes one backend's run of the shared configuration.
+type SimVsRealSide struct {
+	Committed   uint64
+	Killed      uint64
+	BlockWrites uint64
+	WritesPerS  float64
+	E2EMeanMS   float64
+	TotalBlocks int // configured log size (min-space view)
+}
+
+// SimVsRealResult is the comparison report of one configuration run
+// through both backends.
+type SimVsRealResult struct {
+	Seed       uint64
+	RuntimeS   float64
+	Arrival    float64
+	NumObjects uint64
+	// RuntimeClamped notes that the requested runtime was cut down to keep
+	// the real run's wall-clock cost bounded.
+	RuntimeClamped bool
+
+	Sim  SimVsRealSide
+	Real SimVsRealSide
+	IO   realdev.RealStats
+
+	// MaxCurveDev is the largest pointwise gap between the two normalized
+	// commit curves, measured at CurvePoints checkpoints.
+	MaxCurveDev     float64
+	CurvePoints     int
+	Tolerance       float64
+	WithinTolerance bool
+}
+
+// simVsRealConfig is the shared configuration: a compressed version of the
+// paper's workload (10 ms and 50 ms transactions instead of 1 s and 10 s)
+// so the real backend — which pays the runtime in actual wall time —
+// finishes in seconds. Both backends receive identical parameters; only
+// the clock and the device differ.
+func simVsRealConfig(opt Options, runtime sim.Time) (core.Params, core.FlushConfig, workload.Config) {
+	objects := opt.NumObjects
+	if objects == 0 || objects > 20_000 {
+		objects = 10_000
+	}
+	if rem := objects % 4; rem != 0 {
+		objects += 4 - rem // flush array wants a multiple of the drive count
+	}
+	p := core.Params{
+		Mode:               core.ModeEphemeral,
+		GenSizes:           []int{16, 12, 10},
+		Recirculate:        true,
+		GroupCommitTimeout: 5 * sim.Millisecond,
+		WriteLatency:       5 * sim.Millisecond,
+	}
+	fc := core.FlushConfig{Drives: 4, Transfer: 2 * sim.Millisecond, NumObjects: objects}
+	wl := workload.Config{
+		Mix: workload.Mix{
+			{Name: "short", Prob: 0.8, Lifetime: 10 * sim.Millisecond, NumRecords: 2, RecordSize: 100},
+			{Name: "long", Prob: 0.2, Lifetime: 50 * sim.Millisecond, NumRecords: 4, RecordSize: 100},
+		},
+		ArrivalRate: 400,
+		Runtime:     runtime,
+		NumObjects:  objects,
+	}
+	return p, fc, wl
+}
+
+// SimVsReal runs one configuration through the simulated backend and the
+// real-file backend and compares the two commit curves. The real run's log
+// directory is taken from opt.RealDir (a temporary directory when empty,
+// removed afterwards). Direct I/O follows opt.RealDirect ("auto" when
+// empty, so tmpfs and CI fall back to buffered I/O).
+func SimVsReal(opt Options) (SimVsRealResult, error) {
+	runtime := opt.Runtime
+	res := SimVsRealResult{Seed: opt.Seed, Tolerance: SimVsRealTolerance}
+	// The real backend spends the runtime in wall time: cap it so the
+	// default 500 s paper runtime doesn't mean 500 s of fsync traffic.
+	if runtime > 10*sim.Second {
+		runtime = 2 * sim.Second
+		res.RuntimeClamped = true
+	}
+	if runtime < 200*sim.Millisecond {
+		runtime = 200 * sim.Millisecond
+		res.RuntimeClamped = true
+	}
+	p, fc, wl := simVsRealConfig(opt, runtime)
+	res.RuntimeS = runtime.Seconds()
+	res.Arrival = wl.ArrivalRate
+	res.NumObjects = wl.NumObjects
+	sampleEvery := runtime / 100
+
+	// Simulated side, with the same commit-curve sampling the real run does.
+	live, err := harness.Build(harness.Config{Seed: opt.Seed, LM: p, Flush: fc, Workload: wl})
+	if err != nil {
+		return res, err
+	}
+	var simCurve []realdev.CurvePoint
+	var sample func()
+	sample = func() {
+		simCurve = append(simCurve, realdev.CurvePoint{
+			At:        live.Setup.Eng.Now(),
+			Committed: live.Gen.Stats().Committed,
+		})
+		if live.Setup.Eng.Now() < runtime {
+			live.Setup.Eng.After(sampleEvery, sample)
+		}
+	}
+	live.Setup.Eng.After(sampleEvery, sample)
+	live.Setup.Eng.Run(runtime)
+	simStats := live.Setup.LM.Stats()
+	simW := live.Gen.Stats()
+	res.Sim = SimVsRealSide{
+		Committed:   simW.Committed,
+		Killed:      simW.Killed,
+		BlockWrites: simStats.TotalWrites,
+		WritesPerS:  simStats.TotalBandwidth,
+		E2EMeanMS:   simW.EndToEndMean * 1000,
+		TotalBlocks: simStats.TotalBlocks,
+	}
+
+	// Real side.
+	dir := opt.RealDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ellog-simvreal-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	direct := realdev.DirectMode(opt.RealDirect)
+	realRes, err := realdev.Run(realdev.RunConfig{
+		Seed:        opt.Seed,
+		Dir:         dir,
+		LM:          p,
+		Flush:       fc,
+		Workload:    wl,
+		Device:      realdev.Options{Direct: direct},
+		SampleEvery: sampleEvery,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Real = SimVsRealSide{
+		Committed:   realRes.Workload.Committed,
+		Killed:      realRes.Workload.Killed,
+		BlockWrites: realRes.LM.TotalWrites,
+		WritesPerS:  realRes.LM.TotalBandwidth,
+		E2EMeanMS:   realRes.Workload.EndToEndMean * 1000,
+		TotalBlocks: realRes.LM.TotalBlocks,
+	}
+	res.IO = realRes.Real
+
+	if res.Sim.Committed == 0 || res.Real.Committed == 0 {
+		return res, fmt.Errorf("simvreal: a backend committed nothing (sim %d, real %d)",
+			res.Sim.Committed, res.Real.Committed)
+	}
+	res.CurvePoints = 100
+	res.MaxCurveDev = maxCurveDeviation(simCurve, realRes.Curve, runtime, res.CurvePoints)
+	res.WithinTolerance = res.MaxCurveDev <= res.Tolerance
+	return res, nil
+}
+
+// curveFrac evaluates a sampled cumulative curve at time t as a fraction
+// of its final value: the step interpolation of the last sample at or
+// before t.
+func curveFrac(c []realdev.CurvePoint, t sim.Time) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	final := c[len(c)-1].Committed
+	if final == 0 {
+		return 0
+	}
+	var at uint64
+	for _, pt := range c {
+		if pt.At > t {
+			break
+		}
+		at = pt.Committed
+	}
+	return float64(at) / float64(final)
+}
+
+// maxCurveDeviation measures the largest pointwise gap between two
+// normalized cumulative curves over n evenly spaced checkpoints.
+func maxCurveDeviation(a, b []realdev.CurvePoint, runtime sim.Time, n int) float64 {
+	maxDev := 0.0
+	for k := 1; k <= n; k++ {
+		t := sim.Time(int64(runtime) * int64(k) / int64(n))
+		dev := curveFrac(a, t) - curveFrac(b, t)
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev
+}
+
+// FormatSimVsReal renders the comparison report.
+func FormatSimVsReal(r SimVsRealResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sim-vs-real validation: one configuration, both backends (seed %d)\n", r.Seed)
+	fmt.Fprintf(&sb, "  runtime %.2g s, %g TPS, %d objects", r.RuntimeS, r.Arrival, r.NumObjects)
+	if r.RuntimeClamped {
+		sb.WriteString(" (runtime clamped: real runs pay wall time)")
+	}
+	sb.WriteString("\n\n")
+	fmt.Fprintf(&sb, "  %-22s %12s %12s\n", "", "sim", "real")
+	fmt.Fprintf(&sb, "  %-22s %12d %12d\n", "committed", r.Sim.Committed, r.Real.Committed)
+	fmt.Fprintf(&sb, "  %-22s %12d %12d\n", "killed", r.Sim.Killed, r.Real.Killed)
+	fmt.Fprintf(&sb, "  %-22s %12d %12d\n", "block writes", r.Sim.BlockWrites, r.Real.BlockWrites)
+	fmt.Fprintf(&sb, "  %-22s %12.1f %12.1f\n", "writes/s", r.Sim.WritesPerS, r.Real.WritesPerS)
+	fmt.Fprintf(&sb, "  %-22s %12.1f %12.1f\n", "end-to-end mean (ms)", r.Sim.E2EMeanMS, r.Real.E2EMeanMS)
+	fmt.Fprintf(&sb, "  %-22s %12d %12d\n", "log blocks (min-space)", r.Sim.TotalBlocks, r.Real.TotalBlocks)
+	sb.WriteString("\n")
+	io := "buffered"
+	if r.IO.Direct {
+		io = "O_DIRECT"
+	}
+	fmt.Fprintf(&sb, "  real I/O path: %s, %d B slots, %d batches (%d fsyncs, max %d blocks), batch mean %.2f ms p99 %.2f ms, %d pipeline stalls\n",
+		io, r.IO.SlotBytes, r.IO.Batches, r.IO.Fsyncs, r.IO.MaxBatchBlocks, r.IO.BatchMeanMS, r.IO.BatchP99MS, r.IO.PipelineStalls)
+	verdict := "OK"
+	if !r.WithinTolerance {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "  commit-curve max deviation %.3f over %d checkpoints (tolerance %.2f): %s\n",
+		r.MaxCurveDev, r.CurvePoints, r.Tolerance, verdict)
+	return sb.String()
+}

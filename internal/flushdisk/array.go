@@ -62,7 +62,7 @@ type drive struct {
 
 // Array is the set of flush drives.
 type Array struct {
-	eng        *sim.Engine
+	clk        sim.Clock
 	transfer   sim.Time
 	numObjects uint64
 	perDrive   uint64
@@ -84,10 +84,12 @@ type Array struct {
 }
 
 // New builds an array of numDrives drives, each needing transfer time per
-// object write. onFlush is invoked (in simulated time) when a flush
+// object write. onFlush is invoked (on the clock's loop) when a flush
 // completes; the logging manager uses it to apply the update to the stable
-// database and garbage-collect the log record.
-func New(eng *sim.Engine, numDrives int, transfer sim.Time, numObjects uint64, onFlush func(Request)) *Array {
+// database and garbage-collect the log record. In simulation mode clk is
+// the run's *sim.Engine; the real-file backend passes its wall-clock loop,
+// under which the modeled drives pay their service times in real time.
+func New(clk sim.Clock, numDrives int, transfer sim.Time, numObjects uint64, onFlush func(Request)) *Array {
 	if numDrives <= 0 {
 		panic("flushdisk: need at least one drive")
 	}
@@ -97,7 +99,7 @@ func New(eng *sim.Engine, numDrives int, transfer sim.Time, numObjects uint64, o
 		panic(fmt.Sprintf("flushdisk: numObjects (%d) must be a positive multiple of numDrives (%d)", numObjects, numDrives))
 	}
 	a := &Array{
-		eng:        eng,
+		clk:        clk,
 		transfer:   transfer,
 		numObjects: numObjects,
 		perDrive:   numObjects / uint64(numDrives),
@@ -202,7 +204,7 @@ func (a *Array) kick(d *drive) {
 		serviceTime += a.stall(d.idx)
 	}
 	d.busySum += a.transfer
-	a.eng.After(serviceTime, func() {
+	a.clk.After(serviceTime, func() {
 		if d.started {
 			a.distSum += float64(circDist(d.pos, uint64(req.Obj), d.lo, d.span))
 			a.distN++

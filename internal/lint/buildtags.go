@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/build/constraint"
+	"runtime"
+	"strings"
+)
+
+// Build-constraint filtering for the offline loader. The module's only
+// platform-split package is internal/realdev (the O_DIRECT open path), but
+// without this filter the loader would parse both halves of a GOOS split
+// into one package and report bogus redeclaration type errors. Only the
+// constraints the module actually uses are understood: filename GOOS/GOARCH
+// suffixes and //go:build lines over goos, goarch, unix and go1.N tags.
+
+// fileIncluded reports whether a file named name with contents src belongs
+// to the package when building for the host platform.
+func fileIncluded(name string, src []byte) bool {
+	if !matchFileSuffix(name) {
+		return false
+	}
+	for _, line := range strings.Split(leadingComments(src), "\n") {
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue // malformed constraint: let the type checker complain
+		}
+		if !expr.Eval(matchTag) {
+			return false
+		}
+	}
+	return true
+}
+
+// leadingComments returns the file contents up to the package clause —
+// the only region where a //go:build line is effective.
+func leadingComments(src []byte) string {
+	head := string(src)
+	if i := strings.Index(head, "\npackage "); i >= 0 {
+		head = head[:i]
+	}
+	return head
+}
+
+func matchTag(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1"):
+		// Release tags: the toolchain compiling this code satisfies any
+		// go1.N the module (go.mod) is allowed to require.
+		return true
+	}
+	return false
+}
+
+// matchFileSuffix implements the _GOOS, _GOARCH and _GOOS_GOARCH filename
+// constraints. A lone component (e.g. a file named linux.go) is not a
+// constraint.
+func matchFileSuffix(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	base = strings.TrimSuffix(base, "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 {
+			if osPart := parts[len(parts)-2]; knownOS[osPart] && osPart != runtime.GOOS {
+				return false
+			}
+		}
+		return true
+	}
+	if knownOS[last] && last != runtime.GOOS {
+		return false
+	}
+	return true
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}

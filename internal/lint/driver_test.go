@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -66,6 +67,89 @@ func Draw() int { return rand.IntN(6) }
 	want := []string{"wallclock@clock.go", "rngsource@internal/work/work.go"}
 	if strings.Join(got, " ") != strings.Join(want, " ") {
 		t.Errorf("findings = %v, want %v", got, want)
+	}
+}
+
+// TestRealBackendScopeExemptions pins the declarative exemption for the
+// real-backend packages: internal/realtime, internal/realdev and
+// cmd/elreal exist to bind the model to the wall clock, so wallclock and
+// rngsource do not apply there — while an identical file anywhere else in
+// the module is still flagged, and the other analyzers still reach the
+// exempt packages.
+func TestRealBackendScopeExemptions(t *testing.T) {
+	const wallAndRand = `package p
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func Now() time.Time { return time.Now() }
+
+func Draw() int { return rand.IntN(6) }
+`
+	root := writeTempModule(t, map[string]string{
+		"go.mod": tempGoMod,
+		// Exempt by scope: no wallclock or rngsource findings.
+		"internal/realtime/loop.go": strings.Replace(wallAndRand, "package p", "package realtime", 1),
+		"internal/realdev/dev.go":   strings.Replace(wallAndRand, "package p", "package realdev", 1),
+		"cmd/elreal/main.go":        strings.Replace(wallAndRand, "package p", "package main", 1) + "\nfunc main() {}\n",
+		// The same code outside the exempt prefixes is still a violation.
+		"internal/model/model.go": strings.Replace(wallAndRand, "package p", "package model", 1),
+		// The exemption is per-rule, not per-package: maporder still
+		// applies inside internal/realdev.
+		"internal/realdev/dump.go": `package realdev
+
+import "fmt"
+
+func Dump(counts map[string]int) {
+	for name, n := range counts {
+		fmt.Println(name, n)
+	}
+}
+`,
+	})
+	findings, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		rel, _ := filepath.Rel(root, f.Pos.Filename)
+		got = append(got, f.Analyzer+"@"+filepath.ToSlash(rel))
+	}
+	want := []string{
+		"wallclock@internal/model/model.go",
+		"rngsource@internal/model/model.go",
+		"maporder@internal/realdev/dump.go",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("findings = %v, want %v", got, want)
+	}
+}
+
+// TestLoaderHonorsBuildConstraints loads a package split across GOOS
+// build tags the way internal/realdev splits its O_DIRECT open path. A
+// tag-blind loader would see both halves and report a redeclaration.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"go.mod": tempGoMod,
+		"split/doc.go": `package split
+
+const base = flag
+`,
+		"split/flag_" + runtime.GOOS + ".go": `package split
+
+const flag = 1
+`,
+		"split/flag_other.go": "//go:build !" + runtime.GOOS + "\n\npackage split\n\nconst flag = 0\n",
+	})
+	findings, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("tag-split package did not load cleanly: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings: %v", findings)
 	}
 }
 

@@ -63,11 +63,15 @@ type Rule struct {
 // are covered automatically; only add Skip entries for packages that
 // legitimately own a source the rest of the module must not touch.
 var Ruleset = []Rule{
-	// Wall-clock reads are forbidden module-wide. The CLI harnesses in
-	// cmd/ deliberately wall-time whole runs for operator feedback; those
-	// sites carry //ellint:allow wallclock annotations rather than a
-	// package-level exemption, so each one is an audited decision.
-	{WallclockAnalyzer, Scope{}},
+	// Wall-clock reads are forbidden module-wide, with one structural
+	// exemption: the real-backend packages exist to bind the model to the
+	// wall clock (internal/realtime is a wall-clock sim.Source;
+	// internal/realdev fsyncs real files; cmd/elreal drives them), so the
+	// rule cannot apply there by construction. The CLI harnesses in cmd/
+	// that merely wall-time whole runs for operator feedback still carry
+	// //ellint:allow wallclock annotations rather than a package-level
+	// exemption, so each of those sites is an audited decision.
+	{WallclockAnalyzer, Scope{Skip: []string{"internal/realdev", "internal/realtime", "cmd/elreal"}}},
 
 	// internal/sim owns the seeded engine streams and internal/fault
 	// derives its plan stream from the config seed; everywhere else must
@@ -75,7 +79,9 @@ var Ruleset = []Rule{
 	// logical process owns exactly one stream (lp.Rand(), the LP engine's
 	// PCG), and any ad-hoc source in model code would be shared across LP
 	// goroutines — both a data race and a scheduling-order dependence.
-	{RngsourceAnalyzer, Scope{Skip: []string{"internal/sim", "internal/fault"}}},
+	// The real-backend packages are exempt for the same reason as above:
+	// internal/realtime seeds its own PCG to stand in for the engine's.
+	{RngsourceAnalyzer, Scope{Skip: []string{"internal/sim", "internal/fault", "internal/realdev", "internal/realtime", "cmd/elreal"}}},
 
 	{MaporderAnalyzer, Scope{}},
 	{NilgateAnalyzer, Scope{}},

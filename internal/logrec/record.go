@@ -225,6 +225,20 @@ func AppendBlock(dst []byte, recs []*Record) []byte {
 	return dst
 }
 
+// MaxBlockWire returns the largest wire-encoded block size possible for a
+// block of the given logical payload when no record is charged fewer than
+// minRecSize logical bytes. The wire form is header-only (payload bytes are
+// accounted, not materialized), so a block packed with minimum-size records
+// — 8-byte tx records against a 2000-byte payload — encodes to far more
+// wire bytes than its logical size. Real-file backends size their on-disk
+// slots from this bound, not from the logical block size.
+func MaxBlockWire(payload, minRecSize int) int {
+	if minRecSize <= 0 {
+		minRecSize = 1
+	}
+	return blockHdrLen + (payload/minRecSize)*wireRecLen
+}
+
 // EncodeBlock serializes a block's records: a checksummed header followed
 // by the checksummed records back to back.
 func EncodeBlock(recs []*Record) []byte {

@@ -31,14 +31,35 @@ import (
 	"ellog/internal/statedb"
 )
 
+// Partitioning selects how the object space maps onto partitions.
+type Partitioning int
+
+const (
+	// PartitionRange is DeWitt & Gray's range declustering: partition p
+	// owns the contiguous slice [p*width, (p+1)*width) of the object
+	// space. Transactions with locality stay single-shard.
+	PartitionRange Partitioning = iota
+	// PartitionHash spreads the GLOBAL object space over the partitions by
+	// a splitmix64 hash of the oid. Load balances regardless of key
+	// skew, at the price of multi-record transactions routinely spanning
+	// shards — every such transaction pays 2PC with the probability the
+	// hash scatters its objects.
+	PartitionHash
+)
+
 // System is a set of EL partitions sharing one simulated machine (engine)
 // and nothing else.
 type System struct {
-	eng   *sim.Engine
-	parts []*core.Setup
-	// objectsPerPart is each partition's object-range width; partition p
-	// owns oids [p*objectsPerPart, (p+1)*objectsPerPart).
+	eng    *sim.Engine
+	parts  []*core.Setup
+	scheme Partitioning
+	// objectsPerPart is each partition's object-range width under
+	// PartitionRange; partition p owns oids
+	// [p*objectsPerPart, (p+1)*objectsPerPart). Zero under PartitionHash.
 	objectsPerPart uint64
+	// totalObjects is the size of the global object space under either
+	// scheme.
+	totalObjects uint64
 	// memGauge tracks the combined LOT+LTT memory of all partitions at
 	// every change, so its peak is the true system peak — partition peaks
 	// occur at different simulated times, and summing them overstates what
@@ -46,17 +67,35 @@ type System struct {
 	memGauge metrics.Gauge
 }
 
-// New builds a system of n identical partitions. Each partition gets its
-// own log (params.GenSizes blocks), its own flush drives and the object
-// range [i*fc.NumObjects, (i+1)*fc.NumObjects).
+// New builds a range-partitioned system of n identical partitions. Each
+// partition gets its own log (params.GenSizes blocks), its own flush
+// drives and the object range [i*fc.NumObjects, (i+1)*fc.NumObjects).
 func New(eng *sim.Engine, n int, params core.Params, fc core.FlushConfig) (*System, error) {
+	sys := &System{
+		scheme:         PartitionRange,
+		objectsPerPart: fc.NumObjects,
+		totalObjects:   uint64(n) * fc.NumObjects,
+	}
+	return build(sys, eng, n, params, fc)
+}
+
+// NewHash builds a hash-partitioned system of n identical partitions over
+// a GLOBAL object space of fc.NumObjects: any oid may land on any
+// partition (owner = splitmix64(oid) mod n), so every partition's flush
+// drives span the whole space and object identifiers are never translated.
+func NewHash(eng *sim.Engine, n int, params core.Params, fc core.FlushConfig) (*System, error) {
+	sys := &System{scheme: PartitionHash, totalObjects: fc.NumObjects}
+	return build(sys, eng, n, params, fc)
+}
+
+func build(sys *System, eng *sim.Engine, n int, params core.Params, fc core.FlushConfig) (*System, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("multilog: need at least one partition")
 	}
 	if fc.NumObjects == 0 {
 		return nil, fmt.Errorf("multilog: partition object range must be positive")
 	}
-	sys := &System{eng: eng, objectsPerPart: fc.NumObjects}
+	sys.eng = eng
 	for i := 0; i < n; i++ {
 		setup, err := core.NewSetup(eng, params, fc)
 		if err != nil {
@@ -66,6 +105,15 @@ func New(eng *sim.Engine, n int, params core.Params, fc core.FlushConfig) (*Syst
 		sys.parts = append(sys.parts, setup)
 	}
 	return sys, nil
+}
+
+// splitmix64 is the splitmix64 output finalizer: a cheap, well-mixed
+// 64-bit permutation, so consecutive oids scatter uniformly over the
+// partitions.
+func splitmix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // touchMem refreshes the combined memory gauge. It is installed as every
@@ -93,17 +141,43 @@ func (s *System) Partition(i int) *core.Setup {
 }
 
 // OwnerOf returns the partition index owning an object, or -1 when the
-// oid lies beyond the last partition's range (callers decide whether that
-// is an error; the Router turns it into a diagnostic).
+// oid lies outside the object space (callers decide whether that is an
+// error; the Router turns it into a diagnostic).
 func (s *System) OwnerOf(oid logrec.OID) int {
-	if s.objectsPerPart == 0 {
+	if s.totalObjects == 0 || uint64(oid) >= s.totalObjects {
 		return -1
 	}
-	p := uint64(oid) / s.objectsPerPart
-	if p >= uint64(len(s.parts)) {
-		return -1
+	if s.scheme == PartitionHash {
+		return int(splitmix64(uint64(oid)) % uint64(len(s.parts)))
 	}
-	return int(p)
+	return int(uint64(oid) / s.objectsPerPart)
+}
+
+// Scheme reports the partitioning scheme.
+func (s *System) Scheme() Partitioning { return s.scheme }
+
+// localOID translates a global oid to the coordinates partition shard
+// works in: its slice offset under range partitioning, the oid unchanged
+// under hash partitioning (hash partitions keep global coordinates — their
+// flush drives span the whole space).
+func (s *System) localOID(shard int, oid logrec.OID) logrec.OID {
+	if s.scheme == PartitionHash {
+		return oid
+	}
+	return logrec.OID(uint64(oid) - uint64(shard)*s.objectsPerPart)
+}
+
+// globalOID is the inverse of localOID: it lifts a partition-local oid —
+// e.g. one read back out of a recovered log — to global coordinates,
+// reporting false for an oid the partition cannot legitimately hold.
+func (s *System) globalOID(shard int, local logrec.OID) (logrec.OID, bool) {
+	if s.scheme == PartitionHash {
+		return local, s.OwnerOf(local) == shard
+	}
+	if uint64(local) >= s.objectsPerPart {
+		return 0, false
+	}
+	return logrec.OID(uint64(shard)*s.objectsPerPart + uint64(local)), true
 }
 
 // Sink returns partition i's transaction interface in GLOBAL object
@@ -116,15 +190,14 @@ func (s *System) Sink(i int) (*PartitionSink, error) {
 	if i < 0 || i >= len(s.parts) {
 		return nil, fmt.Errorf("multilog: sink for partition %d out of range (system has %d)", i, len(s.parts))
 	}
-	return &PartitionSink{sys: s, part: i, base: uint64(i) * s.objectsPerPart}, nil
+	return &PartitionSink{sys: s, part: i}, nil
 }
 
 // PartitionSink routes one partition's transactions, translating global
-// object identifiers to the partition's local range.
+// object identifiers to the partition's local coordinates.
 type PartitionSink struct {
 	sys  *System
 	part int
-	base uint64
 }
 
 // BeginHinted starts a transaction on the partition.
@@ -135,12 +208,11 @@ func (ps *PartitionSink) BeginHinted(tid logrec.TxID, expected sim.Time) {
 // WriteData logs an update; oid is global and must belong to the
 // partition.
 func (ps *PartitionSink) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN {
-	local := uint64(oid) - ps.base
-	if local >= ps.sys.objectsPerPart {
+	if ps.sys.OwnerOf(oid) != ps.part {
 		panic(fmt.Sprintf("multilog: object %d routed to partition %d of %d (owner %d)",
 			oid, ps.part, len(ps.sys.parts), ps.sys.OwnerOf(oid)))
 	}
-	return ps.sys.parts[ps.part].LM.WriteData(tid, logrec.OID(local), size)
+	return ps.sys.parts[ps.part].LM.WriteData(tid, ps.sys.localOID(ps.part, oid), size)
 }
 
 // Commit requests commit; onDurable fires at the group-commit ack.
@@ -224,14 +296,14 @@ func (s *System) RecoverAll(blockRead sim.Time) (*statedb.DB, RecoveryReport, er
 	merged := statedb.New()
 	for i, rec := range recs {
 		s.resolveInDoubt(rec, &report, report.Per[i], winners)
-		base := uint64(i) * s.objectsPerPart
 		var mergeErr error
 		rec.Range(func(oid logrec.OID, v statedb.Version) bool {
-			if uint64(oid) >= s.objectsPerPart {
-				mergeErr = fmt.Errorf("multilog: partition %d recovered out-of-range local object %d", i, oid)
+			gid, ok := s.globalOID(i, oid)
+			if !ok {
+				mergeErr = fmt.Errorf("multilog: partition %d recovered object %d it does not own", i, oid)
 				return false
 			}
-			merged.ForceSet(logrec.OID(base+uint64(oid)), v)
+			merged.ForceSet(gid, v)
 			return true
 		})
 		if mergeErr != nil {
@@ -261,14 +333,14 @@ func (s *System) RecoverShard(i int, blockRead sim.Time) (*statedb.DB, RecoveryR
 	report.SerialTime = report.Per[i].EstimatedTime
 	s.resolveInDoubt(recs[i], &report, report.Per[i], winners)
 	out := statedb.New()
-	base := uint64(i) * s.objectsPerPart
 	var mergeErr error
 	recs[i].Range(func(oid logrec.OID, v statedb.Version) bool {
-		if uint64(oid) >= s.objectsPerPart {
-			mergeErr = fmt.Errorf("multilog: partition %d recovered out-of-range local object %d", i, oid)
+		gid, ok := s.globalOID(i, oid)
+		if !ok {
+			mergeErr = fmt.Errorf("multilog: partition %d recovered object %d it does not own", i, oid)
 			return false
 		}
-		out.ForceSet(logrec.OID(base+uint64(oid)), v)
+		out.ForceSet(gid, v)
 		return true
 	})
 	if mergeErr != nil {

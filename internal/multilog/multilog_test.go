@@ -134,7 +134,7 @@ func TestKillIsolation(t *testing.T) {
 		}
 		return s
 	}
-	sys := &System{eng: eng, objectsPerPart: 1_000_000}
+	sys := &System{eng: eng, objectsPerPart: 1_000_000, totalObjects: 3_000_000}
 	sys.parts = []*core.Setup{mk([]int{5, 4}), mk([]int{20, 16}), mk([]int{20, 16})}
 	var gens []*workload.Generator
 	for i := 0; i < 3; i++ {

@@ -99,8 +99,8 @@ func (r *Router) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN
 	}
 	shard := r.sys.OwnerOf(oid)
 	if shard < 0 {
-		panic(fmt.Sprintf("multilog: object %d outside the object space of %d shards x %d objects",
-			oid, len(r.sys.parts), r.sys.objectsPerPart))
+		panic(fmt.Sprintf("multilog: object %d outside the %d-object space of %d shards",
+			oid, r.sys.totalObjects, len(r.sys.parts)))
 	}
 	if rt.killed {
 		return 0
@@ -116,8 +116,7 @@ func (r *Router) WriteData(tid logrec.TxID, oid logrec.OID, size int) logrec.LSN
 			return 0
 		}
 	}
-	local := uint64(oid) - uint64(shard)*r.sys.objectsPerPart
-	return r.sys.parts[shard].LM.WriteData(tid, logrec.OID(local), size)
+	return r.sys.parts[shard].LM.WriteData(tid, r.sys.localOID(shard, oid), size)
 }
 
 // Commit requests commit. A single-shard transaction commits locally

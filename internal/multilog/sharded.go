@@ -12,10 +12,16 @@ import (
 // through the router. The workload's NumShards/CrossShardFrac knobs and
 // OIDBase come from here; callers set only the per-shard frame.
 type ShardedConfig struct {
-	Seed     uint64
-	Shards   int
+	Seed   uint64
+	Shards int
+	// Hash selects hash declustering: the object space is GLOBAL
+	// (Flush.NumObjects is the whole space, not a range width), ownership
+	// is by splitmix64 hash, and the workload draws objects from the whole
+	// space — transactions go cross-shard exactly when the hash scatters
+	// their objects, so CrossShardFrac does not apply.
+	Hash     bool
 	LM       core.Params
-	Flush    core.FlushConfig // per partition; NumObjects is the range width
+	Flush    core.FlushConfig // per partition; NumObjects is the range width (Hash: the whole space)
 	Workload workload.Config  // NumShards/NumObjects/OIDBase are filled in
 }
 
@@ -33,14 +39,27 @@ type ShardedLive struct {
 // CrossShardFrac 0 reproduces the unsharded workload exactly.
 func BuildSharded(cfg ShardedConfig) (*ShardedLive, error) {
 	eng := sim.NewEngine(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)
-	sys, err := New(eng, cfg.Shards, cfg.LM, cfg.Flush)
+	newSys := New
+	if cfg.Hash {
+		newSys = NewHash
+	}
+	sys, err := newSys(eng, cfg.Shards, cfg.LM, cfg.Flush)
 	if err != nil {
 		return nil, err
 	}
 	router := NewRouter(sys)
 	wcfg := cfg.Workload
-	wcfg.NumShards = cfg.Shards
-	wcfg.NumObjects = uint64(cfg.Shards) * cfg.Flush.NumObjects
+	if cfg.Hash {
+		// Hash declustering: the generator draws from the whole space
+		// (NumShards 1 is the classic whole-space draw) and the router's
+		// lazy enlistment turns hash scatter into 2PC organically.
+		wcfg.NumShards = 1
+		wcfg.NumObjects = cfg.Flush.NumObjects
+		wcfg.CrossShardFrac = 0
+	} else {
+		wcfg.NumShards = cfg.Shards
+		wcfg.NumObjects = uint64(cfg.Shards) * cfg.Flush.NumObjects
+	}
 	wcfg.OIDBase = 0
 	gen, err := workload.New(eng, router, wcfg)
 	if err != nil {

@@ -1,0 +1,414 @@
+package realdev
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ellog/internal/blockdev"
+	"ellog/internal/metrics"
+	"ellog/internal/realtime"
+	"ellog/internal/sim"
+)
+
+// DirectMode selects how the log file is opened.
+type DirectMode string
+
+const (
+	// DirectAuto tries O_DIRECT and falls back to buffered I/O where the
+	// filesystem refuses it (tmpfs returns EINVAL at open time) or the
+	// platform has no such flag. The default.
+	DirectAuto DirectMode = "auto"
+	// DirectOn requires O_DIRECT; Open fails if it is unavailable.
+	DirectOn DirectMode = "on"
+	// DirectOff always uses buffered I/O (durability still comes from the
+	// per-batch fsync). CI runs on tmpfs use this to make the fallback path
+	// explicit rather than incidental.
+	DirectOff DirectMode = "off"
+)
+
+// Options configures a real-file log device.
+type Options struct {
+	// SlotBytes is the on-disk slot size; it must be a positive multiple of
+	// 4096 large enough for frameHdrLen plus the worst-case wire block
+	// (SlotFor computes it). Required.
+	SlotBytes int
+	// Direct selects O_DIRECT handling; empty means DirectAuto.
+	Direct DirectMode
+	// GroupBytes dispatches the pending batch once this many payload bytes
+	// accumulate; <=0 means 256 KiB.
+	GroupBytes int
+	// GroupDelay dispatches a non-empty pending batch after this much loop
+	// time even if GroupBytes was not reached — the device-level group
+	// commit timeout; <=0 means 2 ms.
+	GroupDelay sim.Time
+	// Pipeline is the number of dispatched batches that may be in flight to
+	// the fsync worker before dispatch blocks (commit pipelining depth à la
+	// BtrLog: batch N+1 fills and ships while batch N's fsync runs); <=0
+	// means 2.
+	Pipeline int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.SlotBytes <= 0 || o.SlotBytes%diskAlign != 0 {
+		return o, fmt.Errorf("realdev: SlotBytes must be a positive multiple of %d, got %d", diskAlign, o.SlotBytes)
+	}
+	if o.Direct == "" {
+		o.Direct = DirectAuto
+	}
+	if o.Direct != DirectAuto && o.Direct != DirectOn && o.Direct != DirectOff {
+		return o, fmt.Errorf("realdev: unknown direct mode %q", o.Direct)
+	}
+	if o.GroupBytes <= 0 {
+		o.GroupBytes = 256 << 10
+	}
+	if o.GroupDelay <= 0 {
+		o.GroupDelay = 2 * sim.Millisecond
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 2
+	}
+	return o, nil
+}
+
+// RealStats reports what the simulated device cannot: measured I/O-path
+// behavior of a real run.
+type RealStats struct {
+	Direct         bool    `json:"direct"`           // O_DIRECT actually in effect
+	SlotBytes      int     `json:"slot_bytes"`       //
+	Batches        uint64  `json:"batches"`          // fsync groups shipped
+	Fsyncs         uint64  `json:"fsyncs"`           // == Batches (one fsync per group)
+	PipelineStalls uint64  `json:"pipeline_stalls"`  // dispatches that blocked on a full pipeline
+	MaxBatchBlocks int     `json:"max_batch_blocks"` // largest group shipped
+	BatchMeanMS    float64 `json:"batch_mean_ms"`    // wall time per group, write+fsync
+	BatchP99MS     float64 `json:"batch_p99_ms"`     //
+	FileBytes      int64   `json:"file_bytes"`       // log.dat size (slots allocated)
+}
+
+type slotWrite struct {
+	id   blockdev.BlockID
+	off  int64
+	buf  []byte
+	gen  int
+	plen int
+	done func(err error)
+}
+
+type batch struct {
+	writes []slotWrite
+	bytes  int
+}
+
+// Device is a real-file core.LogDevice. Alloc and Write run on the loop
+// goroutine; completions are delivered back to it via realtime.Loop.Post, so
+// the manager keeps the single-threaded discipline it has under simulation.
+// One background goroutine — the syncer — performs the pwrite+fsync work.
+type Device struct {
+	loop *realtime.Loop
+	opt  Options
+	dir  string
+	f    *os.File
+
+	direct bool
+
+	// Loop-goroutine state.
+	nextID     blockdev.BlockID
+	gens       []int // generation of each allocated slot, by id-1
+	sized      int64 // file length already reserved via Truncate
+	cur        *batch
+	batchEpoch uint64 // invalidates the pending GroupDelay timer on dispatch
+	inflight   int    // batches dispatched but not yet completed
+	pending    map[blockdev.BlockID]struct{}
+	pool       [][]byte
+	closed     bool
+
+	stats    blockdev.Stats
+	rs       RealStats
+	batchLat *metrics.Histogram // milliseconds per batch
+
+	// Syncer plumbing.
+	ch chan *batch
+	wg sync.WaitGroup
+}
+
+// Open creates (or truncates) a log directory and returns a device bound to
+// the loop. The directory gains meta.json — recording the slot size for the
+// image reader — and an empty log.dat.
+func Open(loop *realtime.Loop, dir string, opt Options) (*Device, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	meta, _ := json.Marshal(metaFile{Version: 1, SlotBytes: opt.SlotBytes})
+	if err := os.WriteFile(filepath.Join(dir, metaName), append(meta, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	f, direct, err := openLog(filepath.Join(dir, logName), opt.Direct)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		loop:     loop,
+		opt:      opt,
+		dir:      dir,
+		f:        f,
+		direct:   direct,
+		batchLat: &metrics.Histogram{},
+		ch:       make(chan *batch, opt.Pipeline),
+	}
+	d.stats.WritesPerGen = make(map[int]uint64)
+	d.pending = make(map[blockdev.BlockID]struct{})
+	d.rs.Direct = direct
+	d.rs.SlotBytes = opt.SlotBytes
+	d.wg.Add(1)
+	go d.syncer()
+	return d, nil
+}
+
+func openLog(path string, mode DirectMode) (*os.File, bool, error) {
+	flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+	if mode != DirectOff && oDirectFlag != 0 {
+		f, err := os.OpenFile(path, flags|oDirectFlag, 0o644)
+		if err == nil {
+			return f, true, nil
+		}
+		if mode == DirectOn {
+			return nil, false, fmt.Errorf("realdev: direct I/O required but unavailable: %w", err)
+		}
+	} else if mode == DirectOn {
+		return nil, false, fmt.Errorf("realdev: direct I/O required but not supported on this platform")
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	return f, false, err
+}
+
+// Alloc reserves the next slot for a block of the given generation and
+// grows the file to cover it, so direct writes never land past EOF.
+func (d *Device) Alloc(gen int) blockdev.BlockID {
+	d.nextID++
+	d.gens = append(d.gens, gen)
+	if need := int64(d.nextID) * int64(d.opt.SlotBytes); need > d.sized {
+		// Extend in whole-slot steps; growing a file under concurrent
+		// WriteAt from the syncer is safe.
+		if err := d.f.Truncate(need); err == nil {
+			d.sized = need
+		}
+	}
+	return d.nextID
+}
+
+// Write frames the block image into a slot buffer and adds it to the
+// pending batch; done fires on the loop goroutine once the covering fsync
+// has returned. The data slice is copied before Write returns (the manager
+// reuses its encode buffer).
+func (d *Device) Write(id blockdev.BlockID, data []byte, done func(err error)) {
+	if d.closed {
+		panic("realdev: Write after Close")
+	}
+	if id == 0 || id > d.nextID {
+		panic(fmt.Sprintf("realdev: write to unallocated block %d", id))
+	}
+	if frameHdrLen+len(data) > d.opt.SlotBytes {
+		panic(fmt.Sprintf("realdev: block image %d B overflows %d B slot (size slots with SlotFor)", len(data), d.opt.SlotBytes))
+	}
+	gen := d.gens[id-1]
+	buf := d.takeBuf()
+	n := putFrame(buf, gen, data)
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	d.pending[id] = struct{}{}
+	w := slotWrite{
+		id:   id,
+		off:  int64(id-1) * int64(d.opt.SlotBytes),
+		buf:  buf,
+		gen:  gen,
+		plen: len(data),
+		done: done,
+	}
+	if d.cur == nil {
+		d.cur = &batch{}
+		epoch := d.batchEpoch
+		d.loop.After(d.opt.GroupDelay, func() {
+			if d.batchEpoch == epoch {
+				d.dispatch()
+			}
+		})
+	}
+	d.cur.writes = append(d.cur.writes, w)
+	d.cur.bytes += len(data)
+	if d.cur.bytes >= d.opt.GroupBytes {
+		d.dispatch()
+	}
+}
+
+func (d *Device) dispatch() {
+	b := d.cur
+	if b == nil {
+		return
+	}
+	d.cur = nil
+	d.batchEpoch++
+	if len(d.ch) == cap(d.ch) {
+		d.rs.PipelineStalls++
+	}
+	d.inflight++
+	d.rs.Batches++
+	d.rs.Fsyncs++
+	if len(b.writes) > d.rs.MaxBatchBlocks {
+		d.rs.MaxBatchBlocks = len(b.writes)
+	}
+	d.ch <- b
+}
+
+// Seal dispatches the pending partial batch, if any, without waiting for
+// the group timeout. The run harness calls it at the horizon before
+// draining in-flight completions.
+func (d *Device) Seal() { d.dispatch() }
+
+// InFlight reports dispatched-but-uncompleted batches plus the pending
+// partial batch. Loop-goroutine only.
+func (d *Device) InFlight() int {
+	n := d.inflight
+	if d.cur != nil {
+		n++
+	}
+	return n
+}
+
+func (d *Device) syncer() {
+	defer d.wg.Done()
+	for b := range d.ch {
+		t0 := time.Now()
+		var err error
+		for _, w := range b.writes {
+			if _, e := d.f.WriteAt(w.buf, w.off); e != nil {
+				err = e
+				break
+			}
+		}
+		if err == nil {
+			err = d.f.Sync()
+		}
+		ms := float64(time.Since(t0)) / float64(time.Millisecond)
+		b := b
+		d.loop.Post(func() { d.complete(b, err, ms) })
+	}
+}
+
+// complete runs on the loop goroutine: all stats mutation and completion
+// callbacks happen here, never on the syncer.
+func (d *Device) complete(b *batch, err error, ms float64) {
+	d.inflight--
+	d.batchLat.Observe(ms)
+	for _, w := range b.writes {
+		delete(d.pending, w.id)
+		d.stats.Writes++
+		d.stats.WritesPerGen[w.gen]++
+		if err != nil {
+			d.stats.Failed++
+		} else {
+			d.stats.Bytes += uint64(w.plen)
+		}
+		d.putBuf(w.buf)
+	}
+	for _, w := range b.writes {
+		w.done(err)
+	}
+}
+
+// Stats returns cumulative write statistics in the simulated device's
+// shape, so core.Manager reporting works unchanged against a real file.
+func (d *Device) Stats() blockdev.Stats {
+	s := d.stats
+	s.WritesPerGen = make(map[int]uint64, len(d.stats.WritesPerGen))
+	for g, n := range d.stats.WritesPerGen {
+		s.WritesPerGen[g] = n
+	}
+	return s
+}
+
+// RealStats returns measured I/O-path statistics.
+func (d *Device) RealStats() RealStats {
+	rs := d.rs
+	rs.BatchMeanMS = d.batchLat.Mean()
+	rs.BatchP99MS = d.batchLat.Quantile(0.99)
+	rs.FileBytes = d.sized
+	return rs
+}
+
+// PendingSlots returns the ids of slots with an issued but uncompleted
+// write, in ascending order. After Seal followed by Abandon, these are
+// exactly the slots whose contents reached the file (the syncer finishes
+// dispatched batches) but whose durability was never acknowledged to the
+// manager — the slots a crash is allowed to tear. Loop-goroutine only.
+func (d *Device) PendingSlots() []blockdev.BlockID {
+	ids := make([]blockdev.BlockID, 0, len(d.pending))
+	for id := range d.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Dir returns the device's log directory.
+func (d *Device) Dir() string { return d.dir }
+
+// NumSlots reports how many slots have been allocated.
+func (d *Device) NumSlots() int { return int(d.nextID) }
+
+// Close dispatches any pending batch, waits for the syncer to drain, runs
+// the remaining completions, and closes the file. Must be called on the
+// loop goroutine with the loop not inside Run.
+func (d *Device) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.dispatch()
+	d.closed = true
+	close(d.ch)
+	d.wg.Wait()
+	for d.loop.Step() {
+	}
+	return d.f.Close()
+}
+
+// Abandon models a crash: the pending batch — writes the manager issued but
+// the device never shipped — is dropped on the floor, batches already
+// handed to the syncer finish their writes, and the file is closed without
+// running any completion callbacks. The on-disk state afterwards is a
+// legitimate crash image; tests typically truncate the tail further to
+// manufacture a torn final block.
+func (d *Device) Abandon() error {
+	if d.closed {
+		return nil
+	}
+	d.cur = nil
+	d.batchEpoch++
+	d.closed = true
+	close(d.ch)
+	d.wg.Wait()
+	return d.f.Close()
+}
+
+func (d *Device) takeBuf() []byte {
+	if n := len(d.pool); n > 0 {
+		b := d.pool[n-1]
+		d.pool = d.pool[:n-1]
+		return b
+	}
+	return allocAligned(d.opt.SlotBytes, d.direct)
+}
+
+func (d *Device) putBuf(b []byte) {
+	if len(d.pool) < 64 {
+		d.pool = append(d.pool, b)
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package realdev
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// oDirectFlag is OR-ed into the open flags when direct I/O is requested.
+// Filesystems that cannot honor it (tmpfs) fail the open with EINVAL, which
+// DirectAuto treats as the signal to fall back to buffered I/O.
+const oDirectFlag = syscall.O_DIRECT
+
+// allocAligned returns a zeroed n-byte buffer. Direct I/O requires the
+// buffer start to be aligned to the logical block size; Go's allocator
+// gives no such guarantee, so carve an aligned window out of an
+// over-allocated slab.
+func allocAligned(n int, direct bool) []byte {
+	if !direct {
+		return make([]byte, n)
+	}
+	slab := make([]byte, n+diskAlign)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(&slab[0])) & (diskAlign - 1)); rem != 0 {
+		off = diskAlign - rem
+	}
+	return slab[off : off+n : off+n]
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package realdev
+
+// oDirectFlag is zero where the platform has no O_DIRECT: DirectAuto falls
+// back to buffered I/O and DirectOn fails at Open.
+const oDirectFlag = 0
+
+// allocAligned returns a zeroed n-byte buffer; without direct I/O there is
+// no alignment requirement.
+func allocAligned(n int, direct bool) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,164 @@
+package realdev
+
+import (
+	"ellog/internal/core"
+	"ellog/internal/flushdisk"
+	"ellog/internal/realtime"
+	"ellog/internal/sim"
+	"ellog/internal/statedb"
+	"ellog/internal/workload"
+)
+
+// RunConfig describes a real-backend run: the same logging-manager, flush
+// and workload parameters a simulated run takes, bound to a log directory
+// on a real filesystem instead of a simulated device.
+type RunConfig struct {
+	Seed     uint64
+	Dir      string
+	LM       core.Params
+	Flush    core.FlushConfig
+	Workload workload.Config
+	// Device tunes the file device; a zero SlotBytes is computed with
+	// SlotFor from the effective block payload and the smallest record the
+	// workload can log.
+	Device Options
+	// SampleEvery, when positive, samples the cumulative committed-
+	// transaction count at this cadence — the commit curve the sim-vs-real
+	// comparison is shape-gated on.
+	SampleEvery sim.Time
+	// DrainGrace bounds the post-horizon wait for in-flight batches to
+	// complete (default 2 s of wall time).
+	DrainGrace sim.Time
+}
+
+// CurvePoint is one sample of the cumulative commit count.
+type CurvePoint struct {
+	At        sim.Time `json:"at_us"`
+	Committed uint64   `json:"committed"`
+}
+
+// Result summarizes a real-backend run: the simulated backend's own stats
+// shapes plus the measured I/O-path statistics only a real device has.
+type Result struct {
+	LM       core.Stats
+	Workload workload.Stats
+	Real     RealStats
+	Curve    []CurvePoint
+}
+
+// Insufficient mirrors harness.Result: the disk budget failed to sustain
+// the workload.
+func (r Result) Insufficient() bool {
+	return r.LM.Insufficient() || r.Workload.Killed > 0
+}
+
+// Live exposes the assembled components of a real-backend run, for callers
+// that crash it mid-flight (torn-block recovery tests) or inspect state.
+type Live struct {
+	Loop  *realtime.Loop
+	Dev   *Device
+	Flush *flushdisk.Array
+	DB    *statedb.DB
+	LM    *core.Manager
+	Gen   *workload.Generator
+}
+
+// minRecSize returns the smallest logical record size the configuration
+// can log — the denominator of the worst-case records-per-block bound that
+// sizes slots.
+func minRecSize(p core.Params, mix workload.Mix) int {
+	m := p.TxRecSize
+	for _, t := range mix {
+		if t.RecordSize < m {
+			m = t.RecordSize
+		}
+	}
+	if m <= 0 {
+		m = 1
+	}
+	return m
+}
+
+// Build assembles a real-backend run, mirroring core.NewSetup plus the
+// workload generator: a wall-clock loop in place of the simulation engine,
+// a file device in place of the simulated one, and the identical manager,
+// flush-array and generator code in between. The generator is started; the
+// caller drives the loop.
+func Build(cfg RunConfig) (*Live, error) {
+	p := cfg.LM.WithDefaults()
+	opt := cfg.Device
+	if opt.SlotBytes == 0 {
+		opt.SlotBytes = SlotFor(p.BlockPayload, minRecSize(p, cfg.Workload.Mix))
+	}
+	loop := realtime.New(cfg.Seed)
+	dev, err := Open(loop, cfg.Dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	db := statedb.New()
+	var m *core.Manager
+	flush := flushdisk.New(loop, cfg.Flush.Drives, cfg.Flush.Transfer, cfg.Flush.NumObjects, func(req flushdisk.Request) {
+		m.Flushed(req)
+	})
+	m, err = core.New(loop, p, dev, flush, db)
+	if err != nil {
+		dev.Abandon()
+		return nil, err
+	}
+	gen, err := workload.New(loop, m, cfg.Workload)
+	if err != nil {
+		dev.Abandon()
+		return nil, err
+	}
+	gen.Start()
+	return &Live{Loop: loop, Dev: dev, Flush: flush, DB: db, LM: m, Gen: gen}, nil
+}
+
+// Run executes the configuration against the real backend: drive the loop
+// to the workload horizon in wall time, seal and drain the device, and
+// close it cleanly.
+func Run(cfg RunConfig) (Result, error) {
+	live, err := Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var curve []CurvePoint
+	if cfg.SampleEvery > 0 {
+		var sample func()
+		sample = func() {
+			curve = append(curve, CurvePoint{
+				At:        live.Loop.Now(),
+				Committed: live.Gen.Stats().Committed,
+			})
+			if live.Loop.Now() < cfg.Workload.Runtime {
+				live.Loop.After(cfg.SampleEvery, sample)
+			}
+		}
+		live.Loop.After(cfg.SampleEvery, sample)
+	}
+	live.Loop.Run(cfg.Workload.Runtime)
+	live.Drain(cfg.DrainGrace)
+	res := Result{
+		LM:       live.LM.Stats(),
+		Workload: live.Gen.Stats(),
+		Real:     live.Dev.RealStats(),
+		Curve:    curve,
+	}
+	if err := live.Dev.Close(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Drain seals the device's pending batch and runs the loop until every
+// dispatched batch has completed or grace (default 2 s) expires.
+func (l *Live) Drain(grace sim.Time) {
+	if grace <= 0 {
+		grace = 2 * sim.Second
+	}
+	l.Dev.Seal()
+	deadline := l.Loop.Now() + grace
+	for l.Dev.InFlight() > 0 && l.Loop.Now() < deadline {
+		l.Loop.Run(l.Loop.Now() + sim.Millisecond)
+	}
+}

@@ -1,0 +1,192 @@
+// Package realtime is the wall-clock twin of the simulation engine: a
+// single-goroutine event loop whose clock is elapsed real time. It
+// satisfies sim.Source, so the logging-manager core, the flush-array model
+// and the workload generator — all written against that interface — run on
+// real hardware unchanged, with their simulated-time constants (the 1 ms
+// commit epsilon, the 25 ms flush transfer) paid in actual wall time.
+//
+// The package is deliberately OUTSIDE the determinism contract: it reads
+// the wall clock and its runs are not reproducible in their timing (the
+// ellint ruleset exempts it from the wallclock and rngsource rules by
+// scope). What stays deterministic is the input side — the workload's
+// random stream is seeded from the run configuration — so a real run
+// replays the same transaction schedule even though durability timings
+// differ run to run.
+package realtime
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"ellog/internal/sim"
+)
+
+// Loop is a wall-clock event loop. All scheduling (At/After) and all
+// handler execution happen on the goroutine that calls Run — the same
+// single-threaded discipline as sim.Engine. Other goroutines (the device's
+// fsync worker) hand completions back with Post; the loop wakes and runs
+// them in arrival order.
+type Loop struct {
+	start time.Time
+	rng   *rand.Rand
+
+	// Timer state; loop-goroutine only.
+	evs     evHeap
+	nextSeq uint64
+	fired   uint64
+
+	// Cross-goroutine mailbox.
+	mu     sync.Mutex
+	posted []func()
+	wake   chan struct{}
+}
+
+type ev struct {
+	at  sim.Time
+	seq uint64
+	fn  sim.Handler
+}
+
+// New returns a loop whose clock starts at 0 now and whose random stream is
+// seeded like the simulation harness seeds its engine, so sim and real runs
+// of the same configuration draw identical workload schedules.
+func New(seed uint64) *Loop {
+	return &Loop{
+		start: time.Now(),
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// Now returns the wall-clock time elapsed since the loop was created, as a
+// sim.Time (microseconds) — the real backend's reading of the paper's
+// simulated clock.
+func (l *Loop) Now() sim.Time {
+	return sim.Time(time.Since(l.start) / time.Microsecond)
+}
+
+// Rand returns the loop's seeded random stream.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// Fired reports how many events have been dispatched so far.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// Pending reports how many timer events are currently scheduled.
+func (l *Loop) Pending() int { return len(l.evs) }
+
+// At schedules fn to run at absolute loop time t. Unlike the simulation
+// engine, scheduling "in the past" is legal and fires on the next loop
+// pass: real time advances between the caller reading Now and the loop
+// acting, so a hard panic would turn an innocent scheduling race with the
+// wall clock into a crash.
+func (l *Loop) At(t sim.Time, fn sim.Handler) sim.EventID {
+	l.nextSeq++
+	heap.Push(&l.evs, &ev{at: t, seq: l.nextSeq, fn: fn})
+	return sim.EventID(l.nextSeq)
+}
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d sim.Time, fn sim.Handler) sim.EventID {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.Now()+d, fn)
+}
+
+// Post hands a callback to the loop from another goroutine; it runs on the
+// loop goroutine, before any timer event, on the next pass. This is how
+// the real device's fsync worker delivers write completions without the
+// manager ever seeing a second thread.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	l.posted = append(l.posted, fn)
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run dispatches posted callbacks and due timer events until the wall
+// clock passes the until time. Timer events scheduled beyond the horizon
+// stay pending, exactly like sim.Engine.Run; repeated calls with a later
+// horizon continue the run. Run returns with the loop idle at or past
+// until.
+func (l *Loop) Run(until sim.Time) {
+	for {
+		l.drainPosted()
+		now := l.Now()
+		for len(l.evs) > 0 && l.evs[0].at <= now {
+			e := heap.Pop(&l.evs).(*ev)
+			l.fired++
+			e.fn()
+		}
+		now = l.Now()
+		if now >= until {
+			return
+		}
+		next := until
+		if len(l.evs) > 0 && l.evs[0].at < next {
+			next = l.evs[0].at
+		}
+		sleep := time.Duration(next-now) * time.Microsecond
+		timer := time.NewTimer(sleep)
+		select {
+		case <-l.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// Step runs one pass of posted callbacks plus any due timer events without
+// sleeping, and reports whether anything fired. Drain loops use it to
+// quiesce in-flight completions after Run returns.
+func (l *Loop) Step() bool {
+	fired := l.drainPosted()
+	now := l.Now()
+	for len(l.evs) > 0 && l.evs[0].at <= now {
+		e := heap.Pop(&l.evs).(*ev)
+		l.fired++
+		e.fn()
+		fired = true
+	}
+	return fired
+}
+
+func (l *Loop) drainPosted() bool {
+	l.mu.Lock()
+	posts := l.posted
+	l.posted = nil
+	l.mu.Unlock()
+	for _, fn := range posts {
+		fn()
+	}
+	return len(posts) > 0
+}
+
+// --- timer heap ordered by (at, seq) ----------------------------------
+
+type evHeap []*ev
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x any)   { *h = append(*h, x.(*ev)) }
+func (h *evHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ sim.Source = (*Loop)(nil)

@@ -1,0 +1,116 @@
+package realtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ellog/internal/sim"
+)
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	l := New(1)
+	var got []int
+	l.After(3*sim.Millisecond, func() { got = append(got, 3) })
+	l.After(1*sim.Millisecond, func() { got = append(got, 1) })
+	l.After(2*sim.Millisecond, func() { got = append(got, 2) })
+	l.Run(20 * sim.Millisecond)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", got)
+	}
+	if l.Fired() != 3 || l.Pending() != 0 {
+		t.Fatalf("Fired=%d Pending=%d, want 3 and 0", l.Fired(), l.Pending())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	l := New(1)
+	var got []int
+	at := l.Now() + 2*sim.Millisecond
+	for i := 0; i < 5; i++ {
+		i := i
+		l.At(at, func() { got = append(got, i) })
+	}
+	l.Run(10 * sim.Millisecond)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestPastEventFiresInsteadOfPanicking(t *testing.T) {
+	l := New(1)
+	time.Sleep(2 * time.Millisecond)
+	fired := false
+	l.At(0, func() { fired = true }) // wall clock has moved past 0
+	l.Run(l.Now() + sim.Millisecond)
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+}
+
+func TestEventsBeyondHorizonStayPending(t *testing.T) {
+	l := New(1)
+	fired := false
+	l.After(3600*sim.Second, func() { fired = true })
+	l.Run(l.Now() + sim.Millisecond)
+	if fired {
+		t.Fatal("event beyond the horizon fired")
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending=%d, want 1", l.Pending())
+	}
+}
+
+func TestPostWakesRun(t *testing.T) {
+	l := New(1)
+	var fired atomic.Bool
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		l.Post(func() { fired.Store(true) })
+	}()
+	// The loop sleeps toward a far horizon; the Post must wake it long
+	// before that.
+	done := make(chan struct{})
+	go func() {
+		for !fired.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		close(done)
+	}()
+	go l.Run(5 * sim.Second)
+	select {
+	case <-done:
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("Post took implausibly long to be dispatched")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("posted callback never ran")
+	}
+}
+
+func TestStepDrainsWithoutSleeping(t *testing.T) {
+	l := New(1)
+	ran := false
+	l.Post(func() { ran = true })
+	if !l.Step() {
+		t.Fatal("Step reported nothing fired")
+	}
+	if !ran {
+		t.Fatal("posted callback did not run")
+	}
+	if l.Step() {
+		t.Fatal("idle Step reported work")
+	}
+}
+
+func TestRandIsSeededDeterministically(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 16; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}

@@ -80,10 +80,19 @@ type InDoubtTx struct {
 	Writes []InDoubtWrite
 }
 
+// Image is a crash image of the log area: a single deterministic pass over
+// every block that has durable contents, in allocation order. The simulated
+// *blockdev.Device is one implementation; internal/realdev's on-disk file
+// image is the other, which is how the same scan/salvage pass recovers real
+// files.
+type Image interface {
+	RangeDurable(fn func(id blockdev.BlockID, gen int, data []byte) bool)
+}
+
 // Recover performs single-pass redo recovery: it reads the crash image
-// from the log device and returns a recovered copy of the stable database
+// from the log area and returns a recovered copy of the stable database
 // (the input database is not modified).
-func Recover(dev *blockdev.Device, db *statedb.DB, blockRead sim.Time) (*statedb.DB, Result, error) {
+func Recover(dev Image, db *statedb.DB, blockRead sim.Time) (*statedb.DB, Result, error) {
 	if blockRead <= 0 {
 		blockRead = DefaultBlockRead
 	}

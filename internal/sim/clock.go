@@ -1,0 +1,36 @@
+package sim
+
+import "math/rand/v2"
+
+// Clock is the scheduling surface model components run on: read the
+// current time, schedule a callback at an absolute time, or after a
+// delay. *Engine satisfies it natively — simulation mode is the zero-cost
+// default — and internal/realtime.Loop satisfies it over the wall clock,
+// which is how the same logging-manager core binds to real files without
+// touching the determinism contract (the wall-clock implementation lives
+// in a package the ellint ruleset exempts; everything importing only
+// Clock stays under the module-wide wallclock rule).
+//
+// Implementations are single-threaded by contract, exactly like Engine:
+// all calls happen on the loop goroutine, handlers run on it too, and
+// EventIDs follow Engine's semantics (nonzero, unique per schedule).
+type Clock interface {
+	Now() Time
+	At(t Time, fn Handler) EventID
+	After(d Time, fn Handler) EventID
+}
+
+// Source extends Clock with the run's seeded random stream. The workload
+// generator draws through it; in simulation mode that is the engine's PCG
+// (one stream per engine, one per LP under PDES), in real mode a stream
+// seeded from the run configuration so real runs are replayable in their
+// inputs even though their timing is not.
+type Source interface {
+	Clock
+	Rand() *rand.Rand
+}
+
+var (
+	_ Clock  = (*Engine)(nil)
+	_ Source = (*Engine)(nil)
+)

@@ -162,7 +162,7 @@ type txRun struct {
 // Generator initiates transactions against a LogManager on a simulation
 // engine.
 type Generator struct {
-	eng *sim.Engine
+	eng sim.Source
 	lm  LogManager
 	cfg Config
 
@@ -183,8 +183,10 @@ type Generator struct {
 }
 
 // New builds a generator. It registers itself as the manager's kill
-// handler.
-func New(eng *sim.Engine, lm LogManager, cfg Config) (*Generator, error) {
+// handler. eng is the run's clock-and-random source: a *sim.Engine in
+// simulation mode, a realtime loop in real mode — the generator makes
+// exactly the same scheduling and Rand calls either way.
+func New(eng sim.Source, lm LogManager, cfg Config) (*Generator, error) {
 	if err := cfg.Mix.Validate(); err != nil {
 		return nil, err
 	}
