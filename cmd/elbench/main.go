@@ -262,12 +262,20 @@ func checkSimVsReal(rep *perf.Report) func(experiments.SimVsRealResult) {
 			rep.SetInformational("simvreal", "real_writes_per_s", r.Real.WritesPerS)
 			rep.SetInformational("simvreal", "real_e2e_mean_ms", r.Real.E2EMeanMS)
 			rep.SetInformational("simvreal", "real_batch_mean_ms", r.IO.BatchMeanMS)
+			rep.SetInformational("simvreal", "real_fsync_p99_ms", r.IO.BatchP99MS)
 			rep.SetInformational("simvreal", "real_fsyncs", float64(r.IO.Fsyncs))
 			rep.SetInformational("simvreal", "max_curve_dev", r.MaxCurveDev)
+			for _, sd := range r.Series {
+				rep.SetInformational("simvreal", "series_dev_"+sd.Name, sd.MaxDev)
+			}
 		}
 		if !r.WithinTolerance {
 			fatal(fmt.Errorf("simvreal: commit curves diverge: max deviation %.3f exceeds tolerance %.2f",
 				r.MaxCurveDev, r.Tolerance))
+		}
+		if !r.SeriesOK {
+			fatal(fmt.Errorf("simvreal: shared metric series diverge beyond tolerance %.2f (see report)",
+				r.SeriesTolerance))
 		}
 	}
 }

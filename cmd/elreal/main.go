@@ -10,6 +10,8 @@
 //	elreal -init cfg.json             write the default configuration and exit
 //	elreal -dir /var/tmp/ellog -config cfg.json -runtime 2
 //	elreal -dir /var/tmp/ellog -compressed -runtime 1
+//	elreal -dir /var/tmp/ellog -compressed -runtime 5 -metrics-addr :9188 -watch 1
+//	elreal -dir /var/tmp/ellog -compressed -runtime 1 -trace-out trace.jsonl
 //	elreal -dir /var/tmp/ellog -recover
 //
 // A run pays its runtime in actual wall time; the -compressed flag swaps
@@ -26,12 +28,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ellog/internal/config"
+	"ellog/internal/obs"
+	"ellog/internal/obs/live"
 	"ellog/internal/realdev"
 	"ellog/internal/recovery"
 	"ellog/internal/sim"
 	"ellog/internal/statedb"
+	"ellog/internal/trace"
 	"ellog/internal/workload"
 )
 
@@ -51,6 +57,13 @@ func main() {
 		jsonPath   = flag.String("json", "", "write the machine-readable result to this path")
 		doRecover  = flag.Bool("recover", false, "recover from -dir instead of running a workload")
 		verbose    = flag.Bool("v", false, "also print workload statistics")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and pprof on this address during the run (e.g. 127.0.0.1:9188 or :0)")
+		watchSec    = flag.Float64("watch", 0, "print a one-line live dashboard to stderr at this cadence in seconds (0 = off)")
+		traceOut    = flag.String("trace-out", "", "stream trace events to this file (eltrace-compatible; the loop clock is the trace clock)")
+		traceFmt    = flag.String("trace-format", "jsonl", "trace stream format: jsonl or binary")
+		probesOut   = flag.String("probes-out", "", "sample standard ellog_* probes and write the series JSON to this file")
+		probeMS     = flag.Float64("probe-ms", 100, "probe sampling cadence in ms (with -probes-out)")
 	)
 	flag.Parse()
 
@@ -117,9 +130,85 @@ func main() {
 		},
 		SampleEvery: sim.Time(*sampleMS * float64(sim.Millisecond)),
 	}
+
+	var reg *live.Registry
+	if *metricsAddr != "" || *watchSec > 0 {
+		reg = live.NewRegistry()
+		rc.Metrics = reg
+	}
+	var traceFile *os.File
+	var traceFlush func() error
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		var sink trace.Sink
+		switch *traceFmt {
+		case "", "jsonl":
+			s := obs.NewJSONLSink(f)
+			sink, traceFlush = s, s.Flush
+		case "binary":
+			s := obs.NewBinarySink(f)
+			sink, traceFlush = s, s.Flush
+		default:
+			fatal(fmt.Errorf("unknown trace format %q (want jsonl or binary)", *traceFmt))
+		}
+		rc.Tracer = sink
+	}
+	if *probesOut != "" {
+		rc.ProbeEvery = sim.Time(*probeMS * float64(sim.Millisecond))
+	}
+
+	var srv *live.Server
+	watchDone := make(chan struct{})
+	watchExited := make(chan struct{})
+	rc.OnLive = func(l *realdev.Live) {
+		if *metricsAddr != "" {
+			s, err := live.Serve(*metricsAddr, reg, l.Loop.Now)
+			if err != nil {
+				fatal(err)
+			}
+			srv = s
+			fmt.Fprintf(os.Stderr, "elreal: serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", s.Addr())
+		}
+		if *watchSec > 0 {
+			go watch(reg, *watchSec, watchDone, watchExited)
+		} else {
+			close(watchExited)
+		}
+	}
+
 	res, err := realdev.Run(rc)
 	if err != nil {
 		fatal(err)
+	}
+	close(watchDone)
+	<-watchExited
+	if srv != nil {
+		srv.Close()
+	}
+	if traceFlush != nil {
+		if err := traceFlush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *probesOut != "" {
+		f, err := os.Create(*probesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteSeriesJSON(f, rc.ProbeEvery, res.Probes); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("probes: %d series -> %s\n", len(res.Probes), *probesOut)
 	}
 	printResult(rc, res, *verbose)
 	if *jsonPath != "" {
@@ -134,6 +223,26 @@ func main() {
 	if res.Insufficient() {
 		fatal(fmt.Errorf("insufficient log space: %d killed, %d emergency blocks, %d refugee stalls",
 			res.Workload.Killed, res.LM.EmergencyBlocks, res.LM.RefugeeStalls))
+	}
+}
+
+// watch prints one dashboard line per cadence to stderr until done
+// closes. It only reads registry snapshots (atomic loads), so it never
+// perturbs the run.
+func watch(reg *live.Registry, sec float64, done <-chan struct{}, exited chan<- struct{}) {
+	defer close(exited)
+	t := time.NewTicker(time.Duration(sec * float64(time.Second)))
+	defer t.Stop()
+	prev := reg.Snapshot()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			cur := reg.Snapshot()
+			fmt.Fprintln(os.Stderr, "elreal: "+live.WatchLine(prev, cur, sec))
+			prev = cur
+		}
 	}
 }
 
@@ -152,8 +261,12 @@ func printResult(rc realdev.RunConfig, res realdev.Result, verbose bool) {
 	for i, g := range st.Gens {
 		fmt.Printf("  gen %d: %d blocks, %d writes\n", i, g.Size, g.BlockWrites)
 	}
-	fmt.Printf("  %d fsync batches (max %d blocks), batch mean %.2f ms p99 %.2f ms, %d pipeline stalls\n",
-		rs.Batches, rs.MaxBatchBlocks, rs.BatchMeanMS, rs.BatchP99MS, rs.PipelineStalls)
+	fmt.Printf("  %d fsync batches (max %d blocks), %d pipeline stalls\n",
+		rs.Batches, rs.MaxBatchBlocks, rs.PipelineStalls)
+	fmt.Printf("  fsync latency: mean %.2f, p50 %.2f, p95 %.2f, p99 %.2f, p999 %.2f ms\n",
+		rs.BatchMeanMS, rs.BatchP50MS, rs.BatchP95MS, rs.BatchP99MS, rs.BatchP999MS)
+	fmt.Printf("  batch size: mean %.1f blocks (p99 %.0f), mean %.1f KiB (p99 %.1f)\n",
+		rs.BatchBlocksMean, rs.BatchBlocksP99, rs.BatchBytesMean/1024, rs.BatchBytesP99/1024)
 	fmt.Printf("\nmeasured latency:\n")
 	fmt.Printf("  commit durability: mean %.2f ms, p99 %.2f ms\n", st.CommitDelayMean*1000, st.CommitDelayP99*1000)
 	fmt.Printf("  end-to-end:        mean %.2f ms, p99 %.2f ms\n", w.EndToEndMean*1000, w.EndToEndP99*1000)

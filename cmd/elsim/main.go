@@ -120,8 +120,8 @@ func main() {
 	}
 
 	if *pdes > 0 {
-		if *seeds > 1 || *traceN > 0 || *probesOut != "" {
-			fatal(fmt.Errorf("pdes runs support none of -seeds/-trace/-probes-out yet"))
+		if *seeds > 1 || *traceN > 0 {
+			fatal(fmt.Errorf("pdes runs support neither -seeds nor -trace yet"))
 		}
 		if cfg.Faults != nil && cfg.Faults.ToFault().Active() {
 			fatal(config.Unsupported("pdes", "faults",
@@ -130,7 +130,7 @@ func main() {
 		if cfg.Shards < 1 {
 			cfg.Shards = 1 // single-LP run: the sequential reduction
 		}
-		runPDES(cfg, *pdes, *traceOut, *traceFmt, *verbose)
+		runPDES(cfg, *pdes, *traceOut, *traceFmt, *probesOut, *probeMS, *verbose)
 		return
 	}
 
@@ -282,7 +282,7 @@ func main() {
 // stderr only — stdout (and the per-LP trace files) are a fixed function
 // of (seed, config), which is exactly what the CI determinism matrix
 // diffs across worker counts.
-func runPDES(cfg config.SimConfig, workers int, traceOut, traceFmt string, verbose bool) {
+func runPDES(cfg config.SimConfig, workers int, traceOut, traceFmt, probesOut string, probeMS int64, verbose bool) {
 	pcfg, err := cfg.ToPDES(workers)
 	if err != nil {
 		fatal(err)
@@ -310,6 +310,27 @@ func runPDES(cfg config.SimConfig, workers int, traceOut, traceFmt string, verbo
 			observers = append(observers, o)
 		}
 	}
+	// Probe sampling is LP-local too: each shard gets its own sampler
+	// ticking on its own engine and reading only that shard's state, so
+	// the ticks never cross an LP boundary. Series names carry an lp=
+	// label on top of the canonical schema, and the merged dump
+	// concatenates per-LP snapshots in LP-index order — a fixed function
+	// of (seed, config) for any worker count, which is what the CI
+	// determinism matrix diffs.
+	var samplers []*obs.Sampler
+	if probesOut != "" {
+		interval := sim.Time(probeMS) * sim.Millisecond
+		for i, s := range live.Shards {
+			smp := obs.NewSampler(s.LP.Engine, interval, 0)
+			lp := strconv.Itoa(i)
+			targets := obs.ProbeTargets{LM: s.Setup.LM, Dev: s.Setup.Dev, Flush: s.Setup.Flush}
+			for _, p := range obs.StandardProbes(targets) {
+				smp.Register(obs.WithLabel(p.Name, "lp", lp), p.Fn)
+			}
+			smp.Start()
+			samplers = append(samplers, smp)
+		}
+	}
 	live.Run()
 	st := live.Stats()
 	fmt.Print(st)
@@ -325,6 +346,27 @@ func runPDES(cfg config.SimConfig, workers int, traceOut, traceFmt string, verbo
 	}
 	if traceOut != "" {
 		fmt.Printf("traces streamed to %s.lp0 .. %s.lp%d\n", traceOut, traceOut, len(live.Shards)-1)
+	}
+	if probesOut != "" {
+		var series []obs.Series
+		for _, smp := range samplers {
+			series = append(series, smp.Series()...)
+		}
+		f, err := os.Create(probesOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = obs.WriteSeriesJSON(f, samplers[0].Interval(), series)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		// Every LP ticks to the same horizon at the same cadence, so any
+		// sampler's tick count describes them all.
+		fmt.Printf("probes: %d series across %d LPs, %d ticks at %v cadence -> %s\n",
+			len(series), len(samplers), samplers[0].Ticks(), samplers[0].Interval(), probesOut)
 	}
 	if live.Insufficient() {
 		fmt.Println("verdict: INSUFFICIENT disk space for this workload")

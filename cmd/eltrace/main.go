@@ -12,6 +12,7 @@
 //	eltrace -in trace.jsonl -obj 123456      # one object's version history
 //	eltrace -in trace.jsonl -validate        # strict schema check (exit 1 on error)
 //	eltrace -in trace.jsonl -counters probes.json -perfetto out.json
+//	eltrace -promcheck metrics.txt           # Prometheus exposition conformance check
 package main
 
 import (
@@ -21,21 +22,38 @@ import (
 
 	"ellog/internal/logrec"
 	"ellog/internal/obs"
+	"ellog/internal/obs/live"
 	"ellog/internal/sim"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input trace file (JSONL or binary, auto-detected)")
-		tail     = flag.Int("tail", 0, "print the last N events")
-		txQ      = flag.Uint64("tx", 0, "reconstruct this transaction's lifecycle (t1…t5)")
-		objQ     = flag.Int64("obj", -1, "reconstruct this object's version history")
-		perfetto = flag.String("perfetto", "", "write Chrome trace-event JSON to this file")
-		counters = flag.String("counters", "", "probes JSON (elsim -probes-out) rendered as counter tracks in the Perfetto export")
-		validate = flag.Bool("validate", false, "strict schema validation; exit non-zero on any malformed line")
-		maxTx    = flag.Int("max-tx", 0, "cap transaction spans in the Perfetto export (default 300)")
+		in        = flag.String("in", "", "input trace file (JSONL or binary, auto-detected)")
+		tail      = flag.Int("tail", 0, "print the last N events")
+		txQ       = flag.Uint64("tx", 0, "reconstruct this transaction's lifecycle (t1…t5)")
+		objQ      = flag.Int64("obj", -1, "reconstruct this object's version history")
+		perfetto  = flag.String("perfetto", "", "write Chrome trace-event JSON to this file")
+		counters  = flag.String("counters", "", "probes JSON (elsim -probes-out) rendered as counter tracks in the Perfetto export")
+		validate  = flag.Bool("validate", false, "strict schema validation; exit non-zero on any malformed line")
+		maxTx     = flag.Int("max-tx", 0, "cap transaction spans in the Perfetto export (default 300)")
+		promcheck = flag.String("promcheck", "", "validate this file as Prometheus text exposition (a scraped elreal /metrics body) and exit")
 	)
 	flag.Parse()
+	if *promcheck != "" {
+		f, err := os.Open(*promcheck)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eltrace: %v\n", err)
+			os.Exit(1)
+		}
+		err = live.ValidateExposition(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eltrace: %s: %v\n", *promcheck, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Prometheus text exposition\n", *promcheck)
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "eltrace: -in is required")
 		flag.Usage()

@@ -164,6 +164,28 @@ func (m *Manager) Insufficient() bool {
 	return m.killedTxs.Count() > 0 || m.emergencyBlocks.Count() > 0 || m.refugeeStalls.Count() > 0
 }
 
+// CommitCount reports committed transactions so far.
+func (m *Manager) CommitCount() uint64 { return m.commits.Count() }
+
+// AppendedByteCount reports logical bytes appended to the log so far.
+func (m *Manager) AppendedByteCount() uint64 { return m.appendedBytes.Count() }
+
+// WriteRetryCount reports reissued block writes so far.
+func (m *Manager) WriteRetryCount() uint64 { return m.writeRetries.Count() }
+
+// KilledCount reports transactions killed for log space so far.
+func (m *Manager) KilledCount() uint64 { return m.killedTxs.Count() }
+
+// TotalBlocks reports the configured disk space for the whole log right
+// now (generation sizes move under the adaptive controller).
+func (m *Manager) TotalBlocks() int {
+	total := 0
+	for i := range m.gens {
+		total += m.gens[i].size()
+	}
+	return total
+}
+
 // String renders a compact human-readable report.
 func (s Stats) String() string {
 	var b strings.Builder

@@ -7,6 +7,7 @@ import (
 
 	"ellog/internal/core"
 	"ellog/internal/harness"
+	"ellog/internal/obs"
 	"ellog/internal/realdev"
 	"ellog/internal/sim"
 	"ellog/internal/workload"
@@ -19,6 +20,31 @@ import (
 // run the identical manager and workload code, so their commit curves must
 // climb the same way.
 const SimVsRealTolerance = 0.15
+
+// SimVsRealSeriesTolerance gates the shared ellog_* probe series: both
+// backends sample the canonical schema (internal/obs) at the same cadence,
+// and every cumulative (_total) series they share must climb the same way.
+// The bound is looser than the commit gate because secondary counters
+// (flushes, block writes) sit behind more machine-dependent latency.
+const SimVsRealSeriesTolerance = 0.25
+
+// simVsRealSeriesFloor is the final-count floor below which a shared
+// series is reported but not gated: a counter that fired a handful of
+// times has no statistically meaningful shape.
+const simVsRealSeriesFloor = 50
+
+// SeriesDeviation compares one identically-named cumulative series
+// sampled on both backends.
+type SeriesDeviation struct {
+	Name      string  `json:"name"`
+	SimFinal  float64 `json:"sim_final"`
+	RealFinal float64 `json:"real_final"`
+	// MaxDev is the largest pointwise gap between the normalized curves.
+	MaxDev float64 `json:"max_dev"`
+	// Gated is false when either side's final count is under the floor —
+	// the deviation is then informational only.
+	Gated bool `json:"gated"`
+}
 
 // SimVsRealSide summarizes one backend's run of the shared configuration.
 type SimVsRealSide struct {
@@ -51,6 +77,13 @@ type SimVsRealResult struct {
 	CurvePoints     int
 	Tolerance       float64
 	WithinTolerance bool
+
+	// Series holds the per-metric comparison of every cumulative ellog_*
+	// series both backends sampled; SeriesOK is true when every gated
+	// entry stays within SeriesTolerance.
+	Series          []SeriesDeviation
+	SeriesTolerance float64
+	SeriesOK        bool
 }
 
 // simVsRealConfig is the shared configuration: a compressed version of the
@@ -127,6 +160,11 @@ func SimVsReal(opt Options) (SimVsRealResult, error) {
 		}
 	}
 	live.Setup.Eng.After(sampleEvery, sample)
+	// The canonical probe schema on the simulated clock; the real side
+	// samples the same names at the same cadence via RunConfig.ProbeEvery.
+	simSampler := obs.NewSampler(live.Setup.Eng, sampleEvery, 0)
+	obs.RegisterStandardProbes(simSampler, live.Setup)
+	simSampler.Start()
 	live.Setup.Eng.Run(runtime)
 	simStats := live.Setup.LM.Stats()
 	simW := live.Gen.Stats()
@@ -158,6 +196,7 @@ func SimVsReal(opt Options) (SimVsRealResult, error) {
 		Workload:    wl,
 		Device:      realdev.Options{Direct: direct},
 		SampleEvery: sampleEvery,
+		ProbeEvery:  sampleEvery,
 	})
 	if err != nil {
 		return res, err
@@ -177,39 +216,109 @@ func SimVsReal(opt Options) (SimVsRealResult, error) {
 			res.Sim.Committed, res.Real.Committed)
 	}
 	res.CurvePoints = 100
-	res.MaxCurveDev = maxCurveDeviation(simCurve, realRes.Curve, runtime, res.CurvePoints)
+	res.MaxCurveDev = maxDeviation(commitCurve(simCurve), commitCurve(realRes.Curve), runtime, res.CurvePoints)
 	res.WithinTolerance = res.MaxCurveDev <= res.Tolerance
+
+	res.SeriesTolerance = SimVsRealSeriesTolerance
+	res.Series = compareSeries(simSampler.Series(), realRes.Probes, runtime, res.CurvePoints)
+	res.SeriesOK = true
+	for _, sd := range res.Series {
+		if sd.Gated && sd.MaxDev > res.SeriesTolerance {
+			res.SeriesOK = false
+		}
+	}
 	return res, nil
 }
 
-// curveFrac evaluates a sampled cumulative curve at time t as a fraction
-// of its final value: the step interpolation of the last sample at or
-// before t.
-func curveFrac(c []realdev.CurvePoint, t sim.Time) float64 {
+// compareSeries joins the two probe snapshots by exact series name and
+// measures the normalized-curve deviation of every shared cumulative
+// (_total) metric. Gauges are excluded: levels like generation occupancy
+// oscillate, so a pointwise fraction-of-final comparison is meaningless
+// for them — the cumulative counters are the cross-backend contract.
+func compareSeries(simS, realS []obs.Series, runtime sim.Time, n int) []SeriesDeviation {
+	realByName := make(map[string]obs.Series, len(realS))
+	for _, s := range realS {
+		realByName[s.Name] = s
+	}
+	var out []SeriesDeviation
+	for _, ss := range simS {
+		family, _ := obs.SplitName(ss.Name)
+		if !strings.HasSuffix(family, "_total") {
+			continue
+		}
+		rs, ok := realByName[ss.Name]
+		if !ok {
+			continue
+		}
+		sc, rc := probeCurve(ss), probeCurve(rs)
+		sd := SeriesDeviation{Name: ss.Name, SimFinal: sc.final(), RealFinal: rc.final()}
+		sd.MaxDev = maxDeviation(sc, rc, runtime, n)
+		sd.Gated = sd.SimFinal >= simVsRealSeriesFloor && sd.RealFinal >= simVsRealSeriesFloor
+		out = append(out, sd)
+	}
+	return out
+}
+
+// fcurve is a sampled cumulative curve. Commit curves and probe series
+// both normalize through it, so the same shape gate serves both.
+type fcurve []fpoint
+
+type fpoint struct {
+	at sim.Time
+	v  float64
+}
+
+// commitCurve adapts the realdev commit-curve samples.
+func commitCurve(c []realdev.CurvePoint) fcurve {
+	out := make(fcurve, len(c))
+	for i, p := range c {
+		out[i] = fpoint{p.At, float64(p.Committed)}
+	}
+	return out
+}
+
+// probeCurve adapts one sampled probe series. Sampler points carry a
+// bucket mean, which for an un-downsampled run is the raw sample itself.
+func probeCurve(s obs.Series) fcurve {
+	out := make(fcurve, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = fpoint{p.At, p.Mean}
+	}
+	return out
+}
+
+// final returns the curve's last value (its normalization constant).
+func (c fcurve) final() float64 {
 	if len(c) == 0 {
 		return 0
 	}
-	final := c[len(c)-1].Committed
+	return c[len(c)-1].v
+}
+
+// frac evaluates the curve at time t as a fraction of its final value:
+// the step interpolation of the last sample at or before t.
+func (c fcurve) frac(t sim.Time) float64 {
+	final := c.final()
 	if final == 0 {
 		return 0
 	}
-	var at uint64
+	var at float64
 	for _, pt := range c {
-		if pt.At > t {
+		if pt.at > t {
 			break
 		}
-		at = pt.Committed
+		at = pt.v
 	}
-	return float64(at) / float64(final)
+	return at / final
 }
 
-// maxCurveDeviation measures the largest pointwise gap between two
-// normalized cumulative curves over n evenly spaced checkpoints.
-func maxCurveDeviation(a, b []realdev.CurvePoint, runtime sim.Time, n int) float64 {
+// maxDeviation measures the largest pointwise gap between two normalized
+// cumulative curves over n evenly spaced checkpoints.
+func maxDeviation(a, b fcurve, runtime sim.Time, n int) float64 {
 	maxDev := 0.0
 	for k := 1; k <= n; k++ {
 		t := sim.Time(int64(runtime) * int64(k) / int64(n))
-		dev := curveFrac(a, t) - curveFrac(b, t)
+		dev := a.frac(t) - b.frac(t)
 		if dev < 0 {
 			dev = -dev
 		}
@@ -249,5 +358,20 @@ func FormatSimVsReal(r SimVsRealResult) string {
 	}
 	fmt.Fprintf(&sb, "  commit-curve max deviation %.3f over %d checkpoints (tolerance %.2f): %s\n",
 		r.MaxCurveDev, r.CurvePoints, r.Tolerance, verdict)
+	if len(r.Series) > 0 {
+		fmt.Fprintf(&sb, "\n  shared ellog_* series (tolerance %.2f; ~ = under %d events, informational):\n",
+			r.SeriesTolerance, simVsRealSeriesFloor)
+		for _, sd := range r.Series {
+			mark := "~"
+			if sd.Gated {
+				mark = "OK"
+				if sd.MaxDev > r.SeriesTolerance {
+					mark = "FAIL"
+				}
+			}
+			fmt.Fprintf(&sb, "    %-28s sim %8.0f  real %8.0f  max dev %.3f  %s\n",
+				sd.Name, sd.SimFinal, sd.RealFinal, sd.MaxDev, mark)
+		}
+	}
 	return sb.String()
 }

@@ -66,12 +66,16 @@ var Ruleset = []Rule{
 	// Wall-clock reads are forbidden module-wide, with one structural
 	// exemption: the real-backend packages exist to bind the model to the
 	// wall clock (internal/realtime is a wall-clock sim.Source;
-	// internal/realdev fsyncs real files; cmd/elreal drives them), so the
-	// rule cannot apply there by construction. The CLI harnesses in cmd/
-	// that merely wall-time whole runs for operator feedback still carry
-	// //ellint:allow wallclock annotations rather than a package-level
-	// exemption, so each of those sites is an audited decision.
-	{WallclockAnalyzer, Scope{Skip: []string{"internal/realdev", "internal/realtime", "cmd/elreal"}}},
+	// internal/realdev fsyncs real files; internal/obs/live is the live
+	// metrics registry those goroutines update and the HTTP endpoint that
+	// serves it; cmd/elreal drives them), so the rule cannot apply there
+	// by construction. Note internal/obs itself is NOT exempt: the probe
+	// sampler runs in both clock domains and must stay deterministic. The
+	// CLI harnesses in cmd/ that merely wall-time whole runs for operator
+	// feedback still carry //ellint:allow wallclock annotations rather
+	// than a package-level exemption, so each of those sites is an
+	// audited decision.
+	{WallclockAnalyzer, Scope{Skip: []string{"internal/realdev", "internal/realtime", "internal/obs/live", "cmd/elreal"}}},
 
 	// internal/sim owns the seeded engine streams and internal/fault
 	// derives its plan stream from the config seed; everywhere else must

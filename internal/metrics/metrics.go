@@ -145,6 +145,103 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Max returns the largest sample (0 if empty).
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
+// BucketSnapshot is a fixed-bucket export of a sample distribution: the
+// shape the live observability registry serves (Prometheus histograms are
+// cumulative fixed-bucket counts) and the exact Histogram can reduce to.
+// Bounds are ascending inclusive upper bounds; Counts has one extra slot
+// for the implicit +Inf overflow bucket.
+type BucketSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1; last is overflow
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot bins the exact samples into the given ascending bucket bounds.
+// The bounds slice is referenced, not copied; callers share schema-level
+// bound tables.
+func (h *Histogram) Snapshot(bounds []float64) BucketSnapshot {
+	s := BucketSnapshot{
+		Bounds: bounds,
+		Counts: make([]uint64, len(bounds)+1),
+		Count:  uint64(len(h.samples)),
+		Sum:    h.sum,
+	}
+	for _, v := range h.samples {
+		s.Counts[bucketIndex(bounds, v)]++
+	}
+	return s
+}
+
+// bucketIndex returns the index of the first bound >= v, or len(bounds)
+// for the overflow bucket.
+func bucketIndex(bounds []float64, v float64) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Quantile returns the q-quantile estimate from the bucketized counts:
+// the upper bound of the bucket holding the nearest-rank sample, clamped
+// to the largest finite bound when the rank falls in the overflow bucket
+// (the Prometheus convention). The error is therefore bounded by the width
+// of the bucket containing the exact quantile. Returns 0 when empty.
+func (s BucketSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if cum >= rank {
+			return b
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the sample mean (0 if empty).
+func (s BucketSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Sub returns the bucket-wise difference s minus prev — the distribution
+// of samples observed between two cumulative snapshots of the same
+// histogram. Both must share the same bounds.
+func (s BucketSnapshot) Sub(prev BucketSnapshot) BucketSnapshot {
+	d := BucketSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		var p uint64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		d.Counts[i] = s.Counts[i] - p
+	}
+	return d
+}
+
 // Merge folds another histogram's samples into this one, so multi-seed
 // sweeps can aggregate per-run delay distributions. Quantiles of the
 // merged histogram equal quantiles over the concatenated sample sets.

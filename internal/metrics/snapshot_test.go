@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketSnapshotBasic(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	bounds := []float64{1, 2, 4}
+	s := h.Snapshot(bounds)
+	if s.Count != 5 || s.Sum != 16.5 {
+		t.Fatalf("count/sum = %d/%v", s.Count, s.Sum)
+	}
+	want := []uint64{1, 2, 1, 1} // (≤1, ≤2, ≤4, overflow)
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Mean() != 3.3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Overflow clamps to the highest finite bound, Prometheus-style.
+	if q := s.Quantile(1); q != 4 {
+		t.Fatalf("Quantile(1) = %v, want clamp to 4", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", q)
+	}
+}
+
+func TestBucketSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot([]float64{1, 2})
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestBucketSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(0.5)
+	h.Observe(3)
+	bounds := []float64{1, 2}
+	prev := h.Snapshot(bounds)
+	h.Observe(1.5)
+	h.Observe(5)
+	cur := h.Snapshot(bounds)
+	d := cur.Sub(prev)
+	if d.Count != 2 || d.Sum != 6.5 {
+		t.Fatalf("delta count/sum = %d/%v", d.Count, d.Sum)
+	}
+	if d.Counts[0] != 0 || d.Counts[1] != 1 || d.Counts[2] != 1 {
+		t.Fatalf("delta counts = %v", d.Counts)
+	}
+}
+
+// Property: for any sample set, the bucketized quantile equals the upper
+// bound of the bucket containing the exact sample-sorted quantile
+// (clamped to the highest finite bound) — the snapshot's error is never
+// worse than one bucket width.
+func TestBucketQuantileWithinBucketError(t *testing.T) {
+	bounds := []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+	prop := func(xs []float64) bool {
+		var h Histogram
+		for _, v := range xs {
+			// Fold into the positive range latencies live in.
+			h.Observe(math.Abs(math.Mod(v, 2000)))
+		}
+		s := h.Snapshot(bounds)
+		var total uint64
+		for _, c := range s.Counts {
+			total += c
+		}
+		if total != s.Count {
+			return false
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+			exact := h.Quantile(q)
+			est := s.Quantile(q)
+			if len(xs) == 0 {
+				if est != 0 {
+					return false
+				}
+				continue
+			}
+			idx := 0
+			for idx < len(bounds) && exact > bounds[idx] {
+				idx++
+			}
+			if idx >= len(bounds) {
+				idx = len(bounds) - 1 // overflow clamps
+			}
+			if est != bounds[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,463 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"ellog/internal/sim"
+)
+
+// appendValue renders a float the way Prometheus clients do.
+func appendValue(buf []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(buf, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(buf, "-Inf"...)
+	case math.IsNaN(v):
+		return append(buf, "NaN"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sampleName renders a family plus merged label blocks.
+func sampleName(buf []byte, family, labels, extra string) []byte {
+	buf = append(buf, family...)
+	if labels == "" && extra == "" {
+		return buf
+	}
+	buf = append(buf, '{')
+	buf = append(buf, labels...)
+	if labels != "" && extra != "" {
+		buf = append(buf, ',')
+	}
+	buf = append(buf, extra...)
+	return append(buf, '}')
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per family, samples grouped
+// under it, histograms as cumulative le buckets plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	buf := make([]byte, 0, 4096)
+	lastFamily := ""
+	for _, sm := range s.Samples {
+		if sm.Family != lastFamily {
+			lastFamily = sm.Family
+			if sm.Help != "" {
+				buf = append(buf, "# HELP "...)
+				buf = append(buf, sm.Family...)
+				buf = append(buf, ' ')
+				buf = append(buf, escapeHelp(sm.Help)...)
+				buf = append(buf, '\n')
+			}
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, sm.Family...)
+			buf = append(buf, ' ')
+			buf = append(buf, sm.Kind...)
+			buf = append(buf, '\n')
+		}
+		if sm.Hist != nil {
+			var cum uint64
+			for i, b := range sm.Hist.Bounds {
+				cum += sm.Hist.Counts[i]
+				le := strconv.FormatFloat(b, 'g', -1, 64)
+				buf = sampleName(buf, sm.Family+"_bucket", sm.Labels, `le="`+le+`"`)
+				buf = append(buf, ' ')
+				buf = strconv.AppendUint(buf, cum, 10)
+				buf = append(buf, '\n')
+			}
+			buf = sampleName(buf, sm.Family+"_bucket", sm.Labels, `le="+Inf"`)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, sm.Hist.Count, 10)
+			buf = append(buf, '\n')
+			buf = sampleName(buf, sm.Family+"_sum", sm.Labels, "")
+			buf = append(buf, ' ')
+			buf = appendValue(buf, sm.Hist.Sum)
+			buf = append(buf, '\n')
+			buf = sampleName(buf, sm.Family+"_count", sm.Labels, "")
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, sm.Hist.Count, 10)
+			buf = append(buf, '\n')
+		} else {
+			buf = sampleName(buf, sm.Family, sm.Labels, "")
+			buf = append(buf, ' ')
+			buf = appendValue(buf, sm.Value)
+			buf = append(buf, '\n')
+		}
+		if len(buf) > 1<<16 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// metricsSchema names the JSON snapshot wire format.
+const metricsSchema = "ellog-metrics/1"
+
+// WriteJSON renders the snapshot as one deterministic JSON document
+// (schema ellog-metrics/1); at is the loop clock at snapshot time.
+func (s Snapshot) WriteJSON(w io.Writer, at sim.Time) error {
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, `{"schema":"`+metricsSchema+`","at_us":`...)
+	buf = strconv.AppendInt(buf, int64(at), 10)
+	buf = append(buf, `,"metrics":[`...)
+	for i, sm := range s.Samples {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"name":`...)
+		buf = strconv.AppendQuote(buf, sm.Name)
+		buf = append(buf, `,"kind":`...)
+		buf = strconv.AppendQuote(buf, sm.Kind)
+		if sm.Hist != nil {
+			buf = append(buf, `,"count":`...)
+			buf = strconv.AppendUint(buf, sm.Hist.Count, 10)
+			buf = append(buf, `,"sum":`...)
+			buf = strconv.AppendFloat(buf, sm.Hist.Sum, 'g', -1, 64)
+			buf = append(buf, `,"bounds":[`...)
+			for j, b := range sm.Hist.Bounds {
+				if j > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendFloat(buf, b, 'g', -1, 64)
+			}
+			buf = append(buf, `],"counts":[`...)
+			for j, c := range sm.Hist.Counts {
+				if j > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendUint(buf, c, 10)
+			}
+			buf = append(buf, ']')
+		} else {
+			buf = append(buf, `,"value":`...)
+			buf = strconv.AppendFloat(buf, sm.Value, 'g', -1, 64)
+		}
+		buf = append(buf, '}')
+		if len(buf) > 1<<16 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	buf = append(buf, "]}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// --- exposition validation ----------------------------------------------
+
+// histState tracks one histogram label-set's bucket sequence.
+type histState struct {
+	lastLE   float64
+	lastCum  uint64
+	sawInf   bool
+	infCount uint64
+	count    uint64
+	sawCount bool
+}
+
+// ValidateExposition parses r as Prometheus text exposition (0.0.4) and
+// returns the first conformance violation: malformed comment, sample or
+// label syntax, a sample preceding its TYPE line, an unknown type, a
+// negative counter, duplicate series, non-cumulative histogram buckets,
+// a missing +Inf bucket, or _count disagreeing with the +Inf bucket.
+// This is the check CI's scrape step and `eltrace -promcheck` run.
+func ValidateExposition(r io.Reader) error {
+	types := map[string]string{}
+	seen := map[string]bool{}
+	hists := map[string]map[string]*histState{} // family -> labelset(minus le) -> state
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			if rest == line {
+				continue // free-form comment
+			}
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(rest[len("HELP "):], " ", 2)
+				if parts[0] == "" || !validMetricName(parts[0]) {
+					return fmt.Errorf("line %d: malformed HELP line", lineNo)
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.Fields(rest[len("TYPE "):])
+				if len(parts) != 2 || !validMetricName(parts[0]) {
+					return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				switch parts[1] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, parts[1])
+				}
+				if _, dup := types[parts[0]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, parts[0])
+				}
+				types[parts[0]] = parts[1]
+			default:
+				// Plain comment; the format allows them anywhere.
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		family, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		if typ == "counter" && value < 0 {
+			return fmt.Errorf("line %d: counter %s is negative (%g)", lineNo, name, value)
+		}
+		if typ == "histogram" {
+			if hists[family] == nil {
+				hists[family] = map[string]*histState{}
+			}
+			rest, le, hasLE := splitLE(labels)
+			st := hists[family][rest]
+			if st == nil {
+				st = &histState{lastLE: math.Inf(-1)}
+				hists[family][rest] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if !hasLE {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				if bound <= st.lastLE {
+					return fmt.Errorf("line %d: %s buckets out of order (le=%s)", lineNo, family, le)
+				}
+				if uint64(value) < st.lastCum {
+					return fmt.Errorf("line %d: %s buckets not cumulative at le=%s", lineNo, family, le)
+				}
+				st.lastLE, st.lastCum = bound, uint64(value)
+				if math.IsInf(bound, 1) {
+					st.sawInf, st.infCount = true, uint64(value)
+				}
+			case "_count":
+				st.count, st.sawCount = uint64(value), true
+			case "_sum":
+				// any float is fine
+			default:
+				return fmt.Errorf("line %d: bare sample %s of histogram family %s", lineNo, name, family)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for family, byLabels := range hists {
+		for rest, st := range byLabels {
+			where := family
+			if rest != "" {
+				where += "{" + rest + "}"
+			}
+			if !st.sawInf {
+				return fmt.Errorf("histogram %s has no +Inf bucket", where)
+			}
+			if st.sawCount && st.count != st.infCount {
+				return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", where, st.count, st.infCount)
+			}
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// parseSample splits a sample line into name, raw label block (without
+// braces) and value, validating label syntax along the way.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[1:end]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// validateLabels checks a name="value" list: valid label names, quoted
+// values, legal escapes.
+func validateLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		lname := s[:eq]
+		if !validMetricName(lname) || strings.ContainsRune(lname, ':') {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value after %q", lname)
+		}
+		j := 1
+		for ; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				if j >= len(s) {
+					return fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[j] {
+				case '\\', '"', 'n':
+				default:
+					return fmt.Errorf("illegal escape \\%c in label %q", s[j], lname)
+				}
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+		}
+		if j >= len(s) {
+			return fmt.Errorf("unterminated label value for %q", lname)
+		}
+		s = s[j+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("missing comma after label %q", lname)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// splitLE removes the le pair from a label block, returning the rest and
+// the le value.
+func splitLE(labels string) (rest, le string, ok bool) {
+	parts := splitLabelPairs(labels)
+	kept := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) && strings.HasSuffix(p, `"`) {
+			le, ok = p[len(`le="`):len(p)-1], true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, ","), le, ok
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q: %v", le, err)
+	}
+	return v, nil
+}

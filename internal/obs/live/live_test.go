@@ -1,0 +1,361 @@
+package live
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"ellog/internal/obs"
+	"ellog/internal/sim"
+)
+
+// testRegistry builds a registry with one of everything, including a
+// labelled family split across two series and a label value that needs
+// escaping.
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("ellog_commits_total", "")
+	c.Add(41)
+	c.Inc()
+	g := reg.Gauge(`ellog_gen_used_blocks{gen="1"}`, "")
+	g.Set(7)
+	g0 := reg.Gauge(`ellog_gen_used_blocks{gen="0"}`, "")
+	g0.Set(3)
+	reg.Gauge(`ellog_test_weird{path="a\"b\\c"}`, "A label value exercising escapes.").Set(1)
+	h := reg.Histogram("ellog_fsync_latency_ms", "", []float64{1, 5, 25})
+	for _, v := range []float64{0.5, 0.5, 3, 100} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestValueAtomicOps(t *testing.T) {
+	var v Value
+	v.Set(2.5)
+	if v.Load() != 2.5 {
+		t.Fatalf("Load = %v", v.Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Load() != 8002.5 {
+		t.Fatalf("concurrent Add lost updates: %v", v.Load())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ellog_fsync_latency_ms", "", []float64{1, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 2000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != 2000 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	reg := testRegistry()
+	snap := reg.Snapshot()
+	var names []string
+	for _, s := range snap.Samples {
+		names = append(names, s.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		a, _ := snap.Samples[i-1], snap.Samples[i]
+		if a.Family > snap.Samples[i].Family ||
+			(a.Family == snap.Samples[i].Family && a.Labels >= snap.Samples[i].Labels) {
+			t.Fatalf("snapshot not sorted at %d: %v", i, names)
+		}
+	}
+	if _, ok := snap.Get(`ellog_gen_used_blocks{gen="1"}`); !ok {
+		t.Fatal("Get missed a labelled sample")
+	}
+	if snap.Value("ellog_commits_total") != 42 {
+		t.Fatalf("Value = %v", snap.Value("ellog_commits_total"))
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ellog_commits_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Gauge("ellog_commits_total", "")
+}
+
+// TestExpositionConformance is the parser-based conformance test: the
+// registry's own rendering must satisfy the validator, carry HELP/TYPE
+// metadata for every canonical family, escape labels, and keep histogram
+// buckets cumulative.
+func TestExpositionConformance(t *testing.T) {
+	reg := testRegistry()
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("own exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# HELP ellog_commits_total Committed transactions.",
+		"# TYPE ellog_commits_total counter",
+		"# TYPE ellog_gen_used_blocks gauge",
+		"# TYPE ellog_fsync_latency_ms histogram",
+		`ellog_gen_used_blocks{gen="0"} 3`,
+		`ellog_test_weird{path="a\"b\\c"} 1`,
+		`ellog_fsync_latency_ms_bucket{le="+Inf"} 4`,
+		"ellog_fsync_latency_ms_count 4",
+		"ellog_fsync_latency_ms_sum 104",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// TYPE must precede samples of its family.
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sawType := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ellog_commits_total ") {
+			sawType = true
+		}
+		if strings.HasPrefix(line, "ellog_commits_total ") && !sawType {
+			t.Fatal("sample preceded its TYPE line")
+		}
+	}
+	// Buckets must be cumulative (validator checks too; assert directly).
+	var last uint64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "ellog_fsync_latency_ms_bucket") {
+			var n uint64
+			if _, err := fmtSscanTail(line, &n); err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if n < last {
+				t.Fatalf("non-cumulative bucket in %q", line)
+			}
+			last = n
+		}
+	}
+}
+
+// TestExpositionGolden pins the full rendering byte for byte, so format
+// drift is a conscious choice.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ellog_commits_total", "").Add(10)
+	reg.Gauge(`ellog_gen_used_blocks{gen="0"}`, "").Set(4)
+	h := reg.Histogram("ellog_fsync_latency_ms", "", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(7)
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ellog_commits_total Committed transactions.
+# TYPE ellog_commits_total counter
+ellog_commits_total 10
+# HELP ellog_fsync_latency_ms Fsync latency of group-commit batches in milliseconds.
+# TYPE ellog_fsync_latency_ms histogram
+ellog_fsync_latency_ms_bucket{le="1"} 1
+ellog_fsync_latency_ms_bucket{le="5"} 1
+ellog_fsync_latency_ms_bucket{le="+Inf"} 2
+ellog_fsync_latency_ms_sum 7.5
+ellog_fsync_latency_ms_count 2
+# HELP ellog_gen_used_blocks Blocks currently occupied in the generation.
+# TYPE ellog_gen_used_blocks gauge
+ellog_gen_used_blocks{gen="0"} 4
+`
+	if sb.String() != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+
+	var jb strings.Builder
+	if err := reg.Snapshot().WriteJSON(&jb, 1234); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{"schema":"ellog-metrics/1","at_us":1234,"metrics":[` +
+		`{"name":"ellog_commits_total","kind":"counter","value":10},` +
+		`{"name":"ellog_fsync_latency_ms","kind":"histogram","count":2,"sum":7.5,"bounds":[1,5],"counts":[1,0,1]},` +
+		`{"name":"ellog_gen_used_blocks{gen=\"0\"}","kind":"gauge","value":4}]}` + "\n"
+	if jb.String() != wantJSON {
+		t.Fatalf("JSON golden mismatch:\n--- got ---\n%s--- want ---\n%s", jb.String(), wantJSON)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "foo 1\n",
+		"negative counter":    "# TYPE foo counter\nfoo -1\n",
+		"bad type":            "# TYPE foo flimsy\nfoo 1\n",
+		"bad name":            "# TYPE foo counter\n1foo 2\n",
+		"duplicate series":    "# TYPE foo gauge\nfoo 1\nfoo 2\n",
+		"bad label syntax":    "# TYPE foo gauge\nfoo{x=1} 2\n",
+		"bad escape":          "# TYPE foo gauge\nfoo{x=\"a\\qb\"} 2\n",
+		"unterminated labels": "# TYPE foo gauge\nfoo{x=\"a\" 2\n",
+		"non-cumulative hist": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count != +Inf":       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		"out-of-order le":     "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket 1\n",
+		"duplicate TYPE":      "# TYPE foo gauge\n# TYPE foo counter\nfoo 1\n",
+		"malformed TYPE":      "# TYPE foo\nfoo 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+	// And a valid document with every feature passes.
+	ok := "# plain comment\n# HELP foo Something.\n# TYPE foo counter\nfoo{a=\"x\\\"y\",b=\"z\"} 3\nfoo 1\n" +
+		"# TYPE h histogram\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 9.5\nh_count 4\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestPollerBridgesSchemaProbes(t *testing.T) {
+	var writes uint64
+	commits := 0.0
+	probes := []obs.NamedProbe{
+		{Name: obs.MetricCommits, Kind: obs.KindCounter, Help: "", Fn: func() float64 { return commits }},
+		{Name: obs.MetricLogWrites, Kind: obs.KindCounter, Help: "", Fn: func() float64 { return float64(writes) }},
+		{Name: `ellog_gen_used_blocks{gen="0"}`, Kind: obs.KindGauge, Help: "", Fn: func() float64 { return 5 }},
+	}
+	reg := NewRegistry()
+	p := NewPoller(reg, probes)
+	p.Collect()
+	if got := reg.Snapshot().Value(obs.MetricCommits); got != 0 {
+		t.Fatalf("initial commits = %v", got)
+	}
+	commits, writes = 17, 4
+	p.Collect()
+	snap := reg.Snapshot()
+	if snap.Value(obs.MetricCommits) != 17 || snap.Value(obs.MetricLogWrites) != 4 {
+		t.Fatalf("poller did not track probes: %+v", snap.Samples)
+	}
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("polled exposition invalid: %v", err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := testRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, func() sim.Time { return 99 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics body invalid: %v", err)
+	}
+	code, body = get("/metrics.json")
+	if code != 200 || !strings.Contains(body, `"at_us":99`) {
+		t.Fatalf("/metrics.json status %d body %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof index status %d", code)
+	}
+}
+
+func TestWatchLine(t *testing.T) {
+	reg := NewRegistry()
+	commits := reg.Counter(obs.MetricCommits, "")
+	bytes := reg.Counter(obs.MetricAppendedBytes, "")
+	inflight := reg.Gauge(obs.MetricInflightBatches, "")
+	fsync := reg.Histogram(obs.MetricFsyncLatencyMS, "", obs.FsyncLatencyBucketsMS)
+	batch := reg.Histogram(obs.MetricBatchBytes, "", obs.BatchBytesBuckets)
+	prev := reg.Snapshot()
+	commits.Add(500)
+	bytes.Add(2048 * 10)
+	inflight.Set(2)
+	for i := 0; i < 100; i++ {
+		fsync.Observe(0.4)
+		batch.Observe(8192)
+	}
+	fsync.Observe(40)
+	cur := reg.Snapshot()
+	line := WatchLine(prev, cur, 2)
+	for _, want := range []string{"commits/s     250", "in-flight 2", "fsync p50/p99"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("watch line missing %q: %q", want, line)
+		}
+	}
+	// p50 comes from the delta distribution: 0.4 ms lands in the 0.5 bucket.
+	if !strings.Contains(line, "0.50/") {
+		t.Fatalf("p50 not from delta buckets: %q", line)
+	}
+	killed := reg.Counter(obs.MetricKilled, "")
+	killed.Add(3)
+	if line := WatchLine(cur, reg.Snapshot(), 1); !strings.Contains(line, "KILLED 3") {
+		t.Fatalf("killed not surfaced: %q", line)
+	}
+}
+
+// fmtSscanTail parses the trailing integer of an exposition line.
+func fmtSscanTail(line string, n *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*n, err = parseUint(line[i+1:])
+	return 1, err
+}
+
+func parseUint(s string) (uint64, error) {
+	var n uint64
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		n = n*10 + uint64(s[i]-'0')
+	}
+	return n, nil
+}

@@ -1,0 +1,35 @@
+package live
+
+import "ellog/internal/obs"
+
+// Poller bridges the canonical read-only probe table onto live
+// instruments: each schema probe gets a registry scalar of its kind, and
+// Collect copies current probe values into them. Collect must run on the
+// loop goroutine (probes read loop-owned state); readers see the values
+// atomically.
+type Poller struct {
+	probes []obs.NamedProbe
+	vals   []*Value
+}
+
+// NewPoller registers every probe on the registry and returns the
+// poller. Counter probes are cumulative sources, so their instruments
+// are Set — not Add — on each collection.
+func NewPoller(reg *Registry, probes []obs.NamedProbe) *Poller {
+	p := &Poller{probes: probes, vals: make([]*Value, len(probes))}
+	for i, pr := range probes {
+		if pr.Kind == obs.KindCounter {
+			p.vals[i] = reg.Counter(pr.Name, pr.Help)
+		} else {
+			p.vals[i] = reg.Gauge(pr.Name, pr.Help)
+		}
+	}
+	return p
+}
+
+// Collect copies every probe's current value into its instrument.
+func (p *Poller) Collect() {
+	for i, pr := range p.probes {
+		p.vals[i].Set(pr.Fn())
+	}
+}

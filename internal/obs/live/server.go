@@ -1,0 +1,59 @@
+package live
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"ellog/internal/sim"
+)
+
+// Handler builds the metrics HTTP handler: /metrics serves Prometheus
+// text exposition, /metrics.json the JSON snapshot (stamped with the
+// loop clock from now), and /debug/pprof/* the standard Go profiles.
+func Handler(reg *Registry, now func() sim.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var at sim.Time
+		if now != nil {
+			at = now()
+		}
+		_ = reg.Snapshot().WriteJSON(w, at)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the metrics endpoint on addr (":0" picks a free port) and
+// returns immediately; requests are handled on background goroutines.
+// now supplies the loop clock for JSON snapshots and may be nil.
+func Serve(addr string, reg *Registry, now func() sim.Time) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, now)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:41231".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,45 @@
+package live
+
+import (
+	"fmt"
+
+	"ellog/internal/obs"
+)
+
+// WatchLine renders one -watch dashboard line from two registry
+// snapshots dt seconds apart: commit rate, fsync latency p50/p99 over
+// the interval, mean batch payload, and in-flight batches. A pure
+// function of its inputs so it is testable without a clock; the caller
+// owns the ticker.
+func WatchLine(prev, cur Snapshot, dt float64) string {
+	if dt <= 0 {
+		dt = 1
+	}
+	commitsPS := (cur.Value(obs.MetricCommits) - prev.Value(obs.MetricCommits)) / dt
+	bytesPS := (cur.Value(obs.MetricAppendedBytes) - prev.Value(obs.MetricAppendedBytes)) / dt
+
+	var p50, p99 float64
+	if c, ok := cur.Get(obs.MetricFsyncLatencyMS); ok && c.Hist != nil {
+		h := *c.Hist
+		if p, ok := prev.Get(obs.MetricFsyncLatencyMS); ok && p.Hist != nil {
+			h = h.Sub(*p.Hist)
+		}
+		p50, p99 = h.Quantile(0.50), h.Quantile(0.99)
+	}
+
+	var batchKiB float64
+	if c, ok := cur.Get(obs.MetricBatchBytes); ok && c.Hist != nil {
+		h := *c.Hist
+		if p, ok := prev.Get(obs.MetricBatchBytes); ok && p.Hist != nil {
+			h = h.Sub(*p.Hist)
+		}
+		batchKiB = h.Mean() / 1024
+	}
+
+	line := fmt.Sprintf("commits/s %7.0f | appended %7.0f KiB/s | fsync p50/p99 %6.2f/%6.2f ms | batch %6.1f KiB | in-flight %d",
+		commitsPS, bytesPS/1024, p50, p99, batchKiB, int(cur.Value(obs.MetricInflightBatches)))
+	if killed := cur.Value(obs.MetricKilled); killed > 0 {
+		line += fmt.Sprintf(" | KILLED %d", int(killed))
+	}
+	return line
+}

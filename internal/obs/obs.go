@@ -142,26 +142,15 @@ func (o *Observer) Close() error {
 	return first
 }
 
-// RegisterStandardProbes wires every level the paper's evaluation tracks:
-// per-generation occupancy, size and live records, LOT/LTT/memory, log
-// block writes, and the flush array's backlog and completions.
-// Registration order is deterministic (generation-major, then tables,
-// then devices) so probe dumps diff cleanly across runs.
+// RegisterStandardProbes wires every level the paper's evaluation tracks
+// under the canonical ellog_* schema: per-generation occupancy, size and
+// live records, LOT/LTT/memory, commit and byte counters, log block
+// writes, and the flush array's backlog and completions. Registration
+// order is deterministic (generation-major, then tables, then devices) so
+// probe dumps diff cleanly across runs, and every name matches what a
+// real-mode /metrics endpoint serves.
 func RegisterStandardProbes(s *Sampler, setup *core.Setup) {
-	lm, dev, flush := setup.LM, setup.Dev, setup.Flush
-	for i := 0; i < lm.NumGenerations(); i++ {
-		gi := i
-		s.Register(fmt.Sprintf("gen%d/used_blocks", gi), func() float64 { return float64(lm.GenUsed(gi)) })
-		s.Register(fmt.Sprintf("gen%d/size_blocks", gi), func() float64 { return float64(lm.GenSize(gi)) })
-		s.Register(fmt.Sprintf("gen%d/live_cells", gi), func() float64 { return float64(lm.GenLiveCells(gi)) })
-	}
-	s.Register("mem/lot_entries", func() float64 { return float64(lm.LOTLen()) })
-	s.Register("mem/ltt_entries", func() float64 { return float64(lm.LTTLen()) })
-	s.Register("mem/bytes", lm.MemBytes)
-	s.Register("log/writes", func() float64 { return float64(dev.Writes()) })
-	s.Register("flush/backlog", func() float64 { return float64(flush.PendingCount()) })
-	s.Register("flush/flushes", func() float64 { return float64(flush.Flushes()) })
-	s.Register("flush/forced", func() float64 { return float64(flush.Forced()) })
+	RegisterProbes(s, StandardProbes(ProbeTargets{LM: setup.LM, Dev: setup.Dev, Flush: setup.Flush}))
 }
 
 // multiSink fans one event out to several sinks in order.

@@ -94,9 +94,13 @@ func TestTracedRunStatsByteIdentical(t *testing.T) {
 func TestStandardProbeNames(t *testing.T) {
 	_, _, s := capturedRun(t, 1)
 	for _, name := range []string{
-		"gen0/used_blocks", "gen1/size_blocks", "gen0/live_cells",
-		"mem/lot_entries", "mem/ltt_entries", "mem/bytes",
-		"log/writes", "flush/backlog", "flush/flushes", "flush/forced",
+		`ellog_gen_used_blocks{gen="0"}`, `ellog_gen_size_blocks{gen="1"}`,
+		`ellog_gen_live_records{gen="0"}`,
+		"ellog_lot_entries", "ellog_ltt_entries", "ellog_mem_bytes",
+		"ellog_log_blocks", "ellog_commits_total", "ellog_appended_bytes_total",
+		"ellog_write_retries_total", "ellog_killed_total",
+		"ellog_log_writes_total", "ellog_flush_backlog",
+		"ellog_flushes_total", "ellog_forced_flushes_total",
 	} {
 		sr, ok := s.Find(name)
 		if !ok || sr.Name != name {
@@ -104,14 +108,39 @@ func TestStandardProbeNames(t *testing.T) {
 		}
 	}
 	// Cumulative counters must be nondecreasing across points.
-	writes, _ := s.Find("log/writes")
+	writes, _ := s.Find("ellog_log_writes_total")
 	for i := 1; i < len(writes.Points); i++ {
 		if writes.Points[i].Min < writes.Points[i-1].Max {
-			t.Fatalf("log/writes not monotonic at point %d", i)
+			t.Fatalf("ellog_log_writes_total not monotonic at point %d", i)
 		}
 	}
 	if last := writes.Points[len(writes.Points)-1]; last.Max == 0 {
-		t.Fatal("log/writes probe never saw a block write")
+		t.Fatal("ellog_log_writes_total probe never saw a block write")
+	}
+}
+
+func TestMetricNameHelpers(t *testing.T) {
+	if got := MetricName("ellog_gen_used_blocks", "gen", "0"); got != `ellog_gen_used_blocks{gen="0"}` {
+		t.Fatalf("MetricName = %q", got)
+	}
+	if got := MetricName("x"); got != "x" {
+		t.Fatalf("bare MetricName = %q", got)
+	}
+	if got := MetricName("x", "k", `a"b\c`+"\n"); got != `x{k="a\"b\\c\n"}` {
+		t.Fatalf("escaped MetricName = %q", got)
+	}
+	if got := WithLabel("ellog_lot_entries", "lp", "2"); got != `ellog_lot_entries{lp="2"}` {
+		t.Fatalf("WithLabel bare = %q", got)
+	}
+	if got := WithLabel(`ellog_gen_used_blocks{gen="0"}`, "lp", "2"); got != `ellog_gen_used_blocks{gen="0",lp="2"}` {
+		t.Fatalf("WithLabel labelled = %q", got)
+	}
+	fam, labels := SplitName(`ellog_gen_used_blocks{gen="0",lp="2"}`)
+	if fam != "ellog_gen_used_blocks" || labels != `gen="0",lp="2"` {
+		t.Fatalf("SplitName = %q, %q", fam, labels)
+	}
+	if fam, labels := SplitName("ellog_lot_entries"); fam != "ellog_lot_entries" || labels != "" {
+		t.Fatalf("SplitName bare = %q, %q", fam, labels)
 	}
 }
 

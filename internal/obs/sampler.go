@@ -77,7 +77,7 @@ type probeSeries struct {
 // pairwise and the sampling stride doubles, so an arbitrarily long run
 // costs a fixed amount of memory while keeping min/max envelopes exact.
 type Sampler struct {
-	eng       *sim.Engine
+	clk       sim.Clock
 	interval  sim.Time
 	maxPoints int
 	stride    int // raw samples folded into one point (doubles on overflow)
@@ -89,8 +89,10 @@ type Sampler struct {
 // NewSampler builds a sampler ticking every interval, keeping at most
 // maxPoints points per series (0 selects the default 512). Explicit
 // budgets are clamped to an even number of at least 4 so pair-merging
-// always halves the series exactly.
-func NewSampler(eng *sim.Engine, interval sim.Time, maxPoints int) *Sampler {
+// always halves the series exactly. The clock can be a simulation engine
+// or the real backend's wall-clock loop — both satisfy sim.Clock, which
+// is exactly what makes sim and real probe series comparable.
+func NewSampler(clk sim.Clock, interval sim.Time, maxPoints int) *Sampler {
 	if interval <= 0 {
 		interval = 100 * sim.Millisecond
 	}
@@ -103,7 +105,7 @@ func NewSampler(eng *sim.Engine, interval sim.Time, maxPoints int) *Sampler {
 	if maxPoints%2 != 0 {
 		maxPoints++
 	}
-	return &Sampler{eng: eng, interval: interval, maxPoints: maxPoints, stride: 1}
+	return &Sampler{clk: clk, interval: interval, maxPoints: maxPoints, stride: 1}
 }
 
 // Interval returns the sampling cadence.
@@ -135,11 +137,11 @@ func (s *Sampler) Start() {
 		return
 	}
 	s.started = true
-	s.eng.After(s.interval, s.tick)
+	s.clk.After(s.interval, s.tick)
 }
 
 func (s *Sampler) tick() {
-	now := s.eng.Now()
+	now := s.clk.Now()
 	s.ticks++
 	for _, ps := range s.series {
 		ps.acc.add(now, ps.fn())
@@ -151,7 +153,7 @@ func (s *Sampler) tick() {
 	// All series share the stride and tick together, so when one hits the
 	// budget they all do (modulo late registration, handled per series).
 	s.compact()
-	s.eng.After(s.interval, s.tick)
+	s.clk.After(s.interval, s.tick)
 }
 
 // compact halves any series at its budget by merging adjacent point pairs

@@ -11,6 +11,8 @@ import (
 
 	"ellog/internal/blockdev"
 	"ellog/internal/metrics"
+	"ellog/internal/obs"
+	"ellog/internal/obs/live"
 	"ellog/internal/realtime"
 	"ellog/internal/sim"
 )
@@ -85,8 +87,22 @@ type RealStats struct {
 	PipelineStalls uint64  `json:"pipeline_stalls"`  // dispatches that blocked on a full pipeline
 	MaxBatchBlocks int     `json:"max_batch_blocks"` // largest group shipped
 	BatchMeanMS    float64 `json:"batch_mean_ms"`    // wall time per group, write+fsync
+	BatchP50MS     float64 `json:"batch_p50_ms"`     //
+	BatchP95MS     float64 `json:"batch_p95_ms"`     //
 	BatchP99MS     float64 `json:"batch_p99_ms"`     //
+	BatchP999MS    float64 `json:"batch_p999_ms"`    //
 	FileBytes      int64   `json:"file_bytes"`       // log.dat size (slots allocated)
+
+	// Group-commit batch-size distribution, from the per-batch histograms.
+	BatchBlocksMean float64 `json:"batch_blocks_mean"`
+	BatchBlocksP99  float64 `json:"batch_blocks_p99"`
+	BatchBytesMean  float64 `json:"batch_bytes_mean"`
+	BatchBytesP99   float64 `json:"batch_bytes_p99"`
+
+	// FsyncHistMS is the fsync latency distribution bucketized on the
+	// canonical obs.FsyncLatencyBucketsMS bounds — the same shape the
+	// /metrics endpoint exposes.
+	FsyncHistMS metrics.BucketSnapshot `json:"fsync_hist_ms"`
 }
 
 type slotWrite struct {
@@ -126,13 +142,44 @@ type Device struct {
 	pool       [][]byte
 	closed     bool
 
-	stats    blockdev.Stats
-	rs       RealStats
-	batchLat *metrics.Histogram // milliseconds per batch
+	stats       blockdev.Stats
+	rs          RealStats
+	batchLat    *metrics.Histogram // milliseconds per batch
+	batchBlocks *metrics.Histogram // slots per dispatched batch
+	batchBytes  *metrics.Histogram // payload bytes per dispatched batch
+
+	// Live instruments (nil unless SetMetrics armed them); dispatch and
+	// complete update them on the loop goroutine, HTTP readers load them
+	// atomically.
+	met *devMetrics
 
 	// Syncer plumbing.
 	ch chan *batch
 	wg sync.WaitGroup
+}
+
+// devMetrics bundles the device's live registry instruments.
+type devMetrics struct {
+	batches, fsyncs, stalls   *live.Value
+	inflight                  *live.Value
+	fsyncLat, blocksH, bytesH *live.Histogram
+}
+
+// SetMetrics registers the device's metrics on a live registry. Call
+// before the run starts (registration is not what the hot path does).
+func (d *Device) SetMetrics(reg *live.Registry) {
+	if reg == nil {
+		return
+	}
+	d.met = &devMetrics{
+		batches:  reg.Counter(obs.MetricBatches, ""),
+		fsyncs:   reg.Counter(obs.MetricFsyncs, ""),
+		stalls:   reg.Counter(obs.MetricPipelineStalls, ""),
+		inflight: reg.Gauge(obs.MetricInflightBatches, ""),
+		fsyncLat: reg.Histogram(obs.MetricFsyncLatencyMS, "", obs.FsyncLatencyBucketsMS),
+		blocksH:  reg.Histogram(obs.MetricBatchBlocks, "", obs.BatchBlocksBuckets),
+		bytesH:   reg.Histogram(obs.MetricBatchBytes, "", obs.BatchBytesBuckets),
+	}
 }
 
 // Open creates (or truncates) a log directory and returns a device bound to
@@ -155,13 +202,15 @@ func Open(loop *realtime.Loop, dir string, opt Options) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		loop:     loop,
-		opt:      opt,
-		dir:      dir,
-		f:        f,
-		direct:   direct,
-		batchLat: &metrics.Histogram{},
-		ch:       make(chan *batch, opt.Pipeline),
+		loop:        loop,
+		opt:         opt,
+		dir:         dir,
+		f:           f,
+		direct:      direct,
+		batchLat:    &metrics.Histogram{},
+		batchBlocks: &metrics.Histogram{},
+		batchBytes:  &metrics.Histogram{},
+		ch:          make(chan *batch, opt.Pipeline),
 	}
 	d.stats.WritesPerGen = make(map[int]uint64)
 	d.pending = make(map[blockdev.BlockID]struct{})
@@ -256,7 +305,8 @@ func (d *Device) dispatch() {
 	}
 	d.cur = nil
 	d.batchEpoch++
-	if len(d.ch) == cap(d.ch) {
+	stalled := len(d.ch) == cap(d.ch)
+	if stalled {
 		d.rs.PipelineStalls++
 	}
 	d.inflight++
@@ -264,6 +314,18 @@ func (d *Device) dispatch() {
 	d.rs.Fsyncs++
 	if len(b.writes) > d.rs.MaxBatchBlocks {
 		d.rs.MaxBatchBlocks = len(b.writes)
+	}
+	d.batchBlocks.Observe(float64(len(b.writes)))
+	d.batchBytes.Observe(float64(b.bytes))
+	if d.met != nil {
+		if stalled {
+			d.met.stalls.Inc()
+		}
+		d.met.batches.Inc()
+		d.met.fsyncs.Inc()
+		d.met.inflight.Set(float64(d.inflight))
+		d.met.blocksH.Observe(float64(len(b.writes)))
+		d.met.bytesH.Observe(float64(b.bytes))
 	}
 	d.ch <- b
 }
@@ -308,6 +370,10 @@ func (d *Device) syncer() {
 func (d *Device) complete(b *batch, err error, ms float64) {
 	d.inflight--
 	d.batchLat.Observe(ms)
+	if d.met != nil {
+		d.met.fsyncLat.Observe(ms)
+		d.met.inflight.Set(float64(d.inflight))
+	}
 	for _, w := range b.writes {
 		delete(d.pending, w.id)
 		d.stats.Writes++
@@ -339,10 +405,22 @@ func (d *Device) Stats() blockdev.Stats {
 func (d *Device) RealStats() RealStats {
 	rs := d.rs
 	rs.BatchMeanMS = d.batchLat.Mean()
+	rs.BatchP50MS = d.batchLat.Quantile(0.50)
+	rs.BatchP95MS = d.batchLat.Quantile(0.95)
 	rs.BatchP99MS = d.batchLat.Quantile(0.99)
+	rs.BatchP999MS = d.batchLat.Quantile(0.999)
+	rs.BatchBlocksMean = d.batchBlocks.Mean()
+	rs.BatchBlocksP99 = d.batchBlocks.Quantile(0.99)
+	rs.BatchBytesMean = d.batchBytes.Mean()
+	rs.BatchBytesP99 = d.batchBytes.Quantile(0.99)
+	rs.FsyncHistMS = d.batchLat.Snapshot(obs.FsyncLatencyBucketsMS)
 	rs.FileBytes = d.sized
 	return rs
 }
+
+// Writes reports completed slot writes so far — the schema's log-writes
+// probe, matching the simulated device's accessor.
+func (d *Device) Writes() uint64 { return d.stats.Writes }
 
 // PendingSlots returns the ids of slots with an issued but uncompleted
 // write, in ascending order. After Seal followed by Abandon, these are

@@ -3,9 +3,12 @@ package realdev
 import (
 	"ellog/internal/core"
 	"ellog/internal/flushdisk"
+	"ellog/internal/obs"
+	"ellog/internal/obs/live"
 	"ellog/internal/realtime"
 	"ellog/internal/sim"
 	"ellog/internal/statedb"
+	"ellog/internal/trace"
 	"ellog/internal/workload"
 )
 
@@ -29,6 +32,25 @@ type RunConfig struct {
 	// DrainGrace bounds the post-horizon wait for in-flight batches to
 	// complete (default 2 s of wall time).
 	DrainGrace sim.Time
+	// Tracer, when non-nil, receives every manager trace event. The trace
+	// clock is the loop's monotonic sim.Time (µs since start), so the
+	// streams eltrace and the Perfetto exporter consume are shaped exactly
+	// like simulated ones.
+	Tracer trace.Sink
+	// Metrics, when non-nil, arms the live registry: the device registers
+	// its fsync/batch instruments and a poller copies the canonical schema
+	// probes into it every MetricsEvery.
+	Metrics *live.Registry
+	// MetricsEvery is the probe poll cadence for Metrics (default 250 ms).
+	MetricsEvery sim.Time
+	// ProbeEvery, when positive, attaches the simulated-time probe sampler
+	// to the loop at this cadence; Result.Probes then carries the same
+	// downsampled ellog_* series an elsim -probes-out run produces.
+	ProbeEvery sim.Time
+	// OnLive, when non-nil, runs with the assembled components after Build
+	// and before the loop is driven — the hook elreal uses to start the
+	// metrics server and watch ticker with access to the loop clock.
+	OnLive func(*Live)
 }
 
 // CurvePoint is one sample of the cumulative commit count.
@@ -44,6 +66,9 @@ type Result struct {
 	Workload workload.Stats
 	Real     RealStats
 	Curve    []CurvePoint
+	// Probes holds the sampled ellog_* series when RunConfig.ProbeEvery
+	// was set — name-compatible with elsim probe output.
+	Probes []obs.Series
 }
 
 // Insufficient mirrors harness.Result: the disk budget failed to sustain
@@ -61,6 +86,11 @@ type Live struct {
 	DB    *statedb.DB
 	LM    *core.Manager
 	Gen   *workload.Generator
+	// Sampler is the probe sampler when ProbeEvery armed one.
+	Sampler *obs.Sampler
+	// Poller feeds the live registry when Metrics armed it; ticks run on
+	// the loop goroutine until the workload horizon.
+	Poller *live.Poller
 }
 
 // minRecSize returns the smallest logical record size the configuration
@@ -110,8 +140,37 @@ func Build(cfg RunConfig) (*Live, error) {
 		dev.Abandon()
 		return nil, err
 	}
+	if cfg.Tracer != nil {
+		m.SetTracer(cfg.Tracer)
+	}
+	l := &Live{Loop: loop, Dev: dev, Flush: flush, DB: db, LM: m, Gen: gen}
+	if cfg.Metrics != nil {
+		dev.SetMetrics(cfg.Metrics)
+		l.Poller = live.NewPoller(cfg.Metrics,
+			obs.StandardProbes(obs.ProbeTargets{LM: m, Dev: dev, Flush: flush}))
+		up := cfg.Metrics.Gauge(obs.MetricUptimeSeconds, "")
+		every := cfg.MetricsEvery
+		if every <= 0 {
+			every = 250 * sim.Millisecond
+		}
+		var tick func()
+		tick = func() {
+			l.Poller.Collect()
+			up.Set(loop.Now().Seconds())
+			if loop.Now() < cfg.Workload.Runtime {
+				loop.After(every, tick)
+			}
+		}
+		loop.After(every, tick)
+	}
+	if cfg.ProbeEvery > 0 {
+		l.Sampler = obs.NewSampler(loop, cfg.ProbeEvery, 0)
+		obs.RegisterProbes(l.Sampler,
+			obs.StandardProbes(obs.ProbeTargets{LM: m, Dev: dev, Flush: flush}))
+		l.Sampler.Start()
+	}
 	gen.Start()
-	return &Live{Loop: loop, Dev: dev, Flush: flush, DB: db, LM: m, Gen: gen}, nil
+	return l, nil
 }
 
 // Run executes the configuration against the real backend: drive the loop
@@ -121,6 +180,9 @@ func Run(cfg RunConfig) (Result, error) {
 	live, err := Build(cfg)
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.OnLive != nil {
+		cfg.OnLive(live)
 	}
 	var curve []CurvePoint
 	if cfg.SampleEvery > 0 {
@@ -138,11 +200,19 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 	live.Loop.Run(cfg.Workload.Runtime)
 	live.Drain(cfg.DrainGrace)
+	if live.Poller != nil {
+		// One final collection so the registry's last reading covers the
+		// drained end state, not the last cadence tick.
+		live.Poller.Collect()
+	}
 	res := Result{
 		LM:       live.LM.Stats(),
 		Workload: live.Gen.Stats(),
 		Real:     live.Dev.RealStats(),
 		Curve:    curve,
+	}
+	if live.Sampler != nil {
+		res.Probes = live.Sampler.Series()
 	}
 	if err := live.Dev.Close(); err != nil {
 		return res, err
