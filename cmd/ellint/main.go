@@ -6,6 +6,7 @@
 //	go run ./cmd/ellint ./...          # report violations, exit 1 if any
 //	go run ./cmd/ellint -fix ./...     # apply mechanical fixes (maporder)
 //	go run ./cmd/ellint -doc           # print each rule's documentation
+//	go run ./cmd/ellint -json out.json ./...  # also write machine-readable findings
 //
 // As a vet tool (speaks cmd/go's unitchecker .cfg protocol, so results are
 // cached by the build cache):
@@ -59,11 +60,12 @@ func main() {
 
 	fix := flag.Bool("fix", false, "apply suggested fixes (maporder sorted-keys rewrite) to the source tree")
 	doc := flag.Bool("doc", false, "print each rule's documentation and scope, then exit")
+	jsonOut := flag.String("json", "", "write machine-readable findings (ellint-findings/1 schema) to this `file`; written even when clean")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: ellint [-fix] [package pattern ...]\n\nRules enforced (suppress a site with //ellint:allow <rule> <reason>):\n")
+			"usage: ellint [-fix] [-json file] [package pattern ...]\n\nRules enforced (suppress a site with //ellint:allow <rule> <reason>):\n")
 		for _, rule := range lint.Ruleset {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", rule.Name, firstSentence(rule.Doc))
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", rule.Name, firstSentence(rule.Doc))
 		}
 		flag.PrintDefaults()
 	}
@@ -101,6 +103,13 @@ func main() {
 		// Re-run: fixes may leave (or reveal) findings that need a human.
 		findings, err = lint.Run(dir, flag.Args())
 		if err != nil {
+			fatal(err)
+		}
+	}
+	// The report is written before the exit decision so CI archives it
+	// on both clean and failing runs; exit codes are unchanged by -json.
+	if *jsonOut != "" {
+		if err := lint.WriteJSONReport(*jsonOut, findings, dir); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"ellog/internal/lint"
+)
+
+// buildEllint compiles the binary once per test run.
+func buildEllint(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds the binary and type-checks modules; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "ellint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const goMod = "module example.test/exit\n\ngo 1.22\n"
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings
+// (standalone), 3 operational error — with the -json report written in
+// the clean and failing cases alike.
+func TestExitCodes(t *testing.T) {
+	bin := buildEllint(t)
+
+	run := func(dir string, args ...string) int {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0
+		}
+		exit, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("ellint %v: %v\n%s", args, err, out)
+		}
+		return exit.ExitCode()
+	}
+
+	readReport := func(path string) lint.JSONReport {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r lint.JSONReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatalf("report at %s does not parse: %v", path, err)
+		}
+		if r.Schema != lint.JSONSchema {
+			t.Fatalf("report schema = %q, want %q", r.Schema, lint.JSONSchema)
+		}
+		return r
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p.go":   "package p\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	cleanJSON := filepath.Join(t.TempDir(), "clean.json")
+	if code := run(clean, "-json", cleanJSON, "./..."); code != 0 {
+		t.Errorf("clean module: exit %d, want 0", code)
+	}
+	if r := readReport(cleanJSON); r.Count != 0 || len(r.Findings) != 0 {
+		t.Errorf("clean report has %d findings", r.Count)
+	}
+
+	dirty := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"p.go": `package p
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	dirtyJSON := filepath.Join(t.TempDir(), "dirty.json")
+	if code := run(dirty, "-json", dirtyJSON, "./..."); code != 1 {
+		t.Errorf("dirty module: exit %d, want 1", code)
+	}
+	if r := readReport(dirtyJSON); r.Count == 0 {
+		t.Error("dirty report is empty")
+	} else if r.Findings[0].Rule != "wallclock" {
+		t.Errorf("dirty report rule = %q, want wallclock", r.Findings[0].Rule)
+	}
+
+	// Outside any module: operational error.
+	if code := run(t.TempDir(), "./..."); code != 3 {
+		t.Errorf("no module: exit %d, want 3", code)
+	}
+}

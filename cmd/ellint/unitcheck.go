@@ -7,8 +7,14 @@ package main
 // export data files listed in the config — no module loading needed here,
 // and results are cached by the build cache.
 //
-// ellint's analyzers use no cross-package facts, so dependency units
-// (VetxOnly) only need an empty facts file written for the driver.
+// The interprocedural analyzers need per-function summaries to cross
+// package boundaries, and under vet the only channel between units is the
+// facts file (.vetx): each unit writes its summaries to VetxOutput, and
+// reads its dependencies' from PackageVetx — exactly how x/tools analysis
+// facts travel. Module dependency units are therefore parsed and
+// summarized even when VetxOnly; standard-library units just get an empty
+// facts file, since taint roots (time.Now, math/rand) are recognized by
+// identity, not by summary.
 
 import (
 	"encoding/json"
@@ -34,10 +40,54 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
 	SucceedOnTypecheckFailure bool
+}
+
+const module = "ellog"
+
+// writeFacts serializes pf to the unit's facts file. cmd/go always
+// expects one, even when empty.
+func writeFacts(cfg *vetConfig, pf lint.PkgFacts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	data, err := json.Marshal(pf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ellint:", err)
+		return 3
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "ellint:", err)
+		return 3
+	}
+	return 0
+}
+
+// readFacts merges the module dependencies' facts files. Unreadable or
+// undecodable files are skipped rather than fatal: the worst outcome is
+// weaker (not wrong) taint propagation, and the -V buildID hash already
+// invalidates caches written by a different ellint binary.
+func readFacts(cfg *vetConfig) *lint.Facts {
+	facts := lint.NewFacts()
+	for path, file := range cfg.PackageVetx {
+		if path != module && !strings.HasPrefix(path, module+"/") {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		var pf lint.PkgFacts
+		if err := json.Unmarshal(data, &pf); err != nil {
+			continue
+		}
+		facts.Add(pf)
+	}
+	return facts
 }
 
 func unitcheck(cfgPath string) int {
@@ -51,22 +101,20 @@ func unitcheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "ellint: %s: %v\n", cfgPath, err)
 		return 3
 	}
-	// The driver always expects a facts file, even though ellint has none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("ellint-no-facts\n"), 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "ellint:", err)
-			return 3
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 
 	// ImportPath for test variants looks like "pkg [pkg.test]" or
 	// "pkg_test [pkg.test]"; scope rules by the base package path.
 	importPath := cfg.ImportPath
 	if i := strings.IndexByte(importPath, ' '); i >= 0 {
 		importPath = importPath[:i]
+	}
+
+	// Non-module units (standard library) carry no summaries worth
+	// computing: taint roots are recognized by package identity.
+	if importPath != module && !strings.HasPrefix(importPath, module+"/") {
+		if code := writeFacts(&cfg, lint.PkgFacts{}); code != 0 || cfg.VetxOnly {
+			return code
+		}
 	}
 
 	// The determinism contract covers shipped code; test files are
@@ -83,7 +131,7 @@ func unitcheck(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeFacts(&cfg, lint.PkgFacts{})
 			}
 			fmt.Fprintln(os.Stderr, "ellint:", err)
 			return 3
@@ -91,7 +139,8 @@ func unitcheck(cfgPath string) int {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0 // external test unit (pkg_test): nothing in contract scope
+		// External test unit (pkg_test): nothing in contract scope.
+		return writeFacts(&cfg, lint.PkgFacts{})
 	}
 
 	var typeErrs []error
@@ -115,19 +164,28 @@ func unitcheck(cfgPath string) int {
 	pkg, _ := conf.Check(importPath, fset, files, info)
 	if len(typeErrs) > 0 {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeFacts(&cfg, lint.PkgFacts{})
 		}
 		fmt.Fprintf(os.Stderr, "ellint: %s: type error: %v\n", importPath, typeErrs[0])
 		return 3
 	}
 
 	rel := moduleRel(importPath)
+	interp := lint.NewInterp(fset, files, pkg, info, readFacts(&cfg))
+	if code := writeFacts(&cfg, interp.Export(lint.SealsRng(rel))); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	ctx := &lint.Context{Rel: rel, Interp: interp}
 	exit := 0
 	for _, rule := range lint.Ruleset {
 		if !rule.Scope.Applies(rel) {
 			continue
 		}
-		diags, err := lint.Check(rule.Analyzer, fset, files, pkg, info)
+		diags, err := lint.Check(rule.Analyzer, fset, files, pkg, info, ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ellint:", err)
 			return 3
@@ -143,7 +201,6 @@ func unitcheck(cfgPath string) int {
 // moduleRel strips the module prefix from an import path so ruleset
 // scoping sees the same module-relative paths as the standalone driver.
 func moduleRel(importPath string) string {
-	const module = "ellog"
 	if importPath == module {
 		return ""
 	}

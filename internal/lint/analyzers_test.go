@@ -35,3 +35,45 @@ func TestNilgate(t *testing.T) {
 func TestFloatorder(t *testing.T) {
 	linttest.Run(t, fixture("floatorder"), lint.FloatorderAnalyzer)
 }
+
+func TestDetflow(t *testing.T) {
+	linttest.Run(t, fixture("detflow"), lint.DetflowAnalyzer)
+}
+
+func TestRngflow(t *testing.T) {
+	linttest.Run(t, fixture("rngflow"), lint.RngflowAnalyzer)
+}
+
+func TestAtomicsafety(t *testing.T) {
+	linttest.Run(t, fixture("atomicsafety"), lint.AtomicsafetyAnalyzer)
+}
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, fixture("goroleak"), lint.GoroleakAnalyzer)
+}
+
+func TestErrsink(t *testing.T) {
+	linttest.Run(t, fixture("errsink"), lint.ErrsinkAnalyzer)
+}
+
+// TestDetflowCatchesWhatWallclockMisses is the acceptance case stated in
+// the contract: on the detflow fixture, where time.Now is laundered
+// through two wrapper hops, the old wallclock analyzer reports only the
+// direct read inside the wrappers and provably misses every laundered
+// call site, while detflow flags each one.
+func TestDetflowCatchesWhatWallclockMisses(t *testing.T) {
+	linttest.RunCompare(t, fixture("detflow"), lint.WallclockAnalyzer, lint.DetflowAnalyzer,
+		func(t *testing.T, wallLines, flowLines map[int]bool) {
+			for line := range flowLines {
+				if wallLines[line] {
+					t.Errorf("line %d: wallclock and detflow double-report the same site", line)
+				}
+			}
+			if len(flowLines) == 0 {
+				t.Fatalf("detflow reported nothing on its fixture")
+			}
+			if len(wallLines) == 0 {
+				t.Fatalf("wallclock reported nothing: fixture lost its direct clock reads")
+			}
+		})
+}

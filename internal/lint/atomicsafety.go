@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicsafetyAnalyzer enforces the real-mode memory contract: state
+// accessed through sync/atomic anywhere must be accessed atomically
+// everywhere, and values containing atomic state must be shared by
+// pointer, never duplicated.
+//
+// Two distinct hazards are flagged:
+//
+//   - Mixed access: a field or package variable updated with the legacy
+//     sync/atomic functions (atomic.AddUint64(&x.n, 1)) that is also read
+//     or written plainly. The plain access is a data race even when it
+//     "only reads a counter". Knowledge of which fields are atomic
+//     crosses package boundaries through facts, so a dependent package
+//     reading a field its dependency updates atomically is caught too.
+//   - Copies: assigning, passing, returning, or ranging over a value
+//     whose type (transitively, by value) contains a sync/atomic type —
+//     e.g. copying an obs/live Histogram would silently fork its bucket
+//     counters. The new-API atomic types make mixed access impossible
+//     but make accidental copies easy; this is the check `go vet`'s
+//     copylocks does for mutexes, extended to atomic state.
+//
+// Local variables are exempt from the mixed-access rule: the common
+// pattern of atomics on a closure-captured local followed by a plain
+// read after the goroutines are joined is safe, and flagging it would
+// teach people to ignore the analyzer.
+var AtomicsafetyAnalyzer = &Analyzer{
+	Name: "atomicsafety",
+	Doc: "flags mixed atomic/plain access to fields and copies of atomic-bearing values\n\n" +
+		"A field updated via sync/atomic must be accessed atomically at every\n" +
+		"site (including in dependent packages); values whose type contains\n" +
+		"atomic state must be shared by pointer. Fix the access, or annotate a\n" +
+		"provably-synchronized site with //ellint:allow atomicsafety.",
+	Run:         runAtomicsafety,
+	NeedsInterp: true,
+}
+
+// atomicOldAPI matches the legacy sync/atomic function families that
+// take a pointer to the word they operate on.
+func atomicOldAPI(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// plainAccess is one non-atomic use of an object known to be atomic.
+type plainAccess struct {
+	pos, end token.Pos
+	id       string
+	name     string // display name, e.g. "hits" or "devMetrics.writes"
+	imported bool   // atomic knowledge came from a dependency's facts
+}
+
+// atomicTable is the package's atomic-access knowledge, built once by
+// the interprocedural layer and shared between fact export and the
+// atomicsafety analyzer.
+type atomicTable struct {
+	// atomicIDs are stable cross-package IDs (pkgpath.Type.field or
+	// pkgpath.var) for state this package touches through sync/atomic.
+	atomicIDs map[string]bool
+	// atomicObjs maps the same state to the atomic call that proves it,
+	// for diagnostics.
+	atomicObjs map[types.Object]string
+	// plain records every plain access to atomic state.
+	plain []plainAccess
+}
+
+// atomicID derives the stable ID for a field or package-level variable,
+// or "" when the object has no cross-package identity (locals, fields of
+// anonymous structs).
+func atomicID(obj types.Object, recv types.Type) string {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	if !v.IsField() {
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return "" // local: no cross-package identity, and exempt anyway
+	}
+	if recv == nil {
+		return ""
+	}
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil {
+		return ""
+	}
+	return tn.Pkg().Path() + "." + tn.Name() + "." + v.Name()
+}
+
+// collectAtomics builds the package's atomic-access table. Pass one
+// finds the legacy-API atomic call sites and records their operands;
+// pass two finds every other access to those operands (or to state a
+// dependency's facts mark atomic).
+func collectAtomics(fset *token.FileSet, files []*ast.File, info *types.Info, facts *Facts) *atomicTable {
+	t := &atomicTable{
+		atomicIDs:  make(map[string]bool),
+		atomicObjs: make(map[types.Object]string),
+	}
+	ids := make(map[types.Object]string) // object → stable ID
+	consumed := make(map[ast.Expr]bool)  // operand exprs inside atomic calls
+	record := func(operand ast.Expr, how string) {
+		operand = ast.Unparen(operand)
+		consumed[operand] = true
+		var obj types.Object
+		var recv types.Type
+		switch e := operand.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := info.Selections[e]
+			if !ok || sel.Kind() != types.FieldVal {
+				return
+			}
+			obj, recv = sel.Obj(), sel.Recv()
+		case *ast.Ident:
+			obj = objectOf(info, e)
+		default:
+			return
+		}
+		if obj == nil {
+			return
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil || (!v.IsField() && v.Parent() != v.Pkg().Scope()) {
+			return // locals are exempt
+		}
+		t.atomicObjs[obj] = how
+		if id := atomicID(obj, recv); id != "" {
+			t.atomicIDs[id] = true
+			ids[obj] = id
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			pkgPath, name := pkgFunc(info, call)
+			if pkgPath != "sync/atomic" || !atomicOldAPI(name) {
+				return true
+			}
+			if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+				record(addr.X, "atomic."+name)
+			}
+			return true
+		})
+	}
+	// Pass two: plain accesses. A selector or identifier that resolves to
+	// known-atomic state and is not an operand of an atomic call.
+	seen := make(map[*ast.Ident]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				seen[e.Sel] = true
+				if consumed[e] {
+					return true
+				}
+				sel, ok := info.Selections[e]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				obj := sel.Obj()
+				id := atomicID(obj, sel.Recv())
+				t.notePlain(e.Pos(), e.End(), obj, id, exprString(e), facts)
+			case *ast.Ident:
+				if seen[e] || consumed[e] {
+					return true
+				}
+				obj := objectOf(info, e)
+				if v, ok := obj.(*types.Var); !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+					return true
+				}
+				t.notePlain(e.Pos(), e.End(), obj, atomicID(obj, nil), e.Name, facts)
+			}
+			return true
+		})
+	}
+	return t
+}
+
+func (t *atomicTable) notePlain(pos, end token.Pos, obj types.Object, id, name string, facts *Facts) {
+	if _, local := t.atomicObjs[obj]; local {
+		t.plain = append(t.plain, plainAccess{pos: pos, end: end, id: id, name: name})
+		return
+	}
+	if id != "" && facts != nil && facts.AtomicID(id) {
+		t.plain = append(t.plain, plainAccess{pos: pos, end: end, id: id, name: name, imported: true})
+	}
+}
+
+func exprString(e *ast.SelectorExpr) string {
+	if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+		return x.Name + "." + e.Sel.Name
+	}
+	return e.Sel.Name
+}
+
+func runAtomicsafety(pass *Pass) error {
+	in := pass.Interp
+	if in == nil {
+		return fmt.Errorf("atomicsafety requires the interprocedural layer")
+	}
+	for _, p := range in.atomics.plain {
+		where := "elsewhere in this package"
+		if p.imported {
+			where = "by the package that owns it"
+		}
+		pass.Report(Diagnostic{
+			Pos: p.pos,
+			End: p.end,
+			Message: fmt.Sprintf("plain access to %s, which is updated with sync/atomic %s; mixed atomic/plain access is a data race — use the atomic API at every site",
+				p.name, where),
+		})
+	}
+	reportAtomicCopies(pass, in)
+	return nil
+}
+
+// reportAtomicCopies flags value copies of types that contain atomic
+// state, mirroring vet's copylocks shape.
+func reportAtomicCopies(pass *Pass, in *Interp) {
+	info := pass.TypesInfo
+	copies := func(e ast.Expr) (string, bool) {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		// Only flag copies of *existing* values. Composite literals and
+		// calls construct or receive fresh state; taking an address is
+		// sharing, not copying.
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return "", false
+		}
+		t := info.TypeOf(e)
+		if t == nil {
+			return "", false
+		}
+		part := atomicPart(t, in.atomics.atomicObjs, 0)
+		return part, part != ""
+	}
+	report := func(n ast.Node, e ast.Expr, part string) {
+		t := info.TypeOf(ast.Unparen(e))
+		pass.Report(Diagnostic{
+			Pos: n.Pos(),
+			End: n.End(),
+			Message: fmt.Sprintf("copying a value of type %s duplicates its atomic state (%s); share it by pointer instead",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)), part),
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to the blank identifier discards the
+					// value: no second copy survives to race.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if part, ok := copies(rhs); ok {
+						report(rhs, rhs, part)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if part, ok := copies(arg); ok {
+						report(arg, arg, part)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if part, ok := copies(res); ok {
+						report(res, res, part)
+					}
+				}
+			case *ast.RangeStmt:
+				v := n.Value
+				if v == nil {
+					return true
+				}
+				if t := info.TypeOf(v); t != nil {
+					if part := atomicPart(t, in.atomics.atomicObjs, 0); part != "" {
+						pass.Report(Diagnostic{
+							Pos: v.Pos(),
+							End: v.End(),
+							Message: fmt.Sprintf("ranging by value over elements of type %s duplicates their atomic state (%s); range by index and take pointers instead",
+								types.TypeString(t, types.RelativeTo(pass.Pkg)), part),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicPart reports the innermost atomic component reachable from t by
+// value (through struct fields and array elements, never through
+// pointers, slices, maps or channels), or "" if none. Both the new-API
+// named types (atomic.Uint64 and friends) and fields this package
+// updates through the legacy API count.
+func atomicPart(t types.Type, owned map[types.Object]string, depth int) string {
+	if depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return "atomic." + named.Obj().Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if how, ok := owned[f]; ok {
+				return fmt.Sprintf("field %s, updated via %s", f.Name(), how)
+			}
+			if part := atomicPart(f.Type(), owned, depth+1); part != "" {
+				return part
+			}
+		}
+	case *types.Array:
+		return atomicPart(u.Elem(), owned, depth+1)
+	}
+	return ""
+}

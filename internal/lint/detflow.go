@@ -1,0 +1,92 @@
+package lint
+
+import "fmt"
+
+// DetflowAnalyzer flags calls (and function-value references) whose
+// target transitively reaches a wall-clock read or timer without going
+// through the sim.Clock seam. The local wallclock analyzer catches a
+// direct time.Now() in determinism-scoped code; detflow catches the
+// laundered version — a helper that wraps time.Now(), or a call into
+// another package whose implementation does. Direct references to the
+// time package stay wallclock's job, so the two rules never report the
+// same site twice.
+//
+// The legitimate route is the interface seam: code that takes its clock
+// as a sim.Clock (or sim.Source) is invisible to this analyzer because
+// interface dispatch resolves to no call edge. That asymmetry is the
+// point — the contract is "time flows in through the seam", and the
+// analyzer's blind spot is exactly the shape the contract permits.
+var DetflowAnalyzer = &Analyzer{
+	Name: "detflow",
+	Doc: "flags calls that transitively reach time.Now/timers outside the sim.Clock seam\n\n" +
+		"A wrapper around time.Now (any number of hops deep, including in another\n" +
+		"module package) taints its callers; calling a tainted function from a\n" +
+		"determinism-scoped package is reported at the call site with the full\n" +
+		"call chain. Take the clock through the sim.Clock interface instead, or\n" +
+		"annotate audited wall-clock experiments with //ellint:allow detflow.",
+	Run:         runDetflow,
+	NeedsInterp: true,
+}
+
+// RngflowAnalyzer is detflow's RNG twin: it flags calls whose target
+// transitively constructs or consumes ad-hoc randomness instead of
+// drawing from the seeded PCG seam. Packages that own generator
+// construction (RngSealPackages) export sealed summaries, so calling
+// into them is clean by definition.
+var RngflowAnalyzer = &Analyzer{
+	Name: "rngflow",
+	Doc: "flags calls that transitively reach global math/rand or ad-hoc generator construction\n\n" +
+		"A helper that seeds its own rand.Rand (or leans on the global source)\n" +
+		"taints its callers; calling it from determinism-scoped code is reported\n" +
+		"at the call site with the full call chain. Draw randomness from the\n" +
+		"engine's seeded PCG stream (sim.Source) instead.",
+	Run:         runRngflow,
+	NeedsInterp: true,
+}
+
+func runDetflow(pass *Pass) error { return runFlow(pass, true) }
+func runRngflow(pass *Pass) error { return runFlow(pass, false) }
+
+func runFlow(pass *Pass, wallclock bool) error {
+	in := pass.Interp
+	if in == nil {
+		return fmt.Errorf("%s requires the interprocedural layer", map[bool]string{true: "detflow", false: "rngflow"}[wallclock])
+	}
+	for _, fn := range in.funcs {
+		for _, e := range in.edges[fn] {
+			cs := in.SummaryOf(e.callee)
+			if cs == nil {
+				continue
+			}
+			var tp *TaintPath
+			if wallclock {
+				tp = cs.Wallclock
+			} else {
+				tp = cs.Rng
+			}
+			if tp == nil {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos:     e.pos,
+				End:     e.end,
+				Message: flowMessage(in, e, wallclock),
+			})
+		}
+	}
+	return nil
+}
+
+func flowMessage(in *Interp, e edge, wallclock bool) string {
+	verb := "call to"
+	if e.isRef {
+		verb = "reference to"
+	}
+	chain := in.Chain(e.callee, wallclock)
+	if wallclock {
+		return fmt.Sprintf("%s %s transitively reaches the wall clock (%s); determinism-scoped code must take time through the sim.Clock seam",
+			verb, shortFuncName(e.callee.FullName()), chain)
+	}
+	return fmt.Sprintf("%s %s transitively reaches ad-hoc randomness (%s); determinism-scoped code must draw from the seeded sim.Source stream",
+		verb, shortFuncName(e.callee.FullName()), chain)
+}

@@ -30,6 +30,38 @@ func (f Finding) String() string {
 // HasFix reports whether the finding carries a mechanical fix.
 func (f Finding) HasFix() bool { return len(f.fixes) > 0 }
 
+// A factStore computes interprocedural facts demand-first over the
+// loader's package graph: a package's dependencies are summarized
+// before the package itself, so cross-package taint (experiments →
+// realdev → time.Now) resolves no matter what order patterns matched.
+type factStore struct {
+	loader *Loader
+	facts  *Facts
+	interp map[string]*Interp // by full import path
+}
+
+func newFactStore(loader *Loader) *factStore {
+	return &factStore{loader: loader, facts: NewFacts(), interp: make(map[string]*Interp)}
+}
+
+// ensure returns the package's Interp, computing (and exporting into
+// the shared fact set) its dependencies' summaries first. The loader
+// already rejected import cycles, so the recursion terminates.
+func (s *factStore) ensure(pkg *Package) *Interp {
+	if in, ok := s.interp[pkg.PkgPath]; ok {
+		return in
+	}
+	for _, imp := range pkg.Imports {
+		if dep := s.loader.Lookup(imp); dep != nil {
+			s.ensure(dep)
+		}
+	}
+	in := NewInterp(s.loader.Fset, pkg.Files, pkg.Types, pkg.Info, s.facts)
+	s.interp[pkg.PkgPath] = in
+	s.facts.Add(in.Export(SealsRng(pkg.Rel)))
+	return in
+}
+
 // Run loads the packages matched by patterns under dir's module and
 // applies the full ruleset, returning findings sorted by position. Type
 // errors in any loaded package abort the run: analyzer output over broken
@@ -43,16 +75,18 @@ func Run(dir string, patterns []string) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	store := newFactStore(loader)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("%s: type errors: %v", pkg.PkgPath, pkg.TypeErrors[0])
 		}
+		ctx := &Context{Rel: pkg.Rel, Interp: store.ensure(pkg)}
 		for _, rule := range Ruleset {
 			if !rule.Scope.Applies(pkg.Rel) {
 				continue
 			}
-			diags, err := Check(rule.Analyzer, loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+			diags, err := Check(rule.Analyzer, loader.Fset, pkg.Files, pkg.Types, pkg.Info, ctx)
 			if err != nil {
 				return nil, err
 			}

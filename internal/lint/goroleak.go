@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroleakAnalyzer enforces the goroutine-lifecycle half of the
+// real-mode concurrency contract: every goroutine launched in the
+// scoped packages must have a reachable stop signal, so shutting down a
+// device or a metrics server cannot strand a spinning worker.
+//
+// The check is per go statement. The launched body (a function literal,
+// or a same-package function/method whose declaration is visible) is
+// fine when any of these holds:
+//
+//   - it contains no loop at all — it runs to completion on its own;
+//   - it ranges over, or receives from, a channel that some function in
+//     the package closes (close(ch) on the same object, including a
+//     channel passed as an argument at the go site);
+//   - it receives from a context's Done() channel;
+//   - it signals a sync.WaitGroup (wg.Done, usually deferred) that some
+//     function in the package waits on — the join point proves someone
+//     observes termination.
+//
+// Otherwise the go statement is flagged. Cross-package and interface
+// targets are skipped: the contract is enforced where the goroutine is
+// launched, and the scoped packages launch only their own code.
+var GoroleakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc: "flags goroutines in real-mode packages without a reachable stop signal\n\n" +
+		"A looping goroutine must be stoppable: range over a channel the package\n" +
+		"closes, receive from a closable channel or ctx.Done(), or signal a\n" +
+		"WaitGroup the package waits on. Add a stop signal, or annotate a\n" +
+		"deliberately process-lifetime goroutine with //ellint:allow goroleak.",
+	Run: runGoroleak,
+}
+
+func runGoroleak(pass *Pass) error {
+	info := pass.TypesInfo
+	closed := make(map[types.Object]bool) // channels close()d anywhere in the package
+	waited := make(map[types.Object]bool) // WaitGroups with a .Wait() call
+	decls := make(map[*types.Func]*ast.FuncDecl)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+				if _, isBuiltin := objectOf(info, id).(*types.Builtin); isBuiltin {
+					if obj := chanObject(info, call.Args[0]); obj != nil {
+						closed[obj] = true
+					}
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if obj := chanObject(info, sel.X); obj != nil && isWaitGroup(info.TypeOf(sel.X)) {
+					waited[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, params := goTarget(info, decls, g)
+			if body == nil {
+				return true // cross-package or dynamic target: launch site can't see it
+			}
+			// Bind channel-typed parameters to the argument objects at
+			// the go site, so `go watch(reg, n, done)` + `close(done)`
+			// resolves.
+			bound := make(map[types.Object]types.Object)
+			for i, p := range params {
+				if i < len(g.Call.Args) {
+					if argObj := chanObject(info, g.Call.Args[i]); argObj != nil {
+						bound[p] = argObj
+					}
+				}
+			}
+			resolve := func(obj types.Object) types.Object {
+				if b, ok := bound[obj]; ok {
+					return b
+				}
+				return obj
+			}
+			if !hasLoop(body) {
+				return true
+			}
+			if hasStopSignal(info, body, closed, waited, resolve) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: g.Pos(),
+				End: g.Call.End(),
+				Message: "goroutine loops without a reachable stop signal; range over a channel the package closes, " +
+					"receive from ctx.Done(), or signal a WaitGroup the package waits on",
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// goTarget resolves the body a go statement launches, plus the target's
+// parameter objects for argument binding. Returns nil for targets whose
+// declaration is not visible in this package.
+func goTarget(info *types.Info, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, []types.Object) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, nil
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body, paramObjects(info, fd)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if fd, ok := decls[fn]; ok {
+					return fd.Body, paramObjects(info, fd)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}
+
+// hasLoop reports whether body contains any for/range statement,
+// including inside nested function literals (which the goroutine may
+// invoke).
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasStopSignal scans a goroutine body for any of the accepted
+// termination signals.
+func hasStopSignal(info *types.Info, body *ast.BlockStmt, closed, waited map[types.Object]bool, resolve func(types.Object) types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isChanType(info.TypeOf(n.X)) {
+				if obj := chanObject(info, n.X); obj != nil && closed[resolve(obj)] {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			// <-ctx.Done()
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if m, ok := objectOf(info, sel.Sel).(*types.Func); ok &&
+						m.Name() == "Done" && m.Pkg() != nil && m.Pkg().Path() == "context" {
+						found = true
+					}
+				}
+				return true
+			}
+			if obj := chanObject(info, n.X); obj != nil && closed[resolve(obj)] {
+				found = true
+			}
+		case *ast.CallExpr:
+			// wg.Done() against a waited-on WaitGroup.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if obj := chanObject(info, sel.X); obj != nil && isWaitGroup(info.TypeOf(sel.X)) && waited[resolve(obj)] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// chanObject resolves an expression to the variable or field object it
+// names: an identifier, a field selection, or a pointer dereference of
+// either.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objectOf(info, e)
+	case *ast.SelectorExpr:
+		return selectedField(info, e)
+	case *ast.StarExpr:
+		return chanObject(info, e.X)
+	case *ast.UnaryExpr:
+		return chanObject(info, e.X)
+	}
+	return nil
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup"
+}

@@ -1,0 +1,425 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural layer: a call graph over the typed loader plus
+// per-function summaries, with taint propagated transitively. The local
+// analyzers (wallclock, rngsource) flag a forbidden *site*; the summaries
+// here record that a *function* reaches such a site through any number of
+// call hops, so the flow analyzers (detflow, rngflow) can flag the caller
+// that launders the dependency through a wrapper.
+//
+// Summaries cross package boundaries as Facts: the standalone driver
+// computes them for dependencies on demand from the loader's graph, and
+// the vet-tool driver serializes them through cmd/go's .vetx files (the
+// same channel x/tools analysis facts ride). Functions are keyed by
+// types.Func.FullName, which is stable across source and export-data
+// type-checking.
+//
+// Resolution rules, deliberately conservative in opposite directions:
+//
+//   - Direct calls and method calls on concrete receivers resolve to the
+//     declared target (the "declared-type target" — a method value
+//     obj.M or a call x.M() where x's static type is not an interface).
+//   - References to a function as a value (passing time.Now as a
+//     callback) taint the referencing function: we cannot see when it
+//     runs, so we assume it does.
+//   - Calls through interface methods resolve to nothing. This is not a
+//     soundness hole, it is the seam: sim.Clock / sim.Source is exactly
+//     the interface determinism-scoped code is supposed to take its
+//     clock and randomness through, and an interface call is the one
+//     shape replay tooling can re-bind.
+//
+// An //ellint:allow at a site is an audited decision that the site is
+// fine, so it sanitizes the summary too: the allowed root (or call edge)
+// contributes no taint, and callers of the annotated function stay
+// clean rather than needing annotations all the way up the call chain.
+
+// A TaintPath explains why a function is tainted: the forbidden root it
+// reaches and the first call hop on the way there ("" when the root is
+// referenced directly in the function's own body).
+type TaintPath struct {
+	Root string `json:"root"`          // e.g. "time.Now" or "rand.IntN"
+	Via  string `json:"via,omitempty"` // FullName of the callee hop
+}
+
+// A FuncSummary is what one function's body means to its callers.
+type FuncSummary struct {
+	// Wallclock is non-nil when the function transitively reaches a
+	// wall-clock read or timer (the wallclockForbidden set).
+	Wallclock *TaintPath `json:"wallclock,omitempty"`
+	// Rng is non-nil when the function transitively reaches the global
+	// math/rand source or ad-hoc generator construction.
+	Rng *TaintPath `json:"rng,omitempty"`
+	// Spawns reports that the body contains a go statement.
+	Spawns bool `json:"spawns,omitempty"`
+	// Dropped counts call statements whose final error result is
+	// silently discarded (any callee, not just the durability surface
+	// errsink polices).
+	Dropped int `json:"dropped_errors,omitempty"`
+}
+
+// PkgFacts is the serialized interprocedural knowledge of one package —
+// the wire format stored in .vetx files and in the standalone driver's
+// fact store.
+type PkgFacts struct {
+	// Funcs maps types.Func FullName to its summary.
+	Funcs map[string]*FuncSummary `json:"funcs,omitempty"`
+	// Atomic lists IDs (pkgpath.Type.field or pkgpath.var) of fields and
+	// package variables accessed through sync/atomic somewhere in the
+	// package.
+	Atomic []string `json:"atomic,omitempty"`
+}
+
+// Facts aggregates imported summaries across dependency packages.
+type Facts struct {
+	funcs  map[string]*FuncSummary
+	atomic map[string]bool
+}
+
+// NewFacts returns an empty fact set.
+func NewFacts() *Facts {
+	return &Facts{funcs: make(map[string]*FuncSummary), atomic: make(map[string]bool)}
+}
+
+// Add merges one package's facts.
+func (f *Facts) Add(pf PkgFacts) {
+	for name, sum := range pf.Funcs {
+		f.funcs[name] = sum
+	}
+	for _, id := range pf.Atomic {
+		f.atomic[id] = true
+	}
+}
+
+// Summary returns the imported summary for a function FullName, or nil.
+func (f *Facts) Summary(fullName string) *FuncSummary { return f.funcs[fullName] }
+
+// AtomicID reports whether the field/var ID was seen under sync/atomic
+// in any imported package.
+func (f *Facts) AtomicID(id string) bool { return f.atomic[id] }
+
+// An edge is one resolved call (or function-value reference) site.
+type edge struct {
+	callee *types.Func
+	pos    token.Pos
+	end    token.Pos
+	isRef  bool // referenced as a value rather than called
+}
+
+// Interp is the per-package interprocedural context handed to analyzers
+// with NeedsInterp set.
+type Interp struct {
+	fset  *token.FileSet
+	pkg   *types.Package
+	info  *types.Info
+	facts *Facts
+
+	funcs []*types.Func // declared functions, source order
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*FuncSummary
+	edges map[*types.Func][]edge
+
+	// byName indexes local summaries for chain rendering.
+	byName map[string]*FuncSummary
+
+	// atomics is the package's atomic/plain field-access table, shared
+	// with the atomicsafety analyzer.
+	atomics *atomicTable
+
+	allows map[string]allowSet
+}
+
+// NewInterp builds the call graph and summaries for one type-checked
+// package. facts supplies dependency summaries and may be nil.
+func NewInterp(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *Facts) *Interp {
+	if facts == nil {
+		facts = NewFacts()
+	}
+	in := &Interp{
+		fset:   fset,
+		pkg:    pkg,
+		info:   info,
+		facts:  facts,
+		decls:  make(map[*types.Func]*ast.FuncDecl),
+		sums:   make(map[*types.Func]*FuncSummary),
+		edges:  make(map[*types.Func][]edge),
+		byName: make(map[string]*FuncSummary),
+		allows: collectAllows(fset, files),
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			in.funcs = append(in.funcs, fn)
+			in.decls[fn] = fd
+			in.sums[fn] = &FuncSummary{}
+		}
+	}
+	for _, fn := range in.funcs {
+		in.walkBody(fn, in.decls[fn])
+	}
+	in.propagate()
+	for _, fn := range in.funcs {
+		in.byName[fn.FullName()] = in.sums[fn]
+	}
+	in.atomics = collectAtomics(fset, files, info, facts)
+	return in
+}
+
+// allowedAt reports whether any of the rule names is allowed on the
+// line of pos.
+func (in *Interp) allowedAt(pos token.Pos, rules ...string) bool {
+	p := in.fset.Position(pos)
+	set := in.allows[p.Filename]
+	if set == nil {
+		return false
+	}
+	for _, r := range rules {
+		if set[p.Line][r] {
+			return true
+		}
+	}
+	return false
+}
+
+// walkBody collects taint roots, call edges and local bookkeeping from
+// one function body. Function literals inside the body are attributed to
+// the enclosing declaration: a root inside a closure taints the function
+// that built the closure, which is the conservative direction.
+func (in *Interp) walkBody(fn *types.Func, fd *ast.FuncDecl) {
+	sum := in.sums[fn]
+	seen := make(map[*ast.Ident]bool) // idents consumed as part of a SelectorExpr
+	called := make(map[ast.Node]bool) // expressions in call-operand position
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			called[ast.Unparen(n.Fun)] = true
+		case *ast.GoStmt:
+			sum.Spawns = true
+		case *ast.ExprStmt:
+			if dropsError(in.info, n.X) {
+				sum.Dropped++
+			}
+		case *ast.DeferStmt:
+			if dropsError(in.info, n.Call) {
+				sum.Dropped++
+			}
+		case *ast.SelectorExpr:
+			seen[n.Sel] = true
+			if sel, ok := in.info.Selections[n]; ok {
+				// Method value or method expression on a value. Interface
+				// receivers are the seam; concrete receivers resolve to
+				// the declared-type target.
+				if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+					if m, ok := sel.Obj().(*types.Func); ok && !types.IsInterface(sel.Recv()) {
+						in.addEdge(fn, m, n, called[n])
+					}
+				}
+				return true
+			}
+			in.addRootOrEdge(fn, sum, n, objectOf(in.info, n.Sel), called[n])
+		case *ast.Ident:
+			if seen[n] {
+				return true
+			}
+			// Unqualified references: same-package functions (and
+			// dot-imported ones, which the module does not use).
+			if m, ok := in.info.Uses[n].(*types.Func); ok {
+				if m.Type().(*types.Signature).Recv() == nil {
+					in.addRootOrEdge(fn, sum, n, m, called[n])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// addRootOrEdge classifies one function reference: a forbidden stdlib
+// root, a call-graph edge, or nothing (unknown stdlib, builtins).
+func (in *Interp) addRootOrEdge(fn *types.Func, sum *FuncSummary, site ast.Node, obj types.Object, isCall bool) {
+	m, ok := obj.(*types.Func)
+	if !ok || m.Pkg() == nil {
+		return
+	}
+	switch m.Pkg().Path() {
+	case "time":
+		if wallclockForbidden[m.Name()] && sum.Wallclock == nil &&
+			!in.allowedAt(site.Pos(), "wallclock", "detflow") {
+			sum.Wallclock = &TaintPath{Root: "time." + m.Name()}
+		}
+		return
+	case "math/rand", "math/rand/v2":
+		if sum.Rng == nil && !in.allowedAt(site.Pos(), "rngsource", "rngflow") {
+			sum.Rng = &TaintPath{Root: "rand." + m.Name()}
+		}
+		return
+	}
+	in.addEdge(fn, m, site, isCall)
+}
+
+func (in *Interp) addEdge(fn *types.Func, callee *types.Func, site ast.Node, isCall bool) {
+	in.edges[fn] = append(in.edges[fn], edge{
+		callee: callee,
+		pos:    site.Pos(),
+		end:    site.End(),
+		isRef:  !isCall,
+	})
+}
+
+// dropsError reports whether e is a call whose final result is an error
+// that the statement form discards.
+func dropsError(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	return finalIsError(tv.Type)
+}
+
+func finalIsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// SummaryOf resolves a function's summary: local declarations first,
+// then imported facts. Returns nil for functions with no knowledge
+// (stdlib, interface methods, bodyless declarations).
+func (in *Interp) SummaryOf(fn *types.Func) *FuncSummary {
+	if _, ok := in.decls[fn]; ok {
+		return in.sums[fn]
+	}
+	return in.facts.Summary(fn.FullName())
+}
+
+func (in *Interp) summaryByName(name string) *FuncSummary {
+	if s, ok := in.byName[name]; ok {
+		return s
+	}
+	return in.facts.Summary(name)
+}
+
+// propagate runs the transitive-taint fixpoint over the package's call
+// edges. Cross-package callees resolve through the fact store; recursion
+// converges because taint only ever turns on.
+func (in *Interp) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range in.funcs {
+			sum := in.sums[fn]
+			for _, e := range in.edges[fn] {
+				cs := in.SummaryOf(e.callee)
+				if cs == nil {
+					continue
+				}
+				if sum.Wallclock == nil && cs.Wallclock != nil && !in.allowedAt(e.pos, "detflow") {
+					sum.Wallclock = &TaintPath{Root: cs.Wallclock.Root, Via: e.callee.FullName()}
+					changed = true
+				}
+				if sum.Rng == nil && cs.Rng != nil && !in.allowedAt(e.pos, "rngflow") {
+					sum.Rng = &TaintPath{Root: cs.Rng.Root, Via: e.callee.FullName()}
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// Export serializes the package's summaries and atomic field set for
+// dependent packages. sealRng strips RNG taint: the packages that own
+// seeded-generator construction (the Ruleset's RngSealPackages) are the
+// PCG seam, so calling into them is how everyone else is SUPPOSED to
+// obtain randomness and must not read as taint. Wall-clock taint is
+// never sealed — the legitimate route to the clock is the sim.Clock
+// interface, not a concrete call into an exempt package.
+func (in *Interp) Export(sealRng bool) PkgFacts {
+	pf := PkgFacts{Funcs: make(map[string]*FuncSummary, len(in.funcs))}
+	for _, fn := range in.funcs {
+		sum := *in.sums[fn]
+		if sealRng {
+			sum.Rng = nil
+		}
+		if sum == (FuncSummary{}) {
+			continue
+		}
+		s := sum
+		pf.Funcs[fn.FullName()] = &s
+	}
+	for id := range in.atomics.atomicIDs {
+		pf.Atomic = append(pf.Atomic, id)
+	}
+	sort.Strings(pf.Atomic)
+	return pf
+}
+
+// Chain renders the call path from a tainted callee down to its root,
+// e.g. "realdev.Run → (*realdev.Device).syncer → time.Now". Names are
+// trimmed to their package base for readability.
+func (in *Interp) Chain(callee *types.Func, wallclock bool) string {
+	var parts []string
+	name := callee.FullName()
+	for depth := 0; depth < 8; depth++ {
+		parts = append(parts, shortFuncName(name))
+		s := in.summaryByName(name)
+		if s == nil {
+			break
+		}
+		tp := s.Wallclock
+		if !wallclock {
+			tp = s.Rng
+		}
+		if tp == nil {
+			break
+		}
+		if tp.Via == "" {
+			parts = append(parts, tp.Root)
+			break
+		}
+		name = tp.Via
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortFuncName trims the package path of a FullName to its base:
+// "ellog/internal/realdev.Run" → "realdev.Run",
+// "(*ellog/internal/realdev.Device).syncer" → "(*realdev.Device).syncer".
+func shortFuncName(full string) string {
+	trim := func(s string) string {
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if rest, ok := strings.CutPrefix(full, "(*"); ok {
+		if i := strings.Index(rest, ")"); i >= 0 {
+			return "(*" + trim(rest[:i]) + rest[i:]
+		}
+	}
+	if rest, ok := strings.CutPrefix(full, "("); ok {
+		if i := strings.Index(rest, ")"); i >= 0 {
+			return "(" + trim(rest[:i]) + rest[i:]
+		}
+	}
+	return trim(full)
+}

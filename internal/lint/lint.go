@@ -8,11 +8,20 @@
 // per-type map-order bug fixed in PR 4 shows convention leaks. This package
 // turns the contract into machine-checked rules:
 //
-//	wallclock  — no wall-clock time in simulator code (virtual clock only)
-//	rngsource  — every random draw flows from a seeded engine stream
-//	maporder   — no order-dependent effects inside map iteration
-//	nilgate    — optional hook fields are nil-gated at every call site
-//	floatorder — no float reduction in map- or goroutine-order
+//	wallclock    — no wall-clock time in simulator code (virtual clock only)
+//	rngsource    — every random draw flows from a seeded engine stream
+//	maporder     — no order-dependent effects inside map iteration
+//	nilgate      — optional hook fields are nil-gated at every call site
+//	floatorder   — no float reduction in map- or goroutine-order
+//	detflow      — no transitive wall-clock reach outside the sim.Clock seam
+//	rngflow      — no transitive ad-hoc randomness outside the PCG seam
+//	atomicsafety — atomic state is atomic everywhere, and never copied
+//	goroleak     — real-mode goroutines have a reachable stop signal
+//	errsink      — no discarded errors on the durability path
+//
+// The first five are local (one function at a time); the last five sit on
+// an interprocedural layer (interp.go) that builds a call graph and
+// per-function summaries, propagated across packages as facts.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API (Analyzer,
 // Pass, Diagnostic, SuggestedFix) but is built purely on the standard
@@ -47,6 +56,11 @@ type Analyzer struct {
 	// Run applies the rule to a single type-checked package and reports
 	// findings through the pass.
 	Run func(*Pass) error
+
+	// NeedsInterp marks analyzers that consume the interprocedural
+	// layer; the drivers build (or thread) an Interp into the pass
+	// before running them.
+	NeedsInterp bool
 }
 
 // A Pass provides one analyzer run with a single type-checked package and
@@ -58,7 +72,23 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Rel is the module-relative package path ("" at the root), when the
+	// driver knows it.
+	Rel string
+
+	// Interp is the package's interprocedural context; non-nil whenever
+	// the analyzer declares NeedsInterp.
+	Interp *Interp
+
 	diags []Diagnostic
+}
+
+// A Context carries driver-level state into an analyzer run: the
+// package's module-relative path and, for interprocedural analyzers, a
+// pre-built Interp (typically constructed with cross-package facts).
+type Context struct {
+	Rel    string
+	Interp *Interp
 }
 
 // Report records a diagnostic, stamping the analyzer's name as category.
@@ -99,14 +129,22 @@ type TextEdit struct {
 }
 
 // run executes a on one package and returns the raw (unsuppressed)
-// diagnostics.
-func run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+// diagnostics. A nil ctx is fine: an Interp without cross-package facts
+// is built on demand for analyzers that need one.
+func run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ctx *Context) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+	}
+	if ctx != nil {
+		pass.Rel = ctx.Rel
+		pass.Interp = ctx.Interp
+	}
+	if a.NeedsInterp && pass.Interp == nil {
+		pass.Interp = NewInterp(fset, files, pkg, info, nil)
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)

@@ -49,7 +49,8 @@ func RunWithSuggestedFixes(t *testing.T, dir string, a *lint.Analyzer) {
 	runFixture(t, dir, a, true)
 }
 
-func runFixture(t *testing.T, dir string, a *lint.Analyzer, fixes bool) {
+// loadFixture parses and type-checks the fixture package in dir.
+func loadFixture(t *testing.T, dir string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
 	t.Helper()
 	fset := token.NewFileSet()
 	files, err := parseDir(fset, dir)
@@ -67,8 +68,16 @@ func runFixture(t *testing.T, dir string, a *lint.Analyzer, fixes bool) {
 	if len(typeErrs) > 0 {
 		t.Fatalf("fixture %s does not type-check: %v", dir, typeErrs)
 	}
+	return fset, files, pkg, info
+}
 
-	diags, err := lint.Check(a, fset, files, pkg, info)
+func runFixture(t *testing.T, dir string, a *lint.Analyzer, fixes bool) {
+	t.Helper()
+	fset, files, pkg, info := loadFixture(t, dir)
+
+	// nil Context: interprocedural analyzers get a facts-free Interp,
+	// which is exactly right for self-contained fixture packages.
+	diags, err := lint.Check(a, fset, files, pkg, info, nil)
 	if err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)
 	}
@@ -77,6 +86,28 @@ func runFixture(t *testing.T, dir string, a *lint.Analyzer, fixes bool) {
 	if fixes {
 		checkGoldens(t, fset, diags)
 	}
+}
+
+// RunCompare loads the fixture once, runs two analyzers over it, and
+// hands their per-line diagnostic sets to check. Want comments are
+// ignored: this exists to assert relationships between two analyzers'
+// coverage (e.g. detflow flags laundered sites wallclock misses, and
+// the two never double-report one line).
+func RunCompare(t *testing.T, dir string, a, b *lint.Analyzer, check func(t *testing.T, aLines, bLines map[int]bool)) {
+	t.Helper()
+	fset, files, pkg, info := loadFixture(t, dir)
+	lines := func(an *lint.Analyzer) map[int]bool {
+		diags, err := lint.Check(an, fset, files, pkg, info, nil)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", an.Name, err)
+		}
+		out := make(map[int]bool)
+		for _, d := range diags {
+			out[fset.Position(d.Pos).Line] = true
+		}
+		return out
+	}
+	check(t, lines(a), lines(b))
 }
 
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {

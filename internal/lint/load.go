@@ -30,6 +30,10 @@ type Package struct {
 	Types   *types.Package
 	Info    *types.Info
 
+	// Imports lists the package's intra-module imports (full import
+	// paths), for demand-driven fact computation in dependency order.
+	Imports []string
+
 	// TypeErrors collects type-checker complaints. The drivers surface
 	// them: analyzers over a broken package are unreliable.
 	TypeErrors []error
@@ -63,6 +67,9 @@ func NewLoader(dir string) (*Loader, error) {
 
 // ModulePath returns the module's import path (from go.mod).
 func (l *Loader) ModulePath() string { return l.modPath }
+
+// Lookup returns an already-loaded package by full import path, or nil.
+func (l *Loader) Lookup(pkgPath string) *Package { return l.pkgs[pkgPath] }
 
 var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
 
@@ -231,11 +238,17 @@ func (l *Loader) loadRel(rel string, stack []string) (*Package, error) {
 	}
 
 	// Load intra-module imports first so the importer can serve them.
+	var modImports []string
+	seenImp := make(map[string]bool)
 	for _, f := range files {
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
 			if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
 				continue
+			}
+			if !seenImp[path] {
+				seenImp[path] = true
+				modImports = append(modImports, path)
 			}
 			depRel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
 			if _, err := l.loadRel(depRel, append(stack, pkgPath)); err != nil {
@@ -243,8 +256,9 @@ func (l *Loader) loadRel(rel string, stack []string) (*Package, error) {
 			}
 		}
 	}
+	sort.Strings(modImports)
 
-	pkg := &Package{PkgPath: pkgPath, Rel: rel, Dir: dir, Files: files, Info: NewInfo()}
+	pkg := &Package{PkgPath: pkgPath, Rel: rel, Dir: dir, Files: files, Info: NewInfo(), Imports: modImports}
 	conf := types.Config{
 		Importer: (*loaderImporter)(l),
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+// Machine-readable findings for CI and downstream tooling: `ellint
+// -json <path>` writes this report next to the human-readable output.
+// The schema string is versioned so consumers can reject reports from a
+// future incompatible ellint rather than misparse them.
+
+// JSONSchema identifies the report format.
+const JSONSchema = "ellint-findings/1"
+
+// A JSONFinding is one diagnostic in the machine-readable report.
+type JSONFinding struct {
+	File    string `json:"file"` // module-relative when under dir
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// SuggestedFix is the fix's description when the finding carries a
+	// mechanical rewrite (apply with `ellint -fix`).
+	SuggestedFix string `json:"suggested_fix,omitempty"`
+}
+
+// A JSONReport is the full report.
+type JSONReport struct {
+	Schema   string        `json:"schema"`
+	Module   string        `json:"module"`
+	Count    int           `json:"count"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// BuildJSONReport converts findings (as returned by Run, already
+// sorted) into the report form, relativizing file names to dir.
+func BuildJSONReport(findings []Finding, dir string) JSONReport {
+	module := ""
+	if _, modPath, err := findModule(dir); err == nil {
+		module = modPath
+	}
+	report := JSONReport{
+		Schema:   JSONSchema,
+		Module:   module,
+		Count:    len(findings),
+		Findings: []JSONFinding{}, // never null in the encoding
+	}
+	for _, f := range findings {
+		jf := JSONFinding{
+			File:    relToDir(f.Pos.Filename, dir),
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Rule:    f.Analyzer,
+			Message: f.Message,
+		}
+		if len(f.fixes) > 0 {
+			jf.SuggestedFix = f.fixes[0].Message
+		}
+		report.Findings = append(report.Findings, jf)
+	}
+	return report
+}
+
+// WriteJSONReport writes the report for findings to path. The report is
+// written whether or not there are findings, so CI can archive a clean
+// run's evidence too.
+func WriteJSONReport(path string, findings []Finding, dir string) error {
+	data, err := json.MarshalIndent(BuildJSONReport(findings, dir), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func relToDir(filename, dir string) string {
+	if rel, ok := strings.CutPrefix(filename, dir+string(os.PathSeparator)); ok {
+		return rel
+	}
+	return filename
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJSONReport pins the machine-readable report: schema tag, module
+// path, module-relative file names, rule names, and the suggested-fix
+// passthrough for findings that carry one (maporder does).
+func TestJSONReport(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"go.mod": tempGoMod,
+		"p.go": `package det
+
+import (
+	"sort"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortLater(xs []string) { sort.Strings(xs) }
+`,
+	})
+	findings, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings from the fixture module")
+	}
+
+	report := BuildJSONReport(findings, root)
+	if report.Schema != JSONSchema {
+		t.Errorf("Schema = %q, want %q", report.Schema, JSONSchema)
+	}
+	if report.Module != "example.test/det" {
+		t.Errorf("Module = %q, want example.test/det", report.Module)
+	}
+	if report.Count != len(findings) || report.Count != len(report.Findings) {
+		t.Errorf("Count = %d, findings = %d/%d", report.Count, len(findings), len(report.Findings))
+	}
+	rules := make(map[string]JSONFinding)
+	for _, jf := range report.Findings {
+		rules[jf.Rule] = jf
+		if jf.File != "p.go" {
+			t.Errorf("File = %q, want module-relative p.go", jf.File)
+		}
+		if jf.Line == 0 || jf.Col == 0 {
+			t.Errorf("missing position in %+v", jf)
+		}
+	}
+	if _, ok := rules["wallclock"]; !ok {
+		t.Errorf("no wallclock finding in report: %v", rules)
+	}
+	mo, ok := rules["maporder"]
+	if !ok {
+		t.Fatalf("no maporder finding in report: %v", rules)
+	}
+	if mo.SuggestedFix == "" {
+		t.Error("maporder finding lost its suggested fix")
+	}
+
+	// WriteJSONReport round-trips, ends with a newline, and is written
+	// even for a clean run (CI archives the evidence either way).
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteJSONReport(path, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("report does not end with a newline")
+	}
+	var back JSONReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Count != report.Count {
+		t.Errorf("round-trip Count = %d, want %d", back.Count, report.Count)
+	}
+
+	if err := WriteJSONReport(path, nil, root); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"findings": []`) {
+		t.Errorf("clean report should encode an empty array, got:\n%s", data)
+	}
+}

@@ -94,6 +94,48 @@ var Ruleset = []Rule{
 	// order at a barrier, never in goroutine-completion order — addition
 	// over different orders is a different float.
 	{FloatorderAnalyzer, Scope{}},
+
+	// The interprocedural rules. detflow/rngflow inherit their local
+	// twins' scopes: the wall-clock-owning packages cannot meaningfully
+	// be forbidden from *reaching* the wall clock, and the RNG-owning
+	// packages are the seam itself. Note the asymmetry in how taint
+	// crosses INTO the exempt packages' callers: summaries exported by
+	// the RngSealPackages are stripped of RNG taint (calling sim/fault
+	// is how everyone is supposed to obtain randomness), while
+	// wall-clock taint is never stripped — the legitimate route to the
+	// clock is the sim.Clock interface, so a concrete call chain from a
+	// determinism-scoped package into realtime/realdev is a genuine
+	// violation and reports at the first in-scope call site.
+	{DetflowAnalyzer, Scope{Skip: []string{"internal/realdev", "internal/realtime", "internal/obs/live", "cmd/elreal"}}},
+	{RngflowAnalyzer, Scope{Skip: []string{"internal/sim", "internal/fault", "internal/realdev", "internal/realtime", "cmd/elreal"}}},
+
+	// The real-mode concurrency contract. atomicsafety is module-wide:
+	// atomic state exists only in the real-mode packages today, but a
+	// copied atomic or a plain read is a bug wherever it appears.
+	// goroleak and errsink are scoped to the packages that launch
+	// goroutines and own the durability path; elsewhere a goroutine or a
+	// dropped Close error is a style question, not a contract violation.
+	{AtomicsafetyAnalyzer, Scope{}},
+	{GoroleakAnalyzer, Scope{Only: []string{"internal/realdev", "internal/realtime", "internal/obs/live", "cmd/elreal"}}},
+	{ErrsinkAnalyzer, Scope{Only: []string{"internal/realdev", "internal/realtime", "cmd/elreal"}}},
+}
+
+// RngSealPackages are the module-relative packages that own seeded
+// generator construction: their exported function summaries are
+// stripped of RNG taint (see Interp.Export), because calling into them
+// is the sanctioned way to obtain randomness. Kept in sync with
+// rngflow's Skip list by TestRulesetSeamConsistency.
+var RngSealPackages = []string{"internal/sim", "internal/fault", "internal/realdev", "internal/realtime", "cmd/elreal"}
+
+// SealsRng reports whether a package at module-relative path rel
+// exports RNG-sealed summaries.
+func SealsRng(rel string) bool {
+	for _, p := range RngSealPackages {
+		if underPrefix(rel, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // RuleByName returns the rule with the given analyzer name, or nil.
@@ -107,9 +149,11 @@ func RuleByName(name string) *Rule {
 }
 
 // Check runs one analyzer over a type-checked package and returns its
-// diagnostics with //ellint:allow suppressions already applied.
-func Check(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	diags, err := run(a, fset, files, pkg, info)
+// diagnostics with //ellint:allow suppressions already applied. ctx may
+// be nil; interprocedural analyzers then run with a facts-free Interp
+// built on the spot (package-local taint only).
+func Check(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ctx *Context) ([]Diagnostic, error) {
+	diags, err := run(a, fset, files, pkg, info, ctx)
 	if err != nil {
 		return nil, err
 	}

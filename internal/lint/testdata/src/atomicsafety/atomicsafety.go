@@ -1,0 +1,93 @@
+// Fixture for the atomicsafety analyzer: mixed atomic/plain access to
+// legacy-API fields, and copies of values containing atomic state.
+package atomicsafety
+
+import "sync/atomic"
+
+// counters mixes a legacy-API atomic field (hits) with a plain one
+// (total, only ever touched single-threaded).
+type counters struct {
+	hits  uint64
+	total uint64
+}
+
+func (c *counters) bump() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *counters) read() uint64 {
+	return c.hits // want `plain access to c\.hits, which is updated with sync/atomic elsewhere in this package`
+}
+
+func (c *counters) write() {
+	c.hits = 0 // want `plain access to c\.hits, which is updated with sync/atomic`
+}
+
+func (c *counters) okAtomic() uint64 { return atomic.LoadUint64(&c.hits) }
+
+func (c *counters) okPlain() uint64 {
+	c.total++ // total is never atomic: no diagnostic
+	return c.total
+}
+
+// localsExempt: atomics on a local followed by a plain read after the
+// join is the canonical safe pattern and must not be flagged.
+func localsExempt() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	return n
+}
+
+// gauge carries new-API atomic state: mixed access is impossible, but
+// copies silently fork the counter.
+type gauge struct {
+	bits atomic.Uint64
+}
+
+type board struct {
+	g gauge
+}
+
+func copyDeref(g *gauge) gauge {
+	return *g // want `copying a value of type gauge duplicates its atomic state \(atomic\.Uint64\)`
+}
+
+func copyAssign(b *board) {
+	local := *b // want `copying a value of type board duplicates its atomic state \(atomic\.Uint64\)`
+	_ = local
+}
+
+func takesByValue(gauge) {}
+
+func copyArg(g *gauge) {
+	takesByValue(*g) // want `copying a value of type gauge duplicates its atomic state`
+}
+
+func copyRange(gs []gauge) {
+	for _, g := range gs { // want `ranging by value over elements of type gauge duplicates their atomic state`
+		_ = g
+	}
+}
+
+// legacy: a struct whose field is atomic only via the legacy API still
+// must not be copied.
+type legacy struct{ n uint64 }
+
+func (l *legacy) inc() { atomic.AddUint64(&l.n, 1) }
+
+func copyLegacy(l *legacy) legacy {
+	return *l // want `copying a value of type legacy duplicates its atomic state \(field n, updated via atomic\.AddUint64\)`
+}
+
+// Sharing by pointer, indexing into atomic slices, and constructing
+// fresh values are all fine.
+func fine(gs []*gauge) *gauge {
+	g := &gauge{}
+	g.bits.Store(1)
+	for _, p := range gs {
+		p.bits.Add(1)
+	}
+	return g
+}
+
+func suppressedRead(c *counters) uint64 {
+	return c.hits //ellint:allow atomicsafety fixture: read under external lock
+}

@@ -1,0 +1,72 @@
+// Fixture for the detflow analyzer: wall-clock taint laundered through
+// call hops. Direct time.Now sites are wallclock's to flag, so they carry
+// no want here; detflow reports at the call (or reference) sites of
+// tainted functions — the gap the local analyzer provably misses.
+package detflow
+
+import "time"
+
+// hop2 reads the clock directly. wallclock would flag this line; detflow
+// does not (no double-reporting of the same site).
+func hop2() time.Time { return time.Now() }
+
+// hop1 launders the clock through one hop: the old wallclock analyzer
+// sees nothing on this line.
+func hop1() time.Time {
+	return hop2() // want `call to detflow\.hop2 transitively reaches the wall clock \(detflow\.hop2 → time\.Now\)`
+}
+
+// use is two hops from the clock — the acceptance case.
+func use() time.Time {
+	return hop1() // want `call to detflow\.hop1 transitively reaches the wall clock \(detflow\.hop1 → detflow\.hop2 → time\.Now\)`
+}
+
+type ticker struct{}
+
+// now reads the clock directly (wallclock's site, not detflow's).
+func (t *ticker) now() time.Time { return time.Now() }
+
+// methodCall resolves the concrete method to its declared-type target.
+func methodCall() time.Time {
+	var t ticker
+	return t.now() // want `call to \(\*detflow\.ticker\)\.now transitively reaches the wall clock`
+}
+
+// passes cannot be tainted by its dynamic argument: calling a function
+// parameter resolves to no edge.
+func passes(f func() time.Time) time.Time { return f() }
+
+// refSite leaks the clock by handing a tainted function away as a value.
+func refSite() time.Time {
+	return passes(hop2) // want `reference to detflow\.hop2 transitively reaches the wall clock`
+}
+
+// clock is the seam shape: interface dispatch resolves to no edge, so
+// code that takes its time through an interface is clean by design.
+type clock interface{ Now() time.Time }
+
+func throughSeam(c clock) time.Time { return c.Now() }
+
+// pingPong exercises recursion: the fixpoint converges and the self-call
+// reports once the function's own summary is tainted.
+func pingPong(n int) time.Time {
+	if n%2 == 0 {
+		return pingPong(n - 1) // want `call to detflow\.pingPong transitively reaches the wall clock`
+	}
+	return hop2() // want `call to detflow\.hop2 transitively reaches the wall clock`
+}
+
+// pure is deterministic: no diagnostics anywhere below.
+func pure(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d)
+}
+
+func usesPure() time.Time { return pure(time.Second) }
+
+// suppressed is an audited wall-clock consumer; the allow both silences
+// the report and sanitizes the summary, so callers stay clean.
+func suppressed() time.Time {
+	return hop1() //ellint:allow detflow fixture: audited wall-clock experiment
+}
+
+func callsSuppressed() time.Time { return suppressed() }

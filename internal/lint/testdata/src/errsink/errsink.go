@@ -1,0 +1,57 @@
+// Fixture for the errsink analyzer: discarded errors on the durability
+// surface (os.File write/sync/close/truncate, os.WriteFile, os.Rename).
+package errsink
+
+import "os"
+
+func drops(f *os.File, b []byte) {
+	f.Write(b)    // want `discarded error from \(\*os\.File\)\.Write on the durability path`
+	f.Sync()      // want `discarded error from \(\*os\.File\)\.Sync on the durability path`
+	f.Truncate(0) // want `discarded error from \(\*os\.File\)\.Truncate on the durability path`
+}
+
+func blanks(f *os.File, b []byte) {
+	_ = f.Close()      // want `blanked error from \(\*os\.File\)\.Close`
+	n, _ := f.Write(b) // want `blanked error from \(\*os\.File\)\.Write`
+	_ = n
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `deferred call discards the error from \(\*os\.File\)\.Close`
+}
+
+func helpers(path string) {
+	os.WriteFile(path, nil, 0o644) // want `discarded error from os\.WriteFile`
+	os.Rename(path, path+".bak")   // want `discarded error from os\.Rename`
+}
+
+// checked propagates every error: no diagnostics.
+func checked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// closer is not an os.File: its dropped Close is a style question, not
+// a durability violation.
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func notFile(c closer) {
+	c.Close()
+}
+
+// reads are off the surface entirely.
+func reads(f *os.File, b []byte) {
+	f.Read(b)
+	f.Name()
+}
+
+func suppressed(f *os.File) {
+	f.Sync() //ellint:allow errsink fixture: best-effort flush on shutdown path
+}

@@ -1,0 +1,98 @@
+// Fixture for the goroleak analyzer: goroutines must have a reachable
+// stop signal — closable channel, ctx.Done, or a WaitGroup someone
+// waits on. Loop-free goroutines terminate on their own.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// leaky spins forever with no signal.
+func leaky() {
+	go func() { // want `goroutine loops without a reachable stop signal`
+		for {
+		}
+	}()
+}
+
+// leakyChan ranges over a channel nobody in the package closes.
+func leakyChan(c chan int) {
+	go func() { // want `goroutine loops without a reachable stop signal`
+		for range c {
+		}
+	}()
+}
+
+// oneShot has no loop: it runs to completion on its own.
+func oneShot(c chan int) {
+	go func() { c <- 1 }()
+}
+
+// start launches a method whose range channel the package closes.
+func (w *worker) start() { go w.drain() }
+
+func (w *worker) drain() {
+	for range w.ch {
+	}
+}
+
+func (w *worker) stop() { close(w.ch) }
+
+// watch receives its stop channel as a parameter; the binding at the go
+// site connects it to the close in launches.
+func watch(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func launches() {
+	done := make(chan struct{})
+	go watch(done)
+	close(done)
+}
+
+// ctxLoop stops via context cancellation.
+func ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// joined signals a WaitGroup the package waits on: the join point
+// proves termination is observed.
+func (w *worker) joined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+	w.wg.Wait()
+}
+
+// suppressed is a deliberate process-lifetime pump.
+func suppressed() {
+	//ellint:allow goroleak fixture: process-lifetime pump, dies with the process
+	go func() {
+		for {
+		}
+	}()
+}

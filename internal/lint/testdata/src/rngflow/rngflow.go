@@ -1,0 +1,35 @@
+// Fixture for the rngflow analyzer: ad-hoc randomness laundered through
+// call hops. Direct math/rand references are rngsource's to flag; rngflow
+// reports calls to functions that transitively construct or consume
+// unseeded randomness.
+package rngflow
+
+import "math/rand"
+
+// makeGen constructs its own generator; the construction sites are
+// rngsource's to flag, not rngflow's.
+func makeGen() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// wrapper launders the construction through one hop.
+func wrapper() int {
+	return makeGen().Int() // want `call to rngflow\.makeGen transitively reaches ad-hoc randomness \(rngflow\.makeGen → rand\.New\)`
+}
+
+// twoHops is the two-hop laundering case.
+func twoHops() int {
+	return wrapper() // want `call to rngflow\.wrapper transitively reaches ad-hoc randomness \(rngflow\.wrapper → rngflow\.makeGen → rand\.New\)`
+}
+
+// injected draws from a generator handed in by the caller: method calls
+// on a *rand.Rand value are clean — the stream was seeded elsewhere.
+func injected(r *rand.Rand) int { return r.Intn(10) }
+
+func usesInjected(r *rand.Rand) int { return injected(r) }
+
+// suppressed is an audited ad-hoc consumer; the allow sanitizes the
+// summary so callers stay clean.
+func suppressed() int {
+	return wrapper() //ellint:allow rngflow fixture: audited throwaway sampling
+}
+
+func callsSuppressed() int { return suppressed() }

@@ -1,0 +1,133 @@
+package live
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentScrapeStress hammers the registry from writer
+// goroutines while readers take Snapshots and scrape /metrics over HTTP,
+// mirroring a real run: the device loop updating instruments while
+// Prometheus scrapes. Run under -race this is the proof of the lock-free
+// instrument design; without -race it still pins that concurrent scrapes
+// see internally-consistent, parseable expositions and that no update is
+// lost.
+func TestRegistryConcurrentScrapeStress(t *testing.T) {
+	const (
+		writers = 8
+		iters   = 2000
+		readers = 4
+	)
+	reg := NewRegistry()
+	counter := reg.Counter("ellog_stress_total", "")
+	gauge := reg.Gauge("ellog_stress_inflight", "")
+	hist := reg.Histogram("ellog_stress_latency_ms", "", []float64{1, 5, 25, 100})
+
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				counter.Inc()
+				gauge.Set(float64(w))
+				hist.Observe(float64(i % 128))
+			}
+		}(w)
+	}
+
+	// Snapshot readers: every observed counter value must be a plausible
+	// intermediate (monotonic wrt what this reader saw before, never past
+	// the final total), and bucket counts must never exceed the count sum.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last float64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := reg.Snapshot()
+				v := snap.Value("ellog_stress_total")
+				if v < last || v > writers*iters {
+					t.Errorf("snapshot counter went backwards or overshot: %v after %v", v, last)
+					return
+				}
+				last = v
+				if s, ok := snap.Get("ellog_stress_latency_ms"); ok {
+					var inBuckets uint64
+					for _, c := range s.Hist.Counts {
+						inBuckets += c
+					}
+					if inBuckets > s.Hist.Count {
+						t.Errorf("histogram buckets (%d) exceed total count (%d)", inBuckets, s.Hist.Count)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// HTTP scrapers: every response under concurrency must be valid
+	// Prometheus text exposition.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape failed: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("scrape read failed: %v", err)
+					return
+				}
+				if err := ValidateExposition(strings.NewReader(string(body))); err != nil {
+					t.Errorf("mid-stress exposition invalid: %v\n%s", err, body)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers finish first; then release the readers and join everyone.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Readers only exit on stop, so wait for the writers' final counter
+	// value, stop the readers, then join everyone.
+	for reg.Snapshot().Value("ellog_stress_total") < writers*iters {
+	}
+	close(stop)
+	<-done
+
+	if got := reg.Snapshot().Value("ellog_stress_total"); got != writers*iters {
+		t.Fatalf("lost counter updates: %v, want %d", got, writers*iters)
+	}
+	if s, ok := reg.Snapshot().Get("ellog_stress_latency_ms"); !ok || s.Hist.Count != writers*iters {
+		t.Fatalf("lost histogram observations: %+v", s.Hist)
+	}
+}

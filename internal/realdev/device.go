@@ -133,8 +133,10 @@ type Device struct {
 
 	// Loop-goroutine state.
 	nextID     blockdev.BlockID
-	gens       []int // generation of each allocated slot, by id-1
-	sized      int64 // file length already reserved via Truncate
+	gens       []int             // generation of each allocated slot, by id-1
+	sized      int64             // file length already reserved via grow
+	grow       func(int64) error // extends the file; d.f.Truncate outside tests
+	growErr    error             // last failed extension; cleared when a retry succeeds
 	cur        *batch
 	batchEpoch uint64 // invalidates the pending GroupDelay timer on dispatch
 	inflight   int    // batches dispatched but not yet completed
@@ -212,6 +214,7 @@ func Open(loop *realtime.Loop, dir string, opt Options) (*Device, error) {
 		batchBytes:  &metrics.Histogram{},
 		ch:          make(chan *batch, opt.Pipeline),
 	}
+	d.grow = f.Truncate
 	d.stats.WritesPerGen = make(map[int]uint64)
 	d.pending = make(map[blockdev.BlockID]struct{})
 	d.rs.Direct = direct
@@ -240,14 +243,23 @@ func openLog(path string, mode DirectMode) (*os.File, bool, error) {
 
 // Alloc reserves the next slot for a block of the given generation and
 // grows the file to cover it, so direct writes never land past EOF.
+//
+// Alloc has no error return (the simulated device never fails), so a
+// failed extension — ENOSPC, quota — is remembered in d.growErr and
+// surfaces on the affected slot's Write completion instead of being
+// swallowed: the manager already treats completion errors as failed
+// writes. A later Alloc that extends successfully clears the condition.
 func (d *Device) Alloc(gen int) blockdev.BlockID {
 	d.nextID++
 	d.gens = append(d.gens, gen)
 	if need := int64(d.nextID) * int64(d.opt.SlotBytes); need > d.sized {
 		// Extend in whole-slot steps; growing a file under concurrent
 		// WriteAt from the syncer is safe.
-		if err := d.f.Truncate(need); err == nil {
+		if err := d.grow(need); err != nil {
+			d.growErr = fmt.Errorf("realdev: growing log to %d bytes: %w", need, err)
+		} else {
 			d.sized = need
+			d.growErr = nil
 		}
 	}
 	return d.nextID
@@ -268,6 +280,20 @@ func (d *Device) Write(id blockdev.BlockID, data []byte, done func(err error)) {
 		panic(fmt.Sprintf("realdev: block image %d B overflows %d B slot (size slots with SlotFor)", len(data), d.opt.SlotBytes))
 	}
 	gen := d.gens[id-1]
+	off := int64(id-1) * int64(d.opt.SlotBytes)
+	if off+int64(d.opt.SlotBytes) > d.sized && d.growErr != nil {
+		// The file never grew to cover this slot: fail the write now
+		// rather than let a direct pwrite land past EOF or quietly rely
+		// on the filesystem extending the file without the space check.
+		// Completion stays asynchronous — done must not fire inside
+		// Write — and the stats mirror a syncer-reported failure.
+		err := d.growErr
+		d.stats.Writes++
+		d.stats.WritesPerGen[gen]++
+		d.stats.Failed++
+		d.loop.Post(func() { done(err) })
+		return
+	}
 	buf := d.takeBuf()
 	n := putFrame(buf, gen, data)
 	for i := n; i < len(buf); i++ {
@@ -276,7 +302,7 @@ func (d *Device) Write(id blockdev.BlockID, data []byte, done func(err error)) {
 	d.pending[id] = struct{}{}
 	w := slotWrite{
 		id:   id,
-		off:  int64(id-1) * int64(d.opt.SlotBytes),
+		off:  off,
 		buf:  buf,
 		gen:  gen,
 		plen: len(data),

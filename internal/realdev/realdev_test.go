@@ -1,6 +1,7 @@
 package realdev
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -397,5 +398,66 @@ func TestTornBlockRecovery(t *testing.T) {
 	}
 	if rres.Winners == 0 {
 		t.Fatal("recovery found no winners")
+	}
+}
+
+// TestAllocGrowFailureSurfacesOnWrite pins the ENOSPC contract: when the
+// file cannot be extended to cover a new slot, the error must surface on
+// that slot's Write completion (asynchronously, like any other failure)
+// instead of being swallowed, and a later successful extension must
+// clear the condition.
+func TestAllocGrowFailureSurfacesOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	loop := realtime.New(1)
+	dev, err := Open(loop, dir, Options{SlotBytes: 8192, Direct: DirectOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	realGrow := dev.grow
+	full := errors.New("injected: no space left on device")
+	dev.grow = func(int64) error { return full }
+
+	id := dev.Alloc(0)
+	var got error
+	completed := false
+	inWrite := true
+	dev.Write(id, []byte("doomed"), func(err error) {
+		if inWrite {
+			t.Error("completion fired synchronously inside Write")
+		}
+		got, completed = err, true
+	})
+	inWrite = false
+	for loop.Step() {
+	}
+	if !completed {
+		t.Fatal("write against an ungrown slot never completed")
+	}
+	if got == nil || !errors.Is(got, full) {
+		t.Fatalf("completion error = %v, want wrapped %v", got, full)
+	}
+	if st := dev.Stats(); st.Failed != 1 || st.Writes != 1 {
+		t.Fatalf("Stats = %+v, want 1 write, 1 failed", st)
+	}
+
+	// Space comes back: the next Alloc extends the file, clears the
+	// error, and writes succeed again.
+	dev.grow = realGrow
+	id2 := dev.Alloc(0)
+	completed = false
+	dev.Write(id2, []byte("fine"), func(err error) {
+		if err != nil {
+			t.Errorf("post-recovery write failed: %v", err)
+		}
+		completed = true
+	})
+	drainDevice(t, loop, dev)
+	if !completed {
+		t.Fatal("post-recovery write never completed")
+	}
+	if st := dev.Stats(); st.Failed != 1 || st.Writes != 2 {
+		t.Fatalf("Stats after recovery = %+v, want 2 writes, 1 failed", st)
 	}
 }
